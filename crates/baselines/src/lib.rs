@@ -1,0 +1,40 @@
+//! # atlahs-baselines
+//!
+//! The AstraSim/Chakra-class baseline the paper compares ATLAHS against
+//! (§5.2, Figs. 8 and 9).
+//!
+//! Two pieces:
+//!
+//! * [`chakra`] — a Chakra-ET-style execution trace schema (per-rank node
+//!   graphs with verbose Kineto-grade attributes) plus the converter that
+//!   produces it from the same nsys-style reports ATLAHS consumes, so both
+//!   toolchains replay *identical execution patterns*;
+//! * [`sim`] — an ASTRA-sim-2.0-class replay engine: the
+//!   congestion-unaware analytical network backend, simulating collectives
+//!   at chunk granularity with process-group barrier semantics, and
+//!   reproducing the DP-only real-trace restriction (`src and dest have
+//!   the same address` on pipeline-parallel traces).
+//!
+//! The baseline is deliberately *not* an ATLAHS `Backend`:
+//! AstraSim owns its own trace format and replay loop, which is exactly
+//! the architectural difference (GOAL as a universal interchange vs a
+//! domain-specific schema) the paper's comparison is about.
+//!
+//! ```
+//! use atlahs_baselines::{chakra, sim};
+//! use atlahs_tracers::nccl::{presets, trace_llm};
+//!
+//! let mut cfg = presets::llama7b_dp16(0.01);
+//! cfg.iterations = 1;
+//! let report = trace_llm(&cfg);
+//! let et = chakra::from_nsys(&report);               // Chakra conversion
+//! let astra = sim::AstraSim::new(sim::AstraSystemConfig::default());
+//! let out = astra.run(&et).unwrap();                 // DP-only: succeeds
+//! assert!(out.makespan_ns > 0);
+//! ```
+
+pub mod chakra;
+pub mod sim;
+
+pub use chakra::{from_nsys, ChakraNode, ChakraNodeType, ChakraTrace, CollKind};
+pub use sim::{AstraError, AstraReport, AstraSim, AstraSystemConfig};

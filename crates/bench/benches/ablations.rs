@@ -1,0 +1,180 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! eager/rendezvous threshold in LGS, the ECN marking window in htsim,
+//! NCCL protocol choice, and ring chunk size. Criterion measures the
+//! *simulator's* wall-clock; the printed simulated makespans (stderr, one
+//! line per configuration, first iteration only) document the modelled
+//! effect of each knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+use atlahs_collectives::nccl::{self, NcclConfig, NcclProtocol};
+use atlahs_collectives::{mpi, CollParams};
+use atlahs_core::Simulation;
+use atlahs_goal::{GoalBuilder, GoalSchedule};
+use atlahs_htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs_htsim::topology::TopologyConfig;
+use atlahs_htsim::CcAlgo;
+use atlahs_lgs::{LgsBackend, LogGopsParams};
+
+fn exchange_goal(n: usize, bytes: u64) -> GoalSchedule {
+    let mut b = GoalBuilder::new(n);
+    for r in 0..n as u32 {
+        let dst = (r + 1) % n as u32;
+        let src = (r + n as u32 - 1) % n as u32;
+        b.send(r, dst, bytes, 0);
+        b.recv(r, src, bytes, 0);
+    }
+    b.build().unwrap()
+}
+
+/// LGS eager/rendezvous threshold sweep: the S knob flips 256 KiB
+/// messages between buffered and handshake semantics.
+fn bench_rendezvous_threshold(c: &mut Criterion) {
+    let goal = exchange_goal(16, 256 << 10);
+    let mut g = c.benchmark_group("lgs_rendezvous_threshold");
+    static ONCE: Once = Once::new();
+    for s in [0u64, 64 << 10, 1 << 20] {
+        let params = LogGopsParams { s, ..LogGopsParams::hpc_testbed() };
+        ONCE.call_once(|| {});
+        let mut be = LgsBackend::new(params);
+        let rep = Simulation::new(&goal).run(&mut be).unwrap();
+        eprintln!("# S={s}: simulated {} ns", rep.makespan);
+        g.bench_function(format!("S_{s}"), |b| {
+            b.iter(|| {
+                let mut be = LgsBackend::new(params);
+                black_box(Simulation::new(&goal).run(&mut be).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// ECN K_min/K_max sweep under incast.
+fn bench_ecn_window(c: &mut Criterion) {
+    let mut b = GoalBuilder::new(9);
+    for s in 1..=8u32 {
+        b.send(s, 0, 512 << 10, s);
+        b.recv(0, s, 512 << 10, s);
+    }
+    let goal = b.build().unwrap();
+    let mut g = c.benchmark_group("htsim_ecn_window");
+    g.sample_size(10);
+    for (kmin, kmax, label) in [(0.05, 0.2, "early"), (0.2, 0.8, "paper"), (0.9, 0.99, "late")] {
+        let mut cfg = HtsimConfig::new(
+            TopologyConfig::SingleSwitch { hosts: 9, link: Default::default() },
+            CcAlgo::Mprdma,
+        );
+        cfg.kmin_frac = kmin;
+        cfg.kmax_frac = kmax;
+        let mut be = HtsimBackend::new(cfg.clone());
+        let rep = Simulation::new(&goal).run(&mut be).unwrap();
+        eprintln!(
+            "# ECN {label}: simulated {} ns, marks {}, drops {}",
+            rep.makespan,
+            be.net_stats().ecn_marks,
+            be.net_stats().drops
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut be = HtsimBackend::new(cfg.clone());
+                black_box(Simulation::new(&goal).run(&mut be).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// NCCL Simple vs LL protocol: LL doubles wire bytes (flag words) but
+/// skips the chunk handshake; the schedule shapes differ materially.
+fn bench_nccl_protocol(c: &mut Criterion) {
+    let ranks: Vec<u32> = (0..8).collect();
+    let mut g = c.benchmark_group("nccl_protocol");
+    for (proto, label) in [(NcclProtocol::Simple, "simple"), (NcclProtocol::Ll, "ll")] {
+        let cfg = NcclConfig { protocol: proto, ..Default::default() };
+        let mut b = GoalBuilder::new(8);
+        nccl::allreduce(&mut b, &ranks, 4 << 20, 0, &cfg);
+        let goal = b.build().unwrap();
+        let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+        let rep = Simulation::new(&goal).run(&mut be).unwrap();
+        eprintln!(
+            "# proto {label}: {} tasks, simulated {} ns",
+            goal.total_tasks(),
+            rep.makespan
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+                black_box(Simulation::new(&goal).run(&mut be).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ring chunk-size sweep: smaller chunks pipeline better but multiply
+/// schedule size and simulation cost.
+fn bench_chunk_size(c: &mut Criterion) {
+    let ranks: Vec<u32> = (0..8).collect();
+    let mut g = c.benchmark_group("nccl_chunk_size");
+    for chunk in [64u64 << 10, 512 << 10, 4 << 20] {
+        let cfg = NcclConfig { chunk_bytes: chunk, ..Default::default() };
+        let mut b = GoalBuilder::new(8);
+        nccl::allreduce(&mut b, &ranks, 8 << 20, 0, &cfg);
+        let goal = b.build().unwrap();
+        let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+        let rep = Simulation::new(&goal).run(&mut be).unwrap();
+        eprintln!(
+            "# chunk {chunk}: {} tasks, simulated {} ns",
+            goal.total_tasks(),
+            rep.makespan
+        );
+        g.bench_function(format!("{}KiB", chunk >> 10), |b| {
+            b.iter(|| {
+                let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+                black_box(Simulation::new(&goal).run(&mut be).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Collective algorithm face-off at two payload regimes (the Auto cutoff
+/// ablation for Schedgen).
+fn bench_allreduce_algorithms(c: &mut Criterion) {
+    let ranks: Vec<u32> = (0..16).collect();
+    let p = CollParams::default();
+    let mut g = c.benchmark_group("allreduce_algorithms");
+    for (bytes, regime) in [(1u64 << 10, "1KiB"), (4 << 20, "4MiB")] {
+        for (name, f) in [
+            ("ring", mpi::allreduce_ring as fn(&mut GoalBuilder, &[u32], u64, u32, &CollParams) -> _),
+            ("recdoub", mpi::allreduce_recdoub),
+            ("rabenseifner", mpi::allreduce_rabenseifner),
+        ] {
+            let mut b = GoalBuilder::new(16);
+            f(&mut b, &ranks, bytes, 0, &p);
+            let goal = b.build().unwrap();
+            let mut be = LgsBackend::new(LogGopsParams::hpc_testbed());
+            let rep = Simulation::new(&goal).run(&mut be).unwrap();
+            eprintln!("# {regime} {name}: simulated {} ns", rep.makespan);
+            g.bench_function(format!("{regime}_{name}"), |b| {
+                b.iter(|| {
+                    let mut be = LgsBackend::new(LogGopsParams::hpc_testbed());
+                    black_box(Simulation::new(&goal).run(&mut be).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rendezvous_threshold,
+    bench_ecn_window,
+    bench_nccl_protocol,
+    bench_chunk_size,
+    bench_allreduce_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Criterion microbenches of the simulation engines themselves: how fast
+//! each backend replays a fixed GOAL schedule, and the GOAL codec
+//! throughput. These quantify the §5.2 runtime story (message-level ≫
+//! packet-level ≫ chunk-replay baseline) on neutral ground.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use atlahs_baselines::{chakra, AstraSim, AstraSystemConfig};
+use atlahs_collectives::{mpi, CollParams};
+use atlahs_core::backends::IdealBackend;
+use atlahs_core::Simulation;
+use atlahs_goal::{binary, GoalBuilder, GoalSchedule};
+use atlahs_htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs_htsim::topology::TopologyConfig;
+use atlahs_htsim::CcAlgo;
+use atlahs_lgs::{LgsBackend, LogGopsParams};
+use atlahs_testbed::{TestbedBackend, TestbedConfig};
+use atlahs_tracers::nccl::{presets, trace_llm};
+
+/// A fixed 16-rank ring-allreduce schedule (1 MiB payload).
+fn ring_allreduce() -> GoalSchedule {
+    let ranks: Vec<u32> = (0..16).collect();
+    let mut b = GoalBuilder::new(16);
+    mpi::allreduce_ring(&mut b, &ranks, 1 << 20, 0, &CollParams::default());
+    b.build().unwrap()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let goal = ring_allreduce();
+    let mut g = c.benchmark_group("replay_ring_allreduce_16r_1MiB");
+
+    g.bench_function("ideal", |b| {
+        b.iter(|| {
+            let mut be = IdealBackend::new(12.5, 500);
+            black_box(Simulation::new(&goal).run(&mut be).unwrap())
+        })
+    });
+    g.bench_function("lgs", |b| {
+        b.iter(|| {
+            let mut be = LgsBackend::new(LogGopsParams::hpc_testbed());
+            black_box(Simulation::new(&goal).run(&mut be).unwrap())
+        })
+    });
+    g.bench_function("testbed", |b| {
+        b.iter(|| {
+            let mut be = TestbedBackend::new(TestbedConfig::new(TopologyConfig::fat_tree(16, 4)));
+            black_box(Simulation::new(&goal).run(&mut be).unwrap())
+        })
+    });
+    g.bench_function("htsim", |b| {
+        b.iter(|| {
+            let mut be = HtsimBackend::new(HtsimConfig::new(
+                TopologyConfig::fat_tree(16, 4),
+                CcAlgo::Mprdma,
+            ));
+            black_box(Simulation::new(&goal).run(&mut be).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_toolchain_vs_baseline(c: &mut Criterion) {
+    // §5.2 in miniature: same traced workload, ATLAHS LGS replay vs the
+    // chunk-granular AstraSim-class baseline.
+    let mut cfg = presets::llama7b_dp16(0.002);
+    cfg.iterations = 1;
+    cfg.batch = 16;
+    let report = trace_llm(&cfg);
+    let goal = atlahs_schedgen::nccl2goal::convert(
+        &report,
+        &atlahs_schedgen::nccl2goal::NcclToGoalConfig::default(),
+    )
+    .unwrap();
+    let et = chakra::from_nsys(&report);
+
+    let mut g = c.benchmark_group("llama7b_dp16_replay");
+    g.sample_size(10);
+    g.bench_function("atlahs_lgs", |b| {
+        b.iter(|| {
+            let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+            black_box(Simulation::new(&goal).run(&mut be).unwrap())
+        })
+    });
+    g.bench_function("astrasim_baseline", |b| {
+        b.iter(|| black_box(AstraSim::new(AstraSystemConfig::default()).run(&et).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_goal_codec(c: &mut Criterion) {
+    let goal = ring_allreduce();
+    let bytes = binary::encode(&goal);
+    let mut g = c.benchmark_group("goal_codec");
+    g.bench_function("encode", |b| b.iter(|| black_box(binary::encode(&goal))));
+    g.bench_function("decode", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |by| black_box(binary::decode(&by).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_nccl_lowering(c: &mut Criterion) {
+    // Trace→GOAL conversion cost (the toolchain's own overhead).
+    let mut cfg = presets::llama7b_dp16(0.002);
+    cfg.iterations = 1;
+    cfg.batch = 16;
+    let report = trace_llm(&cfg);
+    c.bench_function("nccl2goal_llama7b_dp16", |b| {
+        b.iter(|| {
+            black_box(
+                atlahs_schedgen::nccl2goal::convert(
+                    &report,
+                    &atlahs_schedgen::nccl2goal::NcclToGoalConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_toolchain_vs_baseline,
+    bench_goal_codec,
+    bench_nccl_lowering
+);
+criterion_main!(benches);

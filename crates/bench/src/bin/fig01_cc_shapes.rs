@@ -1,0 +1,84 @@
+//! **E1 / Fig. 1C** — Why application traces matter: Swift vs MPRDMA on
+//! two synthetic microbenchmarks (incast, permutation) and a realistic
+//! LLM training workload with overlapping DP/PP traffic.
+//!
+//! ```text
+//! cargo run --release --bin fig01_cc_shapes -- [--scale 0.002] [--seed 1] [--ranks 32]
+//! ```
+//!
+//! Expected shape (paper): the two algorithms look comparable on the
+//! microbenchmarks (low single-digit % differences, either direction),
+//! but the LLM trace exposes Swift's weakness with multi-hop congestion
+//! — a consistent slowdown on total iteration time (paper: ~4%) that the
+//! microbenchmarks alone would never reveal.
+
+use atlahs_bench::args::Args;
+use atlahs_bench::runner;
+use atlahs_bench::table::Table;
+use atlahs_bench::workloads;
+use atlahs_goal::GoalSchedule;
+use atlahs_htsim::topology::TopologyConfig;
+use atlahs_htsim::CcAlgo;
+use atlahs_schedgen::synthetic;
+use atlahs_tracers::nccl::presets;
+
+fn run_pair(goal: &GoalSchedule, topo: &TopologyConfig, seed: u64) -> (u64, u64, f64) {
+    let m = runner::run_htsim(goal, topo.clone(), CcAlgo::Mprdma, seed, false);
+    let s = runner::run_htsim(goal, topo.clone(), CcAlgo::Swift, seed, false);
+    let delta =
+        (s.report.makespan as f64 - m.report.makespan as f64) / m.report.makespan as f64 * 100.0;
+    (m.report.makespan, s.report.makespan, delta)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.002);
+    let seed = args.seed();
+    let ranks = args.get("ranks", 32usize);
+
+    println!("# Fig. 1C — Swift vs MPRDMA: microbenchmarks vs an application trace");
+    println!("# (scale={scale}, seed={seed}, {ranks} ranks for microbenchmarks)\n");
+
+    let mut table = Table::new(["workload", "MPRDMA", "Swift", "Swift vs MPRDMA"]);
+
+    // Synthetic microbenchmarks on a fully provisioned fabric: congestion
+    // only at the last hop (incast) or nowhere structural (permutation).
+    // Incast needs ranks+1 hosts (n senders + 1 sink); pad to the ToR size.
+    let topo = workloads::ai_topology((ranks + 8) / 8 * 8);
+    let incast = synthetic::incast(ranks, 1 << 20, 2).expect("incast builds");
+    let (m, s, d) = run_pair(&incast, &topo, seed);
+    table.row([
+        format!("incast ({ranks}:1, 1 MiB)"),
+        format!("{:.3} ms", m as f64 / 1e6),
+        format!("{:.3} ms", s as f64 / 1e6),
+        format!("{d:+.1}%"),
+    ]);
+
+    let perm = synthetic::permutation(ranks, 1 << 20, ranks / 2, 2).expect("permutation builds");
+    let (m, s, d) = run_pair(&perm, &topo, seed);
+    table.row([
+        format!("permutation ({ranks} ranks, 1 MiB)"),
+        format!("{:.3} ms", m as f64 / 1e6),
+        format!("{:.3} ms", s as f64 / 1e6),
+        format!("{d:+.1}%"),
+    ]);
+
+    // The application trace: PP victim flows + DP ring allreduce on an
+    // oversubscribed core (the Fig. 1A/1B scenario).
+    let mut cfg = presets::mistral8x7b(scale);
+    cfg.seed = seed;
+    cfg.iterations = 1;
+    cfg.batch = cfg.batch.min(2 * cfg.dp);
+    let (_, goal) = workloads::ai_goal(&cfg);
+    let llm_topo = workloads::ai_topology_oversubscribed(cfg.nodes() as usize, 4);
+    let (m, s, d) = run_pair(&goal, &llm_topo, seed);
+    table.row([
+        format!("LLM training ({}, {} nodes, 4:1 core)", cfg.name, cfg.nodes()),
+        format!("{:.3} ms", m as f64 / 1e6),
+        format!("{:.3} ms", s as f64 / 1e6),
+        format!("{d:+.1}%"),
+    ]);
+
+    table.print();
+    println!("\n(paper: microbenchmarks comparable; Swift ~4% slower on the LLM iteration)");
+}

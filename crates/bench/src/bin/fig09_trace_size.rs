@@ -1,0 +1,47 @@
+//! **E4 / Fig. 9** — Trace size: GOAL (ATLAHS, compact binary) vs Chakra
+//! (AstraSim, verbose per-node schema) for the six Fig. 8 configurations.
+//!
+//! ```text
+//! cargo run --release --bin fig09_trace_size -- [--scale 0.002] [--seed 1]
+//! ```
+//!
+//! Expected shape (paper): Chakra consistently larger, 1.8×–10.6×
+//! depending on the workload mix (compute-gap-dominated traces inflate
+//! the most, because every inferred gap becomes a fully-attributed node).
+
+use atlahs_baselines::chakra;
+use atlahs_bench::args::Args;
+use atlahs_bench::table::{fmt_bytes, Table};
+use atlahs_bench::workloads;
+use atlahs_goal::binary;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.002);
+    let seed = args.seed();
+    let quick = !args.flag("full");
+
+    println!("# Fig. 9 — GOAL vs Chakra trace sizes (scale={scale}, seed={seed})\n");
+
+    let mut table = Table::new([
+        "workload",
+        "geometry",
+        "GOAL (ATLAHS)",
+        "Chakra (AstraSim)",
+        "ratio",
+    ]);
+    for case in workloads::ai_suite(scale, quick, seed) {
+        let (report, goal) = workloads::ai_goal(&case.cfg);
+        let goal_bytes = binary::encode(&goal).len() as u64;
+        let chakra_bytes = chakra::from_nsys(&report).to_text().len() as u64;
+        table.row([
+            case.name.clone(),
+            case.geometry.clone(),
+            fmt_bytes(goal_bytes),
+            fmt_bytes(chakra_bytes),
+            format!("{:.1}x", chakra_bytes as f64 / goal_bytes as f64),
+        ]);
+    }
+    table.print();
+    println!("\n(paper ratios: 9.0x, 3.8x, 1.8x, 10.6x, 4.4x, 2.5x — Chakra always larger)");
+}

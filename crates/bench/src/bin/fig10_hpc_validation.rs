@@ -1,0 +1,75 @@
+//! **E6 / Fig. 10** — HPC validation: measured vs predicted runtime for
+//! fifteen application/scale points (weak and strong scaling), error of
+//! ATLAHS LGS and ATLAHS htsim against the measured runtime.
+//!
+//! ```text
+//! cargo run --release --bin fig10_hpc_validation -- [--scale 0.05] [--seed 1]
+//! ```
+//!
+//! Expected shape (paper): prediction error below ~5% across all points
+//! for both backends; LGS error drifts slightly upward with scale while
+//! htsim stays flat; the non-overlapped-computation share is high
+//! (57–93%) for these MPI+OpenMP codes.
+
+use atlahs_bench::args::Args;
+use atlahs_bench::runner;
+use atlahs_bench::table::{fmt_pct, pct_err, Table};
+use atlahs_bench::workloads;
+use atlahs_htsim::CcAlgo;
+use atlahs_tracers::mpi::Scaling;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.05);
+    let seed = args.seed();
+
+    println!("# Fig. 10 — HPC validation (scale={scale}, seed={seed})");
+    println!("# measured = fluid-flow testbed emulator; LGS params calibrated against it");
+    println!("# (the paper fits LogGOPS to its physical cluster with Netgauge the same way)\n");
+
+    let mut table = Table::new([
+        "app (procs/nodes)",
+        "scaling",
+        "measured",
+        "non-ovl comp",
+        "LGS",
+        "err",
+        "htsim",
+        "err",
+    ]);
+    let mut worst_lgs: f64 = 0.0;
+    let mut worst_ht: f64 = 0.0;
+
+    for case in workloads::hpc_suite() {
+        let (_trace, goal) = workloads::hpc_goal(&case, scale, seed);
+        let topo = workloads::hpc_topology(case.procs, case.nodes);
+
+        let (measured, _) = runner::run_testbed(&goal, topo.clone(), seed);
+        let comp = runner::compute_only_ns(&goal);
+        let nonovl = comp as f64 / measured.makespan as f64 * 100.0;
+
+        let (lgs, _) = runner::run_lgs(&goal, workloads::hpc_lgs_params());
+        let ht = runner::run_htsim(&goal, topo, CcAlgo::Mprdma, seed, false);
+
+        let e_lgs = pct_err(measured.makespan, lgs.makespan);
+        let e_ht = pct_err(measured.makespan, ht.report.makespan);
+        worst_lgs = worst_lgs.max(e_lgs.abs());
+        worst_ht = worst_ht.max(e_ht.abs());
+
+        table.row([
+            case.label(),
+            match case.scaling {
+                Scaling::Weak => "weak".to_string(),
+                Scaling::Strong => "strong".to_string(),
+            },
+            format!("{:.3} ms", measured.makespan as f64 / 1e6),
+            format!("{nonovl:.1}%"),
+            format!("{:.3} ms", lgs.makespan as f64 / 1e6),
+            fmt_pct(e_lgs),
+            format!("{:.3} ms", ht.report.makespan as f64 / 1e6),
+            fmt_pct(e_ht),
+        ]);
+    }
+    table.print();
+    println!("\nworst |error|: LGS {worst_lgs:.1}%  htsim {worst_ht:.1}%  (paper target: <5%)");
+}

@@ -1,0 +1,88 @@
+//! **E2 / Table 1** — Released trace dataset summary: raw trace size vs
+//! GOAL size for every application/configuration of the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release --bin table1_trace_sizes -- [--scale 0.002] [--seed 1]
+//! ```
+//!
+//! Raw traces are the tracer artifacts (nsys-style text for AI, MPI logs
+//! for HPC); GOAL sizes use the compact binary encoding. Absolute sizes
+//! are scale-dependent; the paper's shape is that the two stay within a
+//! small factor of each other in both directions (GOAL grows when
+//! collectives decompose into many sends, shrinks when verbose trace
+//! records collapse into single vertices).
+
+use atlahs_bench::args::Args;
+use atlahs_bench::table::{fmt_bytes, Table};
+use atlahs_bench::workloads::{self, HpcApp, HpcCase};
+use atlahs_goal::binary;
+use atlahs_tracers::nccl::presets;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale(0.002);
+    let seed = args.seed();
+    let quick = !args.flag("full");
+
+    println!("# Table 1 — trace dataset summary (scale={scale}, seed={seed})\n");
+    let mut table = Table::new(["app", "configuration", "trace", "GOAL", "GOAL/trace"]);
+
+    // ---- AI rows (DLRM + the Fig. 8 configurations) ----
+    let mut ai: Vec<atlahs_tracers::nccl::LlmConfig> = vec![presets::dlrm(scale)];
+    ai.extend(workloads::ai_suite(scale, quick, seed).into_iter().map(|c| c.cfg));
+    for mut cfg in ai {
+        cfg.seed = seed;
+        if quick {
+            cfg.iterations = 1;
+            cfg.batch = cfg.batch.min(2 * cfg.dp);
+        }
+        let (report, goal) = workloads::ai_goal(&cfg);
+        let trace_bytes = report.to_text().len() as u64;
+        let goal_bytes = binary::encode(&goal).len() as u64;
+        table.row([
+            cfg.name.clone(),
+            format!("{} GPUs {} Nodes", cfg.gpus(), cfg.nodes()),
+            fmt_bytes(trace_bytes),
+            fmt_bytes(goal_bytes),
+            format!("{:.2}", goal_bytes as f64 / trace_bytes as f64),
+        ]);
+    }
+
+    // ---- HPC rows (Table 1's process/node grid) ----
+    let hpc: Vec<(HpcApp, usize, usize)> = vec![
+        (HpcApp::CloverLeaf, 128, 8),
+        (HpcApp::Hpcg, 128, 8),
+        (HpcApp::Hpcg, 512, 32),
+        (HpcApp::Hpcg, 1024, 64),
+        (HpcApp::Lulesh, 128, 8),
+        (HpcApp::Lulesh, 432, 27),
+        (HpcApp::Lulesh, 1024, 64),
+        (HpcApp::Lammps, 128, 8),
+        (HpcApp::Lammps, 512, 32),
+        (HpcApp::Lammps, 1024, 64),
+        (HpcApp::Icon, 128, 8),
+        (HpcApp::Icon, 512, 32),
+        (HpcApp::Icon, 1024, 64),
+        (HpcApp::OpenMx, 128, 8),
+        (HpcApp::OpenMx, 512, 32),
+    ];
+    for (app, procs, nodes) in hpc {
+        let case = HpcCase {
+            app,
+            procs,
+            nodes,
+            scaling: atlahs_tracers::mpi::Scaling::Weak,
+        };
+        let (trace, goal) = workloads::hpc_goal(&case, scale.max(0.02), seed);
+        let trace_bytes = trace.to_text().len() as u64;
+        let goal_bytes = binary::encode(&goal).len() as u64;
+        table.row([
+            app.name().to_string(),
+            format!("{procs} Procs {nodes} Nodes"),
+            fmt_bytes(trace_bytes),
+            fmt_bytes(goal_bytes),
+            format!("{:.2}", goal_bytes as f64 / trace_bytes as f64),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! # atlahs-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index), plus shared
+//! plumbing used by all of them:
+//!
+//! * [`args`] — a tiny `--flag value` parser (no CLI dependency),
+//! * [`table`] — aligned text tables matching the paper's row format,
+//! * [`workloads`] — the AI / HPC / storage workload suites at
+//!   configurable scale, and the topologies the paper's experiments use,
+//! * [`runner`] — run one GOAL schedule across backends, with error and
+//!   wall-clock bookkeeping.
+//!
+//! Every binary accepts `--seed <u64>` and `--scale <f64>` (workload
+//! scale; the default keeps packet-level runs tractable on a laptop) and
+//! prints the same rows/series as the corresponding figure. Absolute
+//! values differ from the paper (the substrate is synthetic; DESIGN.md
+//! §1), but the qualitative shape — who wins, by what factor, where the
+//! crossovers sit — is the reproduction target recorded in
+//! EXPERIMENTS.md.
+
+pub mod args;
+pub mod runner;
+pub mod table;
+pub mod workloads;

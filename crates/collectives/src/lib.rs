@@ -1,0 +1,222 @@
+//! # atlahs-collectives
+//!
+//! Collective→point-to-point decomposition (paper §3.1.1 and §3.1.2 Stage 3).
+//!
+//! Schedgen replaces collective operations found in application traces with
+//! their point-to-point algorithms. This crate provides:
+//!
+//! * [`mpi`] — the classic algorithms used by MPI libraries (binomial trees,
+//!   recursive doubling, ring/segmented pipelines, dissemination, pairwise
+//!   exchange, Rabenseifner reduction),
+//! * [`nccl`] — NCCL's ring/tree schedules, parameterized by channel count,
+//!   protocol (Simple / LL / LL128) and chunking, as selected by
+//!   `NCCL_MAX_NCHANNELS`, `NCCL_ALGO`, and `NCCL_PROTO` (Fig. 4 of the
+//!   paper shows the chunked ring broadcast this reproduces).
+//!
+//! Every generator appends tasks for a *group* of participating ranks to a
+//! [`GoalBuilder`] and returns [`Ports`]: one entry and one exit vertex per
+//! participant, so callers can chain collectives with surrounding
+//! computation or other collectives:
+//!
+//! ```
+//! use atlahs_goal::GoalBuilder;
+//! use atlahs_collectives::{mpi, CollParams};
+//!
+//! let mut b = GoalBuilder::new(4);
+//! let ranks: Vec<u32> = (0..4).collect();
+//! let p = CollParams::default();
+//! let ports = mpi::allreduce_ring(&mut b, &ranks, 1 << 20, 100, &p);
+//! // chain a 1 ms computation after the allreduce on every rank
+//! for (i, &r) in ranks.iter().enumerate() {
+//!     let c = b.calc(r, 1_000_000);
+//!     b.requires(r, c, ports.exit[i]);
+//! }
+//! let goal = b.build().unwrap();
+//! assert_eq!(goal.num_ranks(), 4);
+//! ```
+
+pub mod mpi;
+pub mod nccl;
+
+use atlahs_goal::{GoalBuilder, Rank, Stream, TaskId};
+
+/// Boundary vertices of a decomposed collective: `entry[i]` / `exit[i]` are
+/// the first/last vertex of participant `i` (indexed by position in the
+/// rank group, not by global rank).
+#[derive(Debug, Clone)]
+pub struct Ports {
+    pub entry: Vec<TaskId>,
+    pub exit: Vec<TaskId>,
+}
+
+/// Parameters shared by collective generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollParams {
+    /// Compute stream the collective's tasks run on.
+    pub stream: Stream,
+    /// Cost of reducing one byte, in nanoseconds (used for allreduce/reduce).
+    pub reduce_ns_per_byte: f64,
+    /// Segment size for pipelined algorithms; 0 disables segmentation.
+    pub seg_bytes: u64,
+}
+
+impl Default for CollParams {
+    fn default() -> Self {
+        // ~20 GB/s reduction rate, 64 KiB segments.
+        CollParams { stream: 0, reduce_ns_per_byte: 0.05, seg_bytes: 64 * 1024 }
+    }
+}
+
+impl CollParams {
+    pub fn on_stream(mut self, stream: Stream) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    pub(crate) fn reduce_cost(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.reduce_ns_per_byte) as u64
+    }
+}
+
+/// Internal helper: per-participant entry/exit dummies plus a "frontier"
+/// cursor used to serialize phases of an algorithm on each rank.
+pub(crate) struct Group<'b> {
+    pub b: &'b mut GoalBuilder,
+    pub ranks: Vec<Rank>,
+    pub stream: Stream,
+    pub entry: Vec<TaskId>,
+    /// Latest vertex per participant; the exit dummy will depend on it.
+    pub frontier: Vec<TaskId>,
+}
+
+impl<'b> Group<'b> {
+    pub fn new(b: &'b mut GoalBuilder, ranks: &[Rank], stream: Stream) -> Self {
+        let entry: Vec<TaskId> = ranks
+            .iter()
+            .map(|&r| b.add_task(r, atlahs_goal::Task::calc(0).on_stream(stream)))
+            .collect();
+        let frontier = entry.clone();
+        Group { b, ranks: ranks.to_vec(), stream, entry, frontier }
+    }
+
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Append a send by participant `p` to participant `dst_p`, serialized
+    /// after `p`'s frontier; advances the frontier.
+    pub fn send(&mut self, p: usize, dst_p: usize, bytes: u64, tag: u32) -> TaskId {
+        let r = self.ranks[p];
+        let t = self.b.send_on(r, self.ranks[dst_p], bytes, tag, self.stream);
+        self.b.requires(r, t, self.frontier[p]);
+        self.frontier[p] = t;
+        t
+    }
+
+    /// Append a recv by participant `p` from participant `src_p`.
+    pub fn recv(&mut self, p: usize, src_p: usize, bytes: u64, tag: u32) -> TaskId {
+        let r = self.ranks[p];
+        let t = self.b.recv_on(r, self.ranks[src_p], bytes, tag, self.stream);
+        self.b.requires(r, t, self.frontier[p]);
+        self.frontier[p] = t;
+        t
+    }
+
+    /// Append a calc on participant `p`.
+    pub fn calc(&mut self, p: usize, cost: u64) -> TaskId {
+        let r = self.ranks[p];
+        let t = self.b.calc_on(r, cost, self.stream);
+        self.b.requires(r, t, self.frontier[p]);
+        self.frontier[p] = t;
+        t
+    }
+
+    /// A send/recv exchange step where `p` both sends to and receives from
+    /// peers (the two are independent of each other but both follow the
+    /// frontier); the frontier advances past both.
+    pub fn sendrecv(
+        &mut self,
+        p: usize,
+        dst_p: usize,
+        src_p: usize,
+        bytes: u64,
+        tag: u32,
+    ) -> (TaskId, TaskId) {
+        let r = self.ranks[p];
+        let prev = self.frontier[p];
+        let s = self.b.send_on(r, self.ranks[dst_p], bytes, tag, self.stream);
+        let v = self.b.recv_on(r, self.ranks[src_p], bytes, tag, self.stream);
+        self.b.requires(r, s, prev);
+        self.b.requires(r, v, prev);
+        // Join with a zero-cost dummy so the frontier is a single vertex.
+        let j = self.b.add_task(r, atlahs_goal::Task::calc(0).on_stream(self.stream));
+        self.b.requires(r, j, s);
+        self.b.requires(r, j, v);
+        self.frontier[p] = j;
+        (s, v)
+    }
+
+    /// Close the group: add exit dummies depending on each frontier.
+    pub fn finish(self) -> Ports {
+        let mut exit = Vec::with_capacity(self.ranks.len());
+        for (p, &r) in self.ranks.iter().enumerate() {
+            let e = self.b.add_task(r, atlahs_goal::Task::calc(0).on_stream(self.stream));
+            self.b.requires(r, e, self.frontier[p]);
+            exit.push(e);
+        }
+        Ports { entry: self.entry, exit }
+    }
+}
+
+/// Split `bytes` into `parts` near-equal chunks (first chunks get the
+/// remainder); every chunk is at least 1 byte when `bytes >= parts`, and
+/// trailing chunks may be 0 when `bytes < parts` — callers usually guard.
+pub(crate) fn chunk_sizes(bytes: u64, parts: u64) -> Vec<u64> {
+    let parts = parts.max(1);
+    let base = bytes / parts;
+    let rem = bytes % parts;
+    (0..parts).map(|i| base + u64::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_sizes_sum_and_balance() {
+        let c = chunk_sizes(10, 4);
+        assert_eq!(c.iter().sum::<u64>(), 10);
+        assert_eq!(c, vec![3, 3, 2, 2]);
+        assert_eq!(chunk_sizes(7, 1), vec![7]);
+        assert_eq!(chunk_sizes(0, 3), vec![0, 0, 0]);
+        assert_eq!(chunk_sizes(5, 0), vec![5]);
+    }
+
+    #[test]
+    fn group_entry_exit_wrap_ops() {
+        let mut b = GoalBuilder::new(2);
+        let mut g = Group::new(&mut b, &[0, 1], 0);
+        g.send(0, 1, 100, 5);
+        g.recv(1, 0, 100, 5);
+        let ports = g.finish();
+        let goal = b.build().unwrap();
+        // rank 0: entry dummy, send, exit dummy
+        assert_eq!(goal.rank(0).num_tasks(), 3);
+        assert_eq!(goal.rank(0).preds(ports.exit[0]).len(), 1);
+        atlahs_goal::stats::check_matching(&goal).unwrap();
+    }
+
+    #[test]
+    fn sendrecv_overlaps_but_joins() {
+        let mut b = GoalBuilder::new(2);
+        let mut g = Group::new(&mut b, &[0, 1], 0);
+        g.sendrecv(0, 1, 1, 64, 9);
+        g.sendrecv(1, 0, 0, 64, 9);
+        let _ = g.finish();
+        let goal = b.build().unwrap();
+        atlahs_goal::stats::check_matching(&goal).unwrap();
+        // entry + send + recv + join + exit per rank
+        assert_eq!(goal.rank(0).num_tasks(), 5);
+    }
+}

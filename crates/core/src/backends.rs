@@ -1,0 +1,206 @@
+//! Reference backends.
+//!
+//! [`IdealBackend`] is the simplest possible implementation of the ATLAHS
+//! API: a contention-free network with fixed per-byte bandwidth and fixed
+//! latency, and hosts that execute calcs at face value. It exists to
+//! document the backend contract, to serve as a fixture for scheduler
+//! tests, and as a lower bound in experiments (no congestion, no protocol
+//! overheads). Real backends live in `atlahs-lgs`, `atlahs-htsim`, and
+//! `atlahs-testbed`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use atlahs_goal::{Rank, Tag};
+
+use crate::api::{Backend, Completion, OpRef, Time};
+use crate::matcher::{MatchKey, Matcher};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// An operation finishes.
+    Done(OpRef),
+    /// An operation's CPU phase is over (recv posting).
+    CpuFree(OpRef),
+    /// A message fully arrives at its destination.
+    Arrive(MatchKey),
+}
+
+/// A contention-free fixed-rate network backend.
+///
+/// * `send` completes once the last byte has left the sender:
+///   `bytes / bandwidth` after issue;
+/// * the message arrives `latency` ns after that;
+/// * `recv` completes at `max(arrival, post time)`;
+/// * `calc` completes after exactly `cost` ns.
+#[derive(Debug)]
+pub struct IdealBackend {
+    /// Bytes per nanosecond.
+    bandwidth: f64,
+    /// One-way latency in nanoseconds.
+    latency: Time,
+    now: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    matcher: Matcher<Time, OpRef>,
+}
+
+impl IdealBackend {
+    /// `bandwidth` in bytes/ns (e.g. `25.0` for 25 GB/s), `latency` in ns.
+    pub fn new(bandwidth: f64, latency: Time) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        IdealBackend {
+            bandwidth,
+            latency,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            matcher: Matcher::new(),
+        }
+    }
+
+    fn push(&mut self, time: Time, ev: Ev) {
+        self.events.push(Reverse((time, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn tx_time(&self, bytes: u64) -> Time {
+        (bytes as f64 / self.bandwidth).round() as Time
+    }
+}
+
+impl Backend for IdealBackend {
+    fn simulation_setup(&mut self, _num_ranks: usize) {
+        self.now = 0;
+        self.events.clear();
+        self.matcher = Matcher::new();
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, op: OpRef, dst: Rank, bytes: u64, tag: Tag) {
+        let done = self.now + self.tx_time(bytes);
+        self.push(done, Ev::Done(op));
+        let key = (op.rank, dst, tag);
+        let arrive = done + self.latency;
+        // The arrival is processed as its own event so matching happens in
+        // simulated-time order.
+        self.push(arrive, Ev::Arrive(key));
+        self.matcher_stash(key, arrive);
+    }
+
+    fn recv(&mut self, op: OpRef, src: Rank, _bytes: u64, tag: Tag) {
+        let key = (src, op.rank, tag);
+        // Posting a recv is non-blocking: the stream is released
+        // immediately (like every real backend), otherwise schedules with
+        // interleaved collectives on one stream could self-deadlock.
+        self.push(self.now, Ev::CpuFree(op));
+        if let Some(arrival) = self.matcher.offer_recv(key, op) {
+            // Message already arrived: complete at max(now, arrival) = now,
+            // since arrivals are processed in time order.
+            let t = self.now.max(arrival);
+            self.push(t, Ev::Done(op));
+        }
+    }
+
+    fn calc(&mut self, op: OpRef, cost: u64) {
+        self.push(self.now + cost, Ev::Done(op));
+    }
+
+    fn next_event(&mut self) -> Option<Completion> {
+        while let Some(Reverse((time, _, ev))) = self.events.pop() {
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            match ev {
+                Ev::Done(op) => return Some(Completion::done(op, time)),
+                Ev::CpuFree(op) => return Some(Completion::cpu_free(op, time)),
+                Ev::Arrive(_key) => {
+                    // Matching state was updated eagerly in `send`/`recv`;
+                    // arrivals that matched a waiting recv were turned into
+                    // Done events there. Nothing to do: this event only
+                    // exists to advance time deterministically.
+                }
+            }
+        }
+        None
+    }
+}
+
+impl IdealBackend {
+    /// Record an in-flight message; if a recv is already posted, schedule its
+    /// completion at the arrival time.
+    fn matcher_stash(&mut self, key: MatchKey, arrive: Time) {
+        if let Some(recv_op) = self.matcher.offer_send(key, arrive) {
+            self.push(arrive, Ev::Done(recv_op));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlahs_goal::TaskId;
+
+    fn op(rank: Rank, task: u32) -> OpRef {
+        OpRef::new(rank, TaskId(task))
+    }
+
+    #[test]
+    fn calc_completes_after_cost() {
+        let mut b = IdealBackend::new(1.0, 10);
+        b.simulation_setup(1);
+        b.calc(op(0, 0), 42);
+        let c = b.next_event().unwrap();
+        assert_eq!(c.time, 42);
+        assert_eq!(c.op, op(0, 0));
+        assert!(b.next_event().is_none());
+    }
+
+    #[test]
+    fn send_then_recv_ordering() {
+        let mut b = IdealBackend::new(2.0, 10);
+        b.simulation_setup(2);
+        b.send(op(0, 0), 1, 100, 0); // tx = 50, arrive = 60
+        b.recv(op(1, 0), 0, 100, 0);
+        // Posting the recv releases its stream immediately (non-blocking).
+        let c0 = b.next_event().unwrap();
+        assert_eq!(c0.op, op(1, 0));
+        assert_eq!(c0.kind, crate::api::EventKind::CpuFree);
+        assert_eq!(c0.time, 0);
+        let c1 = b.next_event().unwrap();
+        assert_eq!(c1.op, op(0, 0));
+        assert_eq!(c1.time, 50);
+        let c2 = b.next_event().unwrap();
+        assert_eq!(c2.op, op(1, 0));
+        assert_eq!(c2.time, 60);
+    }
+
+    #[test]
+    fn events_in_time_order_with_fifo_ties() {
+        let mut b = IdealBackend::new(1.0, 0);
+        b.simulation_setup(1);
+        b.calc(op(0, 1), 5);
+        b.calc(op(0, 2), 5);
+        b.calc(op(0, 3), 1);
+        let order: Vec<_> = std::iter::from_fn(|| b.next_event()).map(|c| c.op.task.0).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn setup_resets_state() {
+        let mut b = IdealBackend::new(1.0, 0);
+        b.simulation_setup(1);
+        b.calc(op(0, 0), 5);
+        b.simulation_setup(1);
+        assert!(b.next_event().is_none());
+        assert_eq!(b.now(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = IdealBackend::new(0.0, 0);
+    }
+}

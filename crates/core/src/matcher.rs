@@ -1,0 +1,166 @@
+//! Two-sided FIFO message matching.
+//!
+//! MPI/NCCL semantics: a message from `src` to `dst` with tag `t` matches
+//! the oldest posted-but-unmatched recv for `(src, t)` at the destination,
+//! in posting order. Backends use [`Matcher`] to pair message arrivals with
+//! posted recvs; whichever side arrives second receives the other side's
+//! payload immediately.
+
+use std::collections::{HashMap, VecDeque};
+
+use atlahs_goal::{Rank, Tag};
+
+/// Match key: (src, dst, tag).
+pub type MatchKey = (Rank, Rank, Tag);
+
+/// A FIFO matcher pairing send-side entries (`S`) with recv-side entries (`R`).
+#[derive(Debug)]
+pub struct Matcher<S, R> {
+    queues: HashMap<MatchKey, (VecDeque<S>, VecDeque<R>)>,
+}
+
+impl<S, R> Default for Matcher<S, R> {
+    fn default() -> Self {
+        Matcher { queues: HashMap::new() }
+    }
+}
+
+impl<S, R> Matcher<S, R> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer a send-side entry. If a recv is already waiting for this key,
+    /// it is removed and returned; otherwise the entry is queued.
+    pub fn offer_send(&mut self, key: MatchKey, send: S) -> Option<R> {
+        let (sends, recvs) = self.queues.entry(key).or_default();
+        if let Some(r) = recvs.pop_front() {
+            Some(r)
+        } else {
+            sends.push_back(send);
+            None
+        }
+    }
+
+    /// Offer a recv-side entry. If a send is already waiting for this key,
+    /// it is removed and returned; otherwise the entry is queued.
+    pub fn offer_recv(&mut self, key: MatchKey, recv: R) -> Option<S> {
+        let (sends, recvs) = self.queues.entry(key).or_default();
+        if let Some(s) = sends.pop_front() {
+            Some(s)
+        } else {
+            recvs.push_back(recv);
+            None
+        }
+    }
+
+    /// Number of unmatched send-side entries across all keys.
+    pub fn pending_sends(&self) -> usize {
+        self.queues.values().map(|(s, _)| s.len()).sum()
+    }
+
+    /// Number of unmatched recv-side entries across all keys.
+    pub fn pending_recvs(&self) -> usize {
+        self.queues.values().map(|(_, r)| r.len()).sum()
+    }
+
+    /// True if no unmatched entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(|(s, r)| s.is_empty() && r.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_first_then_recv() {
+        let mut m: Matcher<u32, &str> = Matcher::new();
+        assert_eq!(m.offer_send((0, 1, 0), 42), None);
+        assert_eq!(m.pending_sends(), 1);
+        assert_eq!(m.offer_recv((0, 1, 0), "r"), Some(42));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn recv_first_then_send() {
+        let mut m: Matcher<u32, &str> = Matcher::new();
+        assert_eq!(m.offer_recv((0, 1, 0), "r"), None);
+        assert_eq!(m.pending_recvs(), 1);
+        assert_eq!(m.offer_send((0, 1, 0), 7), Some("r"));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_within_key() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        m.offer_send((0, 1, 0), 1);
+        m.offer_send((0, 1, 0), 2);
+        assert_eq!(m.offer_recv((0, 1, 0), 10), Some(1));
+        assert_eq!(m.offer_recv((0, 1, 0), 11), Some(2));
+    }
+
+    #[test]
+    fn keys_do_not_cross_match() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        m.offer_send((0, 1, 0), 1);
+        // different tag
+        assert_eq!(m.offer_recv((0, 1, 5), 10), None);
+        // different src
+        assert_eq!(m.offer_recv((2, 1, 0), 11), None);
+        assert_eq!(m.pending_sends(), 1);
+        assert_eq!(m.pending_recvs(), 2);
+    }
+
+    #[test]
+    fn interleaved_offers_preserve_per_key_fifo() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        // Two keys interleaved; each must keep its own order.
+        m.offer_send((0, 1, 0), 100);
+        m.offer_send((0, 1, 7), 200);
+        m.offer_send((0, 1, 0), 101);
+        m.offer_send((0, 1, 7), 201);
+        assert_eq!(m.offer_recv((0, 1, 7), 0), Some(200));
+        assert_eq!(m.offer_recv((0, 1, 0), 0), Some(100));
+        assert_eq!(m.offer_recv((0, 1, 0), 0), Some(101));
+        assert_eq!(m.offer_recv((0, 1, 7), 0), Some(201));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn alternating_sides_never_queue_both() {
+        // Invariant: a key never holds unmatched entries on both sides.
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        for i in 0..100u32 {
+            if i % 3 == 0 {
+                let _ = m.offer_recv((1, 2, 3), i);
+            } else {
+                let _ = m.offer_send((1, 2, 3), i);
+            }
+            assert!(
+                m.pending_sends() == 0 || m.pending_recvs() == 0,
+                "both sides queued at i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_backlog_drains_in_order() {
+        let mut m: Matcher<u32, u32> = Matcher::new();
+        for i in 0..10_000u32 {
+            m.offer_send((0, 1, 0), i);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(m.offer_recv((0, 1, 0), i), Some(i));
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let m: Matcher<u8, u8> = Matcher::default();
+        assert!(m.is_empty());
+        assert_eq!(m.pending_sends() + m.pending_recvs(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Job placement strategies for multi-job and multi-tenant scenarios
+//! (paper §3.2 and the Fig. 13 case study).
+
+use atlahs_goal::Rank;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How jobs are mapped onto cluster nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Nodes are assigned sequentially to each job: job 0 gets nodes
+    /// `0..n0`, job 1 gets `n0..n0+n1`, … — communication stays local
+    /// (the paper's "Packed Allocation").
+    Packed,
+    /// Nodes are drawn from a seeded random permutation of the cluster —
+    /// no locality (the paper's "Random Allocation").
+    Random { seed: u64 },
+    /// Nodes are dealt to jobs round-robin, interleaving them across the
+    /// cluster (worst-case sharing of every switch).
+    RoundRobin,
+}
+
+/// Allocate cluster nodes to jobs.
+///
+/// Returns one node list per job (`result[j][r]` = physical node of job `j`
+/// rank `r`). Fails if the jobs need more nodes than the cluster has.
+pub fn allocate(
+    strategy: PlacementStrategy,
+    cluster_size: usize,
+    job_sizes: &[usize],
+) -> Result<Vec<Vec<Rank>>, String> {
+    let needed: usize = job_sizes.iter().sum();
+    if needed > cluster_size {
+        return Err(format!(
+            "jobs need {needed} nodes but the cluster has {cluster_size}"
+        ));
+    }
+
+    match strategy {
+        PlacementStrategy::Packed => {
+            let mut next = 0u32;
+            Ok(job_sizes
+                .iter()
+                .map(|&n| {
+                    let nodes = (next..next + n as u32).collect();
+                    next += n as u32;
+                    nodes
+                })
+                .collect())
+        }
+        PlacementStrategy::Random { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut pool: Vec<Rank> = (0..cluster_size as u32).collect();
+            pool.shuffle(&mut rng);
+            let mut next = 0usize;
+            Ok(job_sizes
+                .iter()
+                .map(|&n| {
+                    let nodes = pool[next..next + n].to_vec();
+                    next += n;
+                    nodes
+                })
+                .collect())
+        }
+        PlacementStrategy::RoundRobin => {
+            let mut result: Vec<Vec<Rank>> = job_sizes.iter().map(|_| Vec::new()).collect();
+            let mut remaining: Vec<usize> = job_sizes.to_vec();
+            let mut node = 0u32;
+            loop {
+                let mut assigned = false;
+                for (j, need) in remaining.iter_mut().enumerate() {
+                    if *need > 0 {
+                        result[j].push(node);
+                        node += 1;
+                        *need -= 1;
+                        assigned = true;
+                    }
+                }
+                if !assigned {
+                    break;
+                }
+            }
+            Ok(result)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_is_sequential() {
+        let p = allocate(PlacementStrategy::Packed, 8, &[3, 2]).unwrap();
+        assert_eq!(p, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_deterministic() {
+        let p1 = allocate(PlacementStrategy::Random { seed: 7 }, 16, &[8, 8]).unwrap();
+        let p2 = allocate(PlacementStrategy::Random { seed: 7 }, 16, &[8, 8]).unwrap();
+        assert_eq!(p1, p2, "same seed, same placement");
+        let mut all: Vec<Rank> = p1.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+
+        let p3 = allocate(PlacementStrategy::Random { seed: 8 }, 16, &[8, 8]).unwrap();
+        assert_ne!(p1, p3, "different seed should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let p = allocate(PlacementStrategy::RoundRobin, 8, &[2, 2]).unwrap();
+        assert_eq!(p, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn round_robin_uneven_jobs() {
+        let p = allocate(PlacementStrategy::RoundRobin, 8, &[3, 1]).unwrap();
+        assert_eq!(p, vec![vec![0, 2, 3], vec![1]]);
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        assert!(allocate(PlacementStrategy::Packed, 4, &[3, 2]).is_err());
+    }
+
+    #[test]
+    fn exact_fit_ok() {
+        let p = allocate(PlacementStrategy::Packed, 5, &[3, 2]).unwrap();
+        assert_eq!(p[1], vec![3, 4]);
+    }
+}

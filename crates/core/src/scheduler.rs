@@ -1,0 +1,442 @@
+//! The GOAL scheduler and simulation driver.
+//!
+//! The scheduler walks every rank's task DAG, issuing tasks to the backend
+//! as their dependencies are satisfied and their compute stream becomes
+//! idle. Backend events drive progress: `CpuFree` releases the issuing
+//! stream, `Done` releases dependents (`requires` edges fire on completion,
+//! `irequires` edges on issue).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use atlahs_goal::{DepKind, GoalSchedule, Rank, Stream, TaskId, TaskKind};
+
+use crate::api::{Backend, EventKind, OpKind, OpRef, Time};
+
+/// Final report of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Time of the last completion (ns).
+    pub makespan: Time,
+    /// Per-rank time of the rank's last completed task (0 for empty ranks).
+    pub rank_finish: Vec<Time>,
+    /// Total tasks completed.
+    pub completed: usize,
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The backend went quiescent with unfinished tasks (e.g. a recv whose
+    /// send never arrives). Carries up to 8 stuck task references.
+    Deadlock { completed: usize, total: usize, sample: Vec<OpRef> },
+    /// The backend reported an event for a task that was not running.
+    SpuriousCompletion { op: OpRef },
+    /// The backend reported a time earlier than a previous event.
+    TimeRegression { op: OpRef, time: Time, previous: Time },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { completed, total, sample } => write!(
+                f,
+                "deadlock: {completed}/{total} tasks completed; stuck tasks include {sample:?}"
+            ),
+            SimError::SpuriousCompletion { op } => {
+                write!(f, "backend reported event for task {op:?} which was not running")
+            }
+            SimError::TimeRegression { op, time, previous } => write!(
+                f,
+                "backend time went backwards at {op:?}: {time} < {previous}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Waiting,
+    Ready,
+    /// Issued; stream still held.
+    Running,
+    /// Issued; stream already released by a `CpuFree` event.
+    RunningFreed,
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct StreamState {
+    busy: bool,
+    ready: BinaryHeap<Reverse<u32>>,
+}
+
+struct RankState {
+    full_remaining: Vec<u32>,
+    start_remaining: Vec<u32>,
+    state: Vec<TaskState>,
+    streams: BTreeMap<Stream, StreamState>,
+}
+
+/// A single simulation of one GOAL schedule over one backend.
+pub struct Simulation<'g> {
+    goal: &'g GoalSchedule,
+}
+
+impl<'g> Simulation<'g> {
+    pub fn new(goal: &'g GoalSchedule) -> Self {
+        Simulation { goal }
+    }
+
+    /// Run the schedule to completion on `backend`.
+    pub fn run<B: Backend>(&self, backend: &mut B) -> Result<SimReport, SimError> {
+        backend.simulation_setup(self.goal.num_ranks());
+
+        let mut ranks: Vec<RankState> = Vec::with_capacity(self.goal.num_ranks());
+        let total: usize = self.goal.total_tasks();
+        for sched in self.goal.ranks() {
+            let (full, start) = sched.indegrees();
+            let n = sched.num_tasks();
+            let mut rs = RankState {
+                full_remaining: full,
+                start_remaining: start,
+                state: vec![TaskState::Waiting; n],
+                streams: BTreeMap::new(),
+            };
+            for (i, t) in sched.tasks().iter().enumerate() {
+                rs.streams.entry(t.stream).or_default();
+                if rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0 {
+                    rs.state[i] = TaskState::Ready;
+                    rs.streams.get_mut(&t.stream).unwrap().ready.push(Reverse(i as u32));
+                }
+            }
+            ranks.push(rs);
+        }
+
+        // Initial dispatch on every rank.
+        for r in 0..ranks.len() {
+            dispatch_rank(self.goal, &mut ranks, r as Rank, backend);
+        }
+
+        let mut completed = 0usize;
+        let mut makespan: Time = 0;
+        let mut rank_finish = vec![0u64; self.goal.num_ranks()];
+        let mut last_time: Time = 0;
+
+        while let Some(ev) = backend.next_event() {
+            if ev.time < last_time {
+                return Err(SimError::TimeRegression {
+                    op: ev.op,
+                    time: ev.time,
+                    previous: last_time,
+                });
+            }
+            last_time = ev.time;
+            let op = ev.op;
+            let r = op.rank as usize;
+            let ti = op.task.index();
+            if r >= ranks.len() || ti >= ranks[r].state.len() {
+                return Err(SimError::SpuriousCompletion { op });
+            }
+            let st = ranks[r].state[ti];
+            let stream = self.goal.rank(op.rank).task(op.task).stream;
+
+            match ev.kind {
+                EventKind::CpuFree => {
+                    if st != TaskState::Running {
+                        return Err(SimError::SpuriousCompletion { op });
+                    }
+                    ranks[r].state[ti] = TaskState::RunningFreed;
+                    ranks[r].streams.get_mut(&stream).unwrap().busy = false;
+                    dispatch_rank(self.goal, &mut ranks, op.rank, backend);
+                }
+                EventKind::Done => {
+                    if st != TaskState::Running && st != TaskState::RunningFreed {
+                        return Err(SimError::SpuriousCompletion { op });
+                    }
+                    if st == TaskState::Running {
+                        ranks[r].streams.get_mut(&stream).unwrap().busy = false;
+                    }
+                    ranks[r].state[ti] = TaskState::Done;
+                    completed += 1;
+                    makespan = makespan.max(ev.time);
+                    rank_finish[r] = rank_finish[r].max(ev.time);
+
+                    // Fire completion (`requires`) edges.
+                    let sched = self.goal.rank(op.rank);
+                    for &(succ, kind) in sched.succs(op.task) {
+                        if kind == DepKind::Full {
+                            let rs = &mut ranks[r];
+                            rs.full_remaining[succ.index()] -= 1;
+                            maybe_ready(sched, rs, succ);
+                        }
+                    }
+                    dispatch_rank(self.goal, &mut ranks, op.rank, backend);
+                }
+            }
+        }
+
+        if completed != total {
+            let mut sample = Vec::new();
+            'outer: for (r, rs) in ranks.iter().enumerate() {
+                for (i, st) in rs.state.iter().enumerate() {
+                    if *st != TaskState::Done {
+                        sample.push(OpRef::new(r as Rank, TaskId(i as u32)));
+                        if sample.len() >= 8 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            return Err(SimError::Deadlock { completed, total, sample });
+        }
+
+        Ok(SimReport { makespan, rank_finish, completed })
+    }
+}
+
+fn maybe_ready(sched: &atlahs_goal::RankSchedule, rs: &mut RankState, id: TaskId) {
+    let i = id.index();
+    if rs.state[i] == TaskState::Waiting
+        && rs.full_remaining[i] == 0
+        && rs.start_remaining[i] == 0
+    {
+        rs.state[i] = TaskState::Ready;
+        let stream = sched.task(id).stream;
+        rs.streams.get_mut(&stream).unwrap().ready.push(Reverse(id.0));
+    }
+}
+
+/// Issue every ready task whose stream is idle on `rank`, to fixpoint
+/// (issuing may fire `irequires` edges that ready tasks on other streams).
+fn dispatch_rank<B: Backend>(
+    goal: &GoalSchedule,
+    ranks: &mut [RankState],
+    rank: Rank,
+    backend: &mut B,
+) {
+    let sched = goal.rank(rank);
+    loop {
+        let mut issued_any = false;
+        // Collect issuable tasks stream by stream (BTreeMap: deterministic).
+        let rs = &mut ranks[rank as usize];
+        let mut to_issue: Vec<TaskId> = Vec::new();
+        for ss in rs.streams.values_mut() {
+            if !ss.busy {
+                if let Some(Reverse(id)) = ss.ready.pop() {
+                    ss.busy = true;
+                    to_issue.push(TaskId(id));
+                }
+            }
+        }
+        for id in to_issue {
+            issued_any = true;
+            ranks[rank as usize].state[id.index()] = TaskState::Running;
+            let kind = match sched.task(id).kind {
+                TaskKind::Send { bytes, dst, tag } => OpKind::Send { dst, bytes, tag },
+                TaskKind::Recv { bytes, src, tag } => OpKind::Recv { src, bytes, tag },
+                TaskKind::Calc { cost } => OpKind::Calc { cost },
+            };
+            backend.issue(OpRef::new(rank, id), kind);
+            // Fire start (`irequires`) edges.
+            for &(succ, k) in sched.succs(id) {
+                if k == DepKind::Start {
+                    let rs = &mut ranks[rank as usize];
+                    rs.start_remaining[succ.index()] -= 1;
+                    maybe_ready(sched, rs, succ);
+                }
+            }
+        }
+        if !issued_any {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Completion;
+    use crate::backends::IdealBackend;
+    use atlahs_goal::GoalBuilder;
+
+    fn run(goal: &GoalSchedule) -> SimReport {
+        let mut b = IdealBackend::new(1.0, 100);
+        Simulation::new(goal).run(&mut b).unwrap()
+    }
+
+    #[test]
+    fn single_calc() {
+        let mut b = GoalBuilder::new(1);
+        b.calc(0, 500);
+        let goal = b.build().unwrap();
+        let r = run(&goal);
+        assert_eq!(r.makespan, 500);
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn serial_chain_accumulates() {
+        let mut b = GoalBuilder::new(1);
+        let ids: Vec<_> = (0..10).map(|_| b.calc(0, 100)).collect();
+        b.chain(0, &ids);
+        let goal = b.build().unwrap();
+        assert_eq!(run(&goal).makespan, 1000);
+    }
+
+    #[test]
+    fn same_stream_serializes_without_deps() {
+        let mut b = GoalBuilder::new(1);
+        b.calc(0, 100);
+        b.calc(0, 100);
+        let goal = b.build().unwrap();
+        // No dependency, same stream: still serial.
+        assert_eq!(run(&goal).makespan, 200);
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut b = GoalBuilder::new(1);
+        b.calc_on(0, 100, 0);
+        b.calc_on(0, 100, 1);
+        let goal = b.build().unwrap();
+        assert_eq!(run(&goal).makespan, 100);
+    }
+
+    #[test]
+    fn ping_message_includes_latency() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 1000, 0);
+        b.recv(1, 0, 1000, 0);
+        let goal = b.build().unwrap();
+        // IdealBackend: tx = bytes/bw = 1000ns, latency 100ns.
+        let r = run(&goal);
+        assert_eq!(r.makespan, 1100);
+        assert_eq!(r.rank_finish, vec![1000, 1100]);
+    }
+
+    #[test]
+    fn late_recv_completes_at_post_time() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 100, 0);
+        let c = b.calc(1, 10_000);
+        let r = b.recv(1, 0, 100, 0);
+        b.requires(1, r, c);
+        let goal = b.build().unwrap();
+        // Message arrives at 200; recv posted at 10_000 -> completes then.
+        assert_eq!(run(&goal).makespan, 10_000);
+    }
+
+    #[test]
+    fn irequires_releases_on_issue() {
+        let mut b = GoalBuilder::new(1);
+        let long = b.calc_on(0, 1000, 0);
+        let follower = b.calc_on(0, 10, 1);
+        b.irequires(0, follower, long);
+        let goal = b.build().unwrap();
+        // follower starts when `long` starts, so finishes at 10, not 1010.
+        let r = run(&goal);
+        assert_eq!(r.makespan, 1000);
+        assert_eq!(r.completed, 2);
+    }
+
+    #[test]
+    fn deadlock_detected_on_unmatched_recv() {
+        let mut b = GoalBuilder::new(2);
+        b.recv(1, 0, 100, 7);
+        let goal = b.build().unwrap();
+        let mut backend = IdealBackend::new(1.0, 100);
+        let err = Simulation::new(&goal).run(&mut backend).unwrap_err();
+        match err {
+            SimError::Deadlock { completed, total, sample } => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, 1);
+                assert_eq!(sample, vec![OpRef::new(1, TaskId(0))]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_rank_pipeline() {
+        // 0 -> 1 -> 2 relay: makespan = 2 * (tx + L) with tx = 100ns.
+        let mut b = GoalBuilder::new(3);
+        b.send(0, 1, 100, 0);
+        let rv = b.recv(1, 0, 100, 0);
+        let sd = b.send(1, 2, 100, 0);
+        b.requires(1, sd, rv);
+        b.recv(2, 1, 100, 0);
+        let goal = b.build().unwrap();
+        assert_eq!(run(&goal).makespan, 400);
+    }
+
+    #[test]
+    fn report_counts_all_tasks() {
+        let mut b = GoalBuilder::new(4);
+        for r in 0..4u32 {
+            let dst = (r + 1) % 4;
+            let src = (r + 3) % 4;
+            b.send(r, dst, 64, 0);
+            b.recv(r, src, 64, 0);
+            b.calc(r, 10);
+        }
+        let goal = b.build().unwrap();
+        let rep = run(&goal);
+        assert_eq!(rep.completed, 12);
+    }
+
+    /// A backend that frees the CPU immediately on sends/recvs (Done later),
+    /// to exercise the two-phase protocol: two sends on one stream overlap.
+    struct SplitPhase {
+        now: Time,
+        events: std::collections::BinaryHeap<Reverse<(Time, u64, bool, OpRef)>>,
+        seq: u64,
+    }
+    impl SplitPhase {
+        fn new() -> Self {
+            SplitPhase { now: 0, events: Default::default(), seq: 0 }
+        }
+        fn push(&mut self, t: Time, done: bool, op: OpRef) {
+            self.events.push(Reverse((t, self.seq, done, op)));
+            self.seq += 1;
+        }
+    }
+    impl Backend for SplitPhase {
+        fn simulation_setup(&mut self, _: usize) {}
+        fn now(&self) -> Time {
+            self.now
+        }
+        fn send(&mut self, op: OpRef, _dst: Rank, bytes: u64, _tag: atlahs_goal::Tag) {
+            // CPU free after 10ns; done after bytes ns (flow completion).
+            self.push(self.now + 10, false, op);
+            self.push(self.now + bytes, true, op);
+        }
+        fn recv(&mut self, op: OpRef, _src: Rank, bytes: u64, _tag: atlahs_goal::Tag) {
+            self.push(self.now + 10, false, op);
+            self.push(self.now + bytes, true, op);
+        }
+        fn calc(&mut self, op: OpRef, cost: u64) {
+            self.push(self.now + cost, true, op);
+        }
+        fn next_event(&mut self) -> Option<crate::api::Completion> {
+            let Reverse((t, _, done, op)) = self.events.pop()?;
+            self.now = t;
+            Some(if done { Completion::done(op, t) } else { Completion::cpu_free(op, t) })
+        }
+    }
+
+    #[test]
+    fn cpu_free_lets_same_stream_ops_overlap() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 1000, 0);
+        b.send(0, 1, 1000, 1);
+        let goal = b.build().unwrap();
+        let mut backend = SplitPhase::new();
+        // Without CpuFree the two sends would take 2000ns; with the CPU
+        // released after 10ns the second overlaps: done by 1010.
+        let rep = Simulation::new(&goal).run(&mut backend).unwrap();
+        assert_eq!(rep.makespan, 1010);
+    }
+}

@@ -1,0 +1,238 @@
+//! Programmatic construction of GOAL schedules.
+
+use crate::error::GoalError;
+use crate::schedule::{GoalSchedule, RankSchedule};
+use crate::task::{DepKind, Rank, Stream, Tag, Task, TaskId};
+
+/// A fluent builder for [`GoalSchedule`].
+///
+/// The builder keeps per-rank task lists and dependency edges; [`GoalBuilder::build`]
+/// validates peers and acyclicity.
+///
+/// ```
+/// use atlahs_goal::GoalBuilder;
+/// let mut b = GoalBuilder::new(2);
+/// let c = b.calc(0, 100);
+/// let s = b.send(0, 1, 1024, 7);
+/// b.requires(0, s, c); // the send starts after the calc completes
+/// b.recv(1, 0, 1024, 7);
+/// let goal = b.build().unwrap();
+/// assert_eq!(goal.total_tasks(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoalBuilder {
+    tasks: Vec<Vec<Task>>,
+    deps: Vec<Vec<(TaskId, TaskId, DepKind)>>,
+}
+
+impl GoalBuilder {
+    /// A builder for `num_ranks` ranks with empty schedules.
+    pub fn new(num_ranks: usize) -> Self {
+        GoalBuilder {
+            tasks: vec![Vec::new(); num_ranks],
+            deps: vec![Vec::new(); num_ranks],
+        }
+    }
+
+    /// Number of ranks the builder was created with.
+    pub fn num_ranks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of tasks added to `rank` so far.
+    pub fn num_tasks(&self, rank: Rank) -> usize {
+        self.tasks[rank as usize].len()
+    }
+
+    /// Add an arbitrary task to `rank`.
+    pub fn add_task(&mut self, rank: Rank, task: Task) -> TaskId {
+        let list = &mut self.tasks[rank as usize];
+        let id = TaskId(list.len() as u32);
+        list.push(task);
+        id
+    }
+
+    /// Add a calc of `cost` nanoseconds on stream 0.
+    pub fn calc(&mut self, rank: Rank, cost: u64) -> TaskId {
+        self.add_task(rank, Task::calc(cost))
+    }
+
+    /// Add a calc on an explicit compute stream.
+    pub fn calc_on(&mut self, rank: Rank, cost: u64, stream: Stream) -> TaskId {
+        self.add_task(rank, Task::calc(cost).on_stream(stream))
+    }
+
+    /// Add a send of `bytes` to `dst` with `tag`, on stream 0.
+    pub fn send(&mut self, rank: Rank, dst: Rank, bytes: u64, tag: Tag) -> TaskId {
+        self.add_task(rank, Task::send(dst, bytes, tag))
+    }
+
+    /// Add a send on an explicit compute stream.
+    pub fn send_on(&mut self, rank: Rank, dst: Rank, bytes: u64, tag: Tag, stream: Stream) -> TaskId {
+        self.add_task(rank, Task::send(dst, bytes, tag).on_stream(stream))
+    }
+
+    /// Add a recv of `bytes` from `src` with `tag`, on stream 0.
+    pub fn recv(&mut self, rank: Rank, src: Rank, bytes: u64, tag: Tag) -> TaskId {
+        self.add_task(rank, Task::recv(src, bytes, tag))
+    }
+
+    /// Add a recv on an explicit compute stream.
+    pub fn recv_on(&mut self, rank: Rank, src: Rank, bytes: u64, tag: Tag, stream: Stream) -> TaskId {
+        self.add_task(rank, Task::recv(src, bytes, tag).on_stream(stream))
+    }
+
+    /// Declare `task requires dep`: `task` starts only after `dep` completes.
+    pub fn requires(&mut self, rank: Rank, task: TaskId, dep: TaskId) {
+        self.deps[rank as usize].push((task, dep, DepKind::Full));
+    }
+
+    /// Declare `task irequires dep`: `task` starts once `dep` has started.
+    pub fn irequires(&mut self, rank: Rank, task: TaskId, dep: TaskId) {
+        self.deps[rank as usize].push((task, dep, DepKind::Start));
+    }
+
+    /// Chain a list of tasks sequentially (each requires the previous).
+    pub fn chain(&mut self, rank: Rank, tasks: &[TaskId]) {
+        for w in tasks.windows(2) {
+            self.requires(rank, w[1], w[0]);
+        }
+    }
+
+    /// Add a zero-cost dummy calc vertex, used to join/fork streams when
+    /// merging DAGs (Stages 2 and 4 of the NCCL pipeline, and multi-tenancy).
+    pub fn dummy(&mut self, rank: Rank) -> TaskId {
+        self.calc(rank, 0)
+    }
+
+    /// Finish building: validate and produce the schedule.
+    pub fn build(self) -> Result<GoalSchedule, GoalError> {
+        let mut ranks = Vec::with_capacity(self.tasks.len());
+        for (r, (tasks, deps)) in self.tasks.into_iter().zip(self.deps).enumerate() {
+            ranks.push(RankSchedule::from_parts(r as Rank, tasks, &deps)?);
+        }
+        let goal = GoalSchedule::new(ranks);
+        goal.validate()?;
+        Ok(goal)
+    }
+
+    /// Finish building without the (O(V+E)) validation pass.
+    ///
+    /// Intended for generators that construct schedules which are correct by
+    /// construction (e.g. collective decompositions) at very large scale.
+    /// Dependency edge indices are still checked.
+    pub fn build_unchecked(self) -> Result<GoalSchedule, GoalError> {
+        let mut ranks = Vec::with_capacity(self.tasks.len());
+        for (r, (tasks, deps)) in self.tasks.into_iter().zip(self.deps).enumerate() {
+            ranks.push(RankSchedule::from_parts(r as Rank, tasks, &deps)?);
+        }
+        Ok(GoalSchedule::new(ranks))
+    }
+}
+
+/// Convenience: the matched pair of a send on `from` and recv on `to`.
+///
+/// Returns `(send_id, recv_id)`.
+pub fn send_recv_pair(
+    b: &mut GoalBuilder,
+    from: Rank,
+    to: Rank,
+    bytes: u64,
+    tag: Tag,
+) -> (TaskId, TaskId) {
+    let s = b.send(from, to, bytes, tag);
+    let r = b.recv(to, from, bytes, tag);
+    (s, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    #[test]
+    fn fig3_schedule_builds() {
+        let mut b = GoalBuilder::new(2);
+        let l1 = b.calc(0, 100);
+        let l2 = b.calc_on(0, 200, 0);
+        let l3 = b.calc_on(0, 200, 1);
+        let l4 = b.send(0, 1, 10, 0);
+        b.requires(0, l2, l1);
+        b.requires(0, l3, l1);
+        b.requires(0, l4, l2);
+        b.requires(0, l4, l3);
+        b.recv(1, 0, 10, 0);
+        let goal = b.build().unwrap();
+        assert_eq!(goal.num_ranks(), 2);
+        assert_eq!(goal.rank(0).num_tasks(), 4);
+        assert_eq!(goal.rank(0).preds(l4).len(), 2);
+        assert_eq!(goal.rank(0).task(l3).stream, 1);
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let mut b = GoalBuilder::new(1);
+        let ids: Vec<_> = (0..5).map(|i| b.calc(0, i)).collect();
+        b.chain(0, &ids);
+        let goal = b.build().unwrap();
+        let order = goal.rank(0).topo_order().unwrap();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn build_rejects_bad_peer() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 5, 8, 0);
+        assert!(matches!(b.build(), Err(GoalError::PeerOutOfRange { peer: 5, .. })));
+    }
+
+    #[test]
+    fn build_rejects_cycle() {
+        let mut b = GoalBuilder::new(1);
+        let a = b.calc(0, 1);
+        let c = b.calc(0, 1);
+        b.requires(0, a, c);
+        b.requires(0, c, a);
+        assert!(matches!(b.build(), Err(GoalError::Cycle { rank: 0 })));
+    }
+
+    #[test]
+    fn build_unchecked_skips_peer_validation() {
+        let mut b = GoalBuilder::new(1);
+        b.send(0, 5, 8, 0); // invalid peer, but unchecked
+        assert!(b.build_unchecked().is_ok());
+    }
+
+    #[test]
+    fn send_recv_pair_matches() {
+        let mut b = GoalBuilder::new(2);
+        let (s, r) = send_recv_pair(&mut b, 0, 1, 64, 3);
+        let goal = b.build().unwrap();
+        assert_eq!(
+            goal.rank(0).task(s).kind,
+            TaskKind::Send { bytes: 64, dst: 1, tag: 3 }
+        );
+        assert_eq!(
+            goal.rank(1).task(r).kind,
+            TaskKind::Recv { bytes: 64, src: 0, tag: 3 }
+        );
+    }
+
+    #[test]
+    fn dummy_is_zero_cost_calc() {
+        let mut b = GoalBuilder::new(1);
+        let d = b.dummy(0);
+        let goal = b.build().unwrap();
+        assert_eq!(goal.rank(0).task(d).kind, TaskKind::Calc { cost: 0 });
+    }
+
+    #[test]
+    fn irequires_recorded_as_start_edge() {
+        let mut b = GoalBuilder::new(1);
+        let a = b.calc(0, 1);
+        let c = b.calc(0, 1);
+        b.irequires(0, c, a);
+        let goal = b.build().unwrap();
+        assert_eq!(goal.rank(0).preds(c), &[(a, DepKind::Start)]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-job and multi-tenant composition of GOAL schedules (paper §3.2).
+//!
+//! * **Multi-job**: distinct applications run on disjoint node sets. Each
+//!   job's DAG is remapped onto its allocated nodes; ranks keep their own
+//!   schedules.
+//! * **Multi-tenancy**: several jobs share nodes. Their per-rank DAGs are
+//!   merged into one schedule per node. Each job gets a disjoint range of
+//!   compute streams (so tenants execute concurrently, as with the dummy-node
+//!   construction of the paper) and a disjoint tag namespace (so message
+//!   matching never crosses job boundaries).
+
+use crate::error::GoalError;
+use crate::schedule::{GoalSchedule, RankSchedule};
+use crate::task::{DepKind, Rank, Task, TaskId, TaskKind};
+
+/// Tags are namespaced per job in the upper byte; applications must keep
+/// their own tags below this bound to be composable.
+pub const TAG_STRIDE: u32 = 1 << 24;
+
+/// A job to compose: a schedule plus the physical node each of its ranks
+/// is placed on (`nodes[r]` = physical node of job rank `r`).
+#[derive(Debug, Clone)]
+pub struct PlacedJob<'a> {
+    pub goal: &'a GoalSchedule,
+    pub nodes: Vec<Rank>,
+}
+
+impl<'a> PlacedJob<'a> {
+    pub fn new(goal: &'a GoalSchedule, nodes: Vec<Rank>) -> Self {
+        PlacedJob { goal, nodes }
+    }
+}
+
+/// Compose jobs onto a cluster of `total_ranks` physical nodes.
+///
+/// Jobs whose placements are disjoint produce a plain multi-job schedule;
+/// overlapping placements produce multi-tenant ranks. Tags are offset by
+/// [`TAG_STRIDE`] per job; compute streams of co-located tenants are offset
+/// so they never serialize against each other. Each tenant's sub-DAG on a
+/// shared rank is anchored under a zero-cost dummy root vertex, mirroring the
+/// dummy-vertex merge of the paper.
+pub fn compose(jobs: &[PlacedJob<'_>], total_ranks: usize) -> Result<GoalSchedule, GoalError> {
+    // Validate placements.
+    for (j, job) in jobs.iter().enumerate() {
+        if job.nodes.len() != job.goal.num_ranks() {
+            return Err(GoalError::Compose {
+                msg: format!(
+                    "job {j}: placement has {} nodes but schedule has {} ranks",
+                    job.nodes.len(),
+                    job.goal.num_ranks()
+                ),
+            });
+        }
+        for &n in &job.nodes {
+            if n as usize >= total_ranks {
+                return Err(GoalError::Compose {
+                    msg: format!("job {j}: node {n} out of range (cluster has {total_ranks})"),
+                });
+            }
+        }
+        // A job must not place two of its own ranks on the same node: its
+        // sends/recvs between them would become self-messages.
+        let mut seen = vec![false; total_ranks];
+        for &n in &job.nodes {
+            if seen[n as usize] {
+                return Err(GoalError::Compose {
+                    msg: format!("job {j}: node {n} used by two ranks of the same job"),
+                });
+            }
+            seen[n as usize] = true;
+        }
+    }
+
+    // Per physical node: accumulated tasks and deps.
+    let mut tasks: Vec<Vec<Task>> = vec![Vec::new(); total_ranks];
+    let mut deps: Vec<Vec<(TaskId, TaskId, DepKind)>> = vec![Vec::new(); total_ranks];
+    // Next free stream id per node, so tenants get disjoint stream ranges.
+    let mut next_stream: Vec<u32> = vec![0; total_ranks];
+
+    for (j, job) in jobs.iter().enumerate() {
+        let tag_base = (j as u32)
+            .checked_mul(TAG_STRIDE)
+            .ok_or_else(|| GoalError::Compose { msg: "too many jobs".into() })?;
+        for (r, sched) in job.goal.ranks().iter().enumerate() {
+            let node = job.nodes[r] as usize;
+            let base = tasks[node].len() as u32;
+            let stream_base = next_stream[node];
+            let mut max_stream = 0u32;
+
+            // Dummy root anchoring this tenant's sub-DAG on the shared node.
+            let shared = base > 0 || jobs.len() > 1;
+            let dummy_offset = if shared {
+                tasks[node].push(Task::calc(0).on_stream(stream_base));
+                1u32
+            } else {
+                0
+            };
+
+            for t in sched.tasks() {
+                let stream = stream_base + t.stream;
+                max_stream = max_stream.max(t.stream);
+                let kind = match t.kind {
+                    TaskKind::Calc { cost } => TaskKind::Calc { cost },
+                    TaskKind::Send { bytes, dst, tag } => {
+                        check_tag(j, tag)?;
+                        TaskKind::Send { bytes, dst: job.nodes[dst as usize], tag: tag_base + tag }
+                    }
+                    TaskKind::Recv { bytes, src, tag } => {
+                        check_tag(j, tag)?;
+                        TaskKind::Recv { bytes, src: job.nodes[src as usize], tag: tag_base + tag }
+                    }
+                };
+                tasks[node].push(Task { kind, stream });
+            }
+            for (a, b, k) in sched.dep_edges() {
+                deps[node].push((
+                    TaskId(base + dummy_offset + a.0),
+                    TaskId(base + dummy_offset + b.0),
+                    k,
+                ));
+            }
+            if dummy_offset == 1 {
+                let dummy = TaskId(base);
+                for root in sched.roots() {
+                    deps[node].push((TaskId(base + 1 + root.0), dummy, DepKind::Full));
+                }
+            }
+            next_stream[node] = stream_base + max_stream + 1;
+        }
+    }
+
+    let mut ranks = Vec::with_capacity(total_ranks);
+    for (r, (t, d)) in tasks.into_iter().zip(deps).enumerate() {
+        ranks.push(RankSchedule::from_parts(r as Rank, t, &d)?);
+    }
+    let goal = GoalSchedule::new(ranks);
+    goal.validate()?;
+    Ok(goal)
+}
+
+fn check_tag(job: usize, tag: u32) -> Result<(), GoalError> {
+    if tag >= TAG_STRIDE {
+        return Err(GoalError::Compose {
+            msg: format!("job {job}: tag {tag} exceeds composable range {TAG_STRIDE}"),
+        });
+    }
+    Ok(())
+}
+
+/// Place a single job onto a larger cluster (multi-job building block).
+pub fn place(
+    goal: &GoalSchedule,
+    nodes: Vec<Rank>,
+    total_ranks: usize,
+) -> Result<GoalSchedule, GoalError> {
+    compose(&[PlacedJob::new(goal, nodes)], total_ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GoalBuilder;
+
+    fn ping(num_ranks: usize, bytes: u64) -> GoalSchedule {
+        let mut b = GoalBuilder::new(num_ranks);
+        b.send(0, 1, bytes, 0);
+        b.recv(1, 0, bytes, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_remaps_peers() {
+        let job = ping(2, 64);
+        let placed = place(&job, vec![3, 1], 4).unwrap();
+        assert_eq!(placed.num_ranks(), 4);
+        // rank 3 sends to rank 1
+        let send = placed
+            .rank(3)
+            .tasks()
+            .iter()
+            .find(|t| matches!(t.kind, TaskKind::Send { .. }))
+            .unwrap();
+        assert!(matches!(send.kind, TaskKind::Send { dst: 1, bytes: 64, .. }));
+        let recv = placed
+            .rank(1)
+            .tasks()
+            .iter()
+            .find(|t| matches!(t.kind, TaskKind::Recv { .. }))
+            .unwrap();
+        assert!(matches!(recv.kind, TaskKind::Recv { src: 3, bytes: 64, .. }));
+        assert!(placed.rank(0).is_empty());
+        assert!(placed.rank(2).is_empty());
+    }
+
+    #[test]
+    fn disjoint_multi_job() {
+        let a = ping(2, 10);
+        let b = ping(2, 20);
+        let merged = compose(
+            &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![2, 3])],
+            4,
+        )
+        .unwrap();
+        // Each node holds dummy + 1 task.
+        for r in 0..4 {
+            assert_eq!(merged.rank(r).num_tasks(), 2, "rank {r}");
+        }
+        // Tags are namespaced by job.
+        let t = merged
+            .rank(2)
+            .tasks()
+            .iter()
+            .find_map(|t| match t.kind {
+                TaskKind::Send { tag, .. } => Some(tag),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(t, TAG_STRIDE);
+    }
+
+    #[test]
+    fn multi_tenant_shares_node_with_distinct_streams() {
+        let a = ping(2, 10);
+        let b = ping(2, 20);
+        let merged = compose(
+            &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![0, 1])],
+            2,
+        )
+        .unwrap();
+        // Node 0: dummy+send (job a) + dummy+send (job b).
+        assert_eq!(merged.rank(0).num_tasks(), 4);
+        let streams: Vec<u32> = merged.rank(0).tasks().iter().map(|t| t.stream).collect();
+        // Job a occupies stream 0, job b stream 1.
+        assert_eq!(streams, vec![0, 0, 1, 1]);
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn dummy_roots_anchor_tenant_dags() {
+        let mut gb = GoalBuilder::new(1);
+        let c1 = gb.calc(0, 5);
+        let c2 = gb.calc(0, 7);
+        gb.requires(0, c2, c1);
+        let job = gb.build().unwrap();
+        let merged = compose(
+            &[PlacedJob::new(&job, vec![0]), PlacedJob::new(&job, vec![0])],
+            1,
+        )
+        .unwrap();
+        let r0 = merged.rank(0);
+        assert_eq!(r0.num_tasks(), 6); // 2 * (dummy + 2 calcs)
+        // The dummy (task 0) must be the only root of tenant 0's sub-DAG.
+        let roots: Vec<_> = r0.roots().collect();
+        assert_eq!(roots, vec![TaskId(0), TaskId(3)]);
+    }
+
+    #[test]
+    fn placement_length_mismatch_rejected() {
+        let a = ping(2, 10);
+        let err = compose(&[PlacedJob::new(&a, vec![0])], 2).unwrap_err();
+        assert!(matches!(err, GoalError::Compose { .. }));
+    }
+
+    #[test]
+    fn node_out_of_range_rejected() {
+        let a = ping(2, 10);
+        let err = compose(&[PlacedJob::new(&a, vec![0, 9])], 2).unwrap_err();
+        assert!(matches!(err, GoalError::Compose { .. }));
+    }
+
+    #[test]
+    fn duplicate_node_within_job_rejected() {
+        let a = ping(2, 10);
+        let err = compose(&[PlacedJob::new(&a, vec![1, 1])], 2).unwrap_err();
+        assert!(matches!(err, GoalError::Compose { .. }));
+    }
+
+    #[test]
+    fn oversized_tag_rejected() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 8, TAG_STRIDE);
+        b.recv(1, 0, 8, TAG_STRIDE);
+        let g = b.build().unwrap();
+        let err = compose(&[PlacedJob::new(&g, vec![0, 1])], 2).unwrap_err();
+        assert!(matches!(err, GoalError::Compose { .. }));
+    }
+}

@@ -1,0 +1,358 @@
+//! In-memory representation of GOAL schedules.
+
+use crate::error::GoalError;
+use crate::task::{DepKind, Rank, Task, TaskId, TaskKind};
+
+/// One rank's schedule: a DAG of tasks.
+///
+/// Dependency edges are stored in CSR form in both directions so that the
+/// scheduler can walk predecessors (to compute in-degrees) and successors
+/// (to release dependents on completion) without allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankSchedule {
+    tasks: Vec<Task>,
+    // CSR: predecessors of task i are pred_targets[pred_offsets[i]..pred_offsets[i+1]]
+    pred_offsets: Vec<u32>,
+    pred_targets: Vec<(TaskId, DepKind)>,
+    // CSR: successors of task i (tasks that depend on i)
+    succ_offsets: Vec<u32>,
+    succ_targets: Vec<(TaskId, DepKind)>,
+}
+
+impl RankSchedule {
+    /// Build a rank schedule from a task list and `(task, depends_on, kind)` edges.
+    ///
+    /// Edges referencing out-of-range tasks or self-dependencies are rejected.
+    /// Cycles are *not* checked here (see [`RankSchedule::topo_order`] /
+    /// [`GoalSchedule::validate`]) because callers often assemble many ranks
+    /// and validate once.
+    pub fn from_parts(
+        rank: Rank,
+        tasks: Vec<Task>,
+        deps: &[(TaskId, TaskId, DepKind)],
+    ) -> Result<Self, GoalError> {
+        let n = tasks.len();
+        for &(a, b, _) in deps {
+            if a.index() >= n {
+                return Err(GoalError::UnknownTask { rank, task: a });
+            }
+            if b.index() >= n {
+                return Err(GoalError::UnknownTask { rank, task: b });
+            }
+            if a == b {
+                return Err(GoalError::SelfDependency { rank, task: a });
+            }
+        }
+
+        // Counting sort into CSR for both directions.
+        let mut pred_offsets = vec![0u32; n + 1];
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &(a, b, _) in deps {
+            pred_offsets[a.index() + 1] += 1;
+            succ_offsets[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+            succ_offsets[i + 1] += succ_offsets[i];
+        }
+        let mut pred_targets = vec![(TaskId(0), DepKind::Full); deps.len()];
+        let mut succ_targets = vec![(TaskId(0), DepKind::Full); deps.len()];
+        let mut pred_fill = pred_offsets.clone();
+        let mut succ_fill = succ_offsets.clone();
+        for &(a, b, k) in deps {
+            let pi = pred_fill[a.index()] as usize;
+            pred_targets[pi] = (b, k);
+            pred_fill[a.index()] += 1;
+            let si = succ_fill[b.index()] as usize;
+            succ_targets[si] = (a, k);
+            succ_fill[b.index()] += 1;
+        }
+
+        Ok(RankSchedule { tasks, pred_offsets, pred_targets, succ_offsets, succ_targets })
+    }
+
+    /// Number of tasks in this rank's schedule.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the rank has no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id. Panics if out of range.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// All tasks in id order.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Predecessors of `id`: the tasks it depends on, with edge kinds.
+    #[inline]
+    pub fn preds(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        let lo = self.pred_offsets[id.index()] as usize;
+        let hi = self.pred_offsets[id.index() + 1] as usize;
+        &self.pred_targets[lo..hi]
+    }
+
+    /// Successors of `id`: the tasks that depend on it, with edge kinds.
+    #[inline]
+    pub fn succs(&self, id: TaskId) -> &[(TaskId, DepKind)] {
+        let lo = self.succ_offsets[id.index()] as usize;
+        let hi = self.succ_offsets[id.index() + 1] as usize;
+        &self.succ_targets[lo..hi]
+    }
+
+    /// Total number of dependency edges.
+    #[inline]
+    pub fn num_deps(&self) -> usize {
+        self.pred_targets.len()
+    }
+
+    /// All dependency edges as `(task, depends_on, kind)` triples.
+    pub fn dep_edges(&self) -> impl Iterator<Item = (TaskId, TaskId, DepKind)> + '_ {
+        (0..self.num_tasks()).flat_map(move |i| {
+            let a = TaskId(i as u32);
+            self.preds(a).iter().map(move |&(b, k)| (a, b, k))
+        })
+    }
+
+    /// Tasks with no predecessors (initially eligible).
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.num_tasks())
+            .map(|i| TaskId(i as u32))
+            .filter(|&id| self.preds(id).is_empty())
+    }
+
+    /// Per-task `(full, start)` in-degree counters, as used by schedulers.
+    pub fn indegrees(&self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.num_tasks();
+        let mut full = vec![0u32; n];
+        let mut start = vec![0u32; n];
+        for i in 0..n {
+            for &(_, k) in self.preds(TaskId(i as u32)) {
+                match k {
+                    DepKind::Full => full[i] += 1,
+                    DepKind::Start => start[i] += 1,
+                }
+            }
+        }
+        (full, start)
+    }
+
+    /// A topological order of the tasks, or `None` if the graph has a cycle.
+    ///
+    /// Both edge kinds constrain the order (a `Start` edge still requires the
+    /// predecessor to have been issued first).
+    pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.num_tasks();
+        let mut indeg = vec![0u32; n];
+        for i in 0..n {
+            indeg[i] = self.preds(TaskId(i as u32)).len() as u32;
+        }
+        let mut queue: Vec<TaskId> =
+            (0..n).map(|i| TaskId(i as u32)).filter(|&id| indeg[id.index()] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &(succ, _) in self.succs(id) {
+                indeg[succ.index()] -= 1;
+                if indeg[succ.index()] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+/// A complete GOAL schedule: one [`RankSchedule`] per rank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GoalSchedule {
+    ranks: Vec<RankSchedule>,
+}
+
+impl GoalSchedule {
+    /// Assemble a schedule from per-rank DAGs.
+    pub fn new(ranks: Vec<RankSchedule>) -> Self {
+        GoalSchedule { ranks }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The schedule of one rank. Panics if out of range.
+    #[inline]
+    pub fn rank(&self, r: Rank) -> &RankSchedule {
+        &self.ranks[r as usize]
+    }
+
+    /// All rank schedules in rank order.
+    #[inline]
+    pub fn ranks(&self) -> &[RankSchedule] {
+        &self.ranks
+    }
+
+    /// Total number of tasks across all ranks.
+    pub fn total_tasks(&self) -> usize {
+        self.ranks.iter().map(|r| r.num_tasks()).sum()
+    }
+
+    /// Validate the schedule:
+    ///
+    /// * every send/recv peer is a valid rank,
+    /// * every per-rank DAG is acyclic.
+    pub fn validate(&self) -> Result<(), GoalError> {
+        let nr = self.num_ranks() as Rank;
+        for (r, sched) in self.ranks.iter().enumerate() {
+            let rank = r as Rank;
+            for (i, t) in sched.tasks().iter().enumerate() {
+                let peer = match t.kind {
+                    TaskKind::Send { dst, .. } => Some(dst),
+                    TaskKind::Recv { src, .. } => Some(src),
+                    TaskKind::Calc { .. } => None,
+                };
+                if let Some(p) = peer {
+                    if p >= nr {
+                        return Err(GoalError::PeerOutOfRange {
+                            rank,
+                            task: TaskId(i as u32),
+                            peer: p,
+                        });
+                    }
+                }
+            }
+            if sched.topo_order().is_none() {
+                return Err(GoalError::Cycle { rank });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    fn diamond() -> RankSchedule {
+        // 0 -> {1, 2} -> 3
+        let tasks = vec![Task::calc(1), Task::calc(2), Task::calc(3), Task::calc(4)];
+        let deps = vec![
+            (TaskId(1), TaskId(0), DepKind::Full),
+            (TaskId(2), TaskId(0), DepKind::Full),
+            (TaskId(3), TaskId(1), DepKind::Full),
+            (TaskId(3), TaskId(2), DepKind::Full),
+        ];
+        RankSchedule::from_parts(0, tasks, &deps).unwrap()
+    }
+
+    #[test]
+    fn csr_preds_and_succs() {
+        let s = diamond();
+        assert_eq!(s.num_tasks(), 4);
+        assert_eq!(s.num_deps(), 4);
+        assert_eq!(s.preds(TaskId(0)), &[]);
+        assert_eq!(s.preds(TaskId(3)).len(), 2);
+        assert_eq!(s.succs(TaskId(0)).len(), 2);
+        assert_eq!(s.succs(TaskId(3)), &[]);
+        let roots: Vec<_> = s.roots().collect();
+        assert_eq!(roots, vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn topo_order_visits_all() {
+        let s = diamond();
+        let order = s.topo_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |id: TaskId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(TaskId(0)) < pos(TaskId(1)));
+        assert!(pos(TaskId(0)) < pos(TaskId(2)));
+        assert!(pos(TaskId(1)) < pos(TaskId(3)));
+        assert!(pos(TaskId(2)) < pos(TaskId(3)));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let tasks = vec![Task::calc(1), Task::calc(2)];
+        let deps = vec![
+            (TaskId(0), TaskId(1), DepKind::Full),
+            (TaskId(1), TaskId(0), DepKind::Full),
+        ];
+        let s = RankSchedule::from_parts(0, tasks, &deps).unwrap();
+        assert!(s.topo_order().is_none());
+        let g = GoalSchedule::new(vec![s]);
+        assert_eq!(g.validate(), Err(GoalError::Cycle { rank: 0 }));
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let tasks = vec![Task::calc(1)];
+        let deps = vec![(TaskId(0), TaskId(0), DepKind::Full)];
+        let err = RankSchedule::from_parts(0, tasks, &deps).unwrap_err();
+        assert_eq!(err, GoalError::SelfDependency { rank: 0, task: TaskId(0) });
+    }
+
+    #[test]
+    fn out_of_range_dep_rejected() {
+        let tasks = vec![Task::calc(1)];
+        let deps = vec![(TaskId(0), TaskId(5), DepKind::Full)];
+        let err = RankSchedule::from_parts(3, tasks, &deps).unwrap_err();
+        assert_eq!(err, GoalError::UnknownTask { rank: 3, task: TaskId(5) });
+    }
+
+    #[test]
+    fn peer_out_of_range_detected() {
+        let tasks = vec![Task::send(7, 10, 0)];
+        let s = RankSchedule::from_parts(0, tasks, &[]).unwrap();
+        let g = GoalSchedule::new(vec![s]);
+        assert!(matches!(g.validate(), Err(GoalError::PeerOutOfRange { peer: 7, .. })));
+    }
+
+    #[test]
+    fn indegrees_split_by_kind() {
+        let tasks = vec![Task::calc(1), Task::calc(2), Task::calc(3)];
+        let deps = vec![
+            (TaskId(2), TaskId(0), DepKind::Full),
+            (TaskId(2), TaskId(1), DepKind::Start),
+        ];
+        let s = RankSchedule::from_parts(0, tasks, &deps).unwrap();
+        let (full, start) = s.indegrees();
+        assert_eq!(full, vec![0, 0, 1]);
+        assert_eq!(start, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn dep_edges_roundtrip() {
+        let s = diamond();
+        let edges: Vec<_> = s.dep_edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(TaskId(3), TaskId(1), DepKind::Full)));
+    }
+
+    #[test]
+    fn empty_schedule_is_valid() {
+        let g = GoalSchedule::new(vec![RankSchedule::default()]);
+        assert_eq!(g.total_tasks(), 0);
+        assert!(g.rank(0).is_empty());
+        g.validate().unwrap();
+    }
+}

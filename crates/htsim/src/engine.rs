@@ -1,0 +1,852 @@
+//! The packet-level discrete-event engine and ATLAHS backend.
+//!
+//! Every GOAL send becomes a *flow*: the message is segmented into MTU-sized
+//! packets that traverse output-queued switch ports with finite buffers,
+//! ECN marking between `K_min` and `K_max`, tail drop (or NDP trimming), and
+//! per-flow congestion control ([`crate::cc`]). ACKs travel the reverse
+//! path and are themselves queued. A retransmission timer recovers losses.
+//!
+//! Operation semantics (paper §3.3): a send's compute stream is released
+//! after the host overhead `host_o`; the send is *done* when the receiver
+//! holds every byte of the message. A recv is done when its FIFO-matched
+//! flow (by `(src, dst, tag)`, in issue order) has fully arrived.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use atlahs_core::matcher::MatchKey;
+use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
+use atlahs_goal::{Rank, Tag};
+
+use crate::cc::{CcAlgo, CcState};
+use crate::topology::{Topology, TopologyConfig};
+
+/// Wire overhead per packet (headers), bytes.
+const HDR_BYTES: u32 = 64;
+
+/// Backend configuration.
+#[derive(Debug, Clone)]
+pub struct HtsimConfig {
+    pub topology: TopologyConfig,
+    pub cc: CcAlgo,
+    /// Payload bytes per packet.
+    pub mtu: u32,
+    /// Per-port buffering capacity (paper: 1 MiB).
+    pub queue_bytes: u64,
+    /// ECN marking thresholds as fractions of `queue_bytes` (paper: 20%/80%).
+    pub kmin_frac: f64,
+    pub kmax_frac: f64,
+    /// Host-side per-operation overhead (ns).
+    pub host_o: u64,
+    /// RNG seed (ECN probabilistic marking, ECMP salt).
+    pub seed: u64,
+    /// Record per-flow completion times (Fig. 11 MCT statistics).
+    pub collect_flows: bool,
+    /// Retransmission timeout; 0 = auto (3×base RTT + 10 MTU).
+    pub rto_ns: u64,
+    /// Per-packet path spraying (UEC/REPS-style adaptive load balancing)
+    /// instead of per-flow ECMP hashing. Spraying removes hash-collision
+    /// hotspots on fully provisioned fabrics at the cost of out-of-order
+    /// arrival (harmless here: receivers track per-packet bitmaps).
+    pub spray: bool,
+}
+
+impl HtsimConfig {
+    pub fn new(topology: TopologyConfig, cc: CcAlgo) -> Self {
+        HtsimConfig {
+            topology,
+            cc,
+            mtu: 4096,
+            queue_bytes: 1 << 20,
+            kmin_frac: 0.2,
+            kmax_frac: 0.8,
+            host_o: 200,
+            seed: 1,
+            collect_flows: false,
+            rto_ns: 0,
+            spray: false,
+        }
+    }
+}
+
+/// Aggregate network statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    pub packets_sent: u64,
+    pub drops: u64,
+    pub trims: u64,
+    pub ecn_marks: u64,
+    pub max_queue_bytes: u64,
+    /// Drops/trims on ToR↔core links only (the oversubscribed tier).
+    pub core_drops: u64,
+    pub flows: u64,
+    pub retransmissions: u64,
+    /// Internal engine events processed (cost diagnostic).
+    pub internal_events: u64,
+    /// Timeout events processed (retransmission-storm diagnostic).
+    pub timeouts: u64,
+}
+
+/// Completion record of one flow (message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    pub start: Time,
+    pub end: Time,
+}
+
+impl FlowRecord {
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PktKind {
+    Data,
+    /// Data packet trimmed to a header by an overflowing queue (NDP).
+    Trimmed,
+    Ack,
+    /// Receiver-side loss notification (NDP): re-queue `idx` at the sender.
+    Nack,
+    /// Receiver-paced credit releasing one packet at the sender (NDP).
+    Pull,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    flow: u32,
+    idx: u32,
+    hop: u8,
+    kind: PktKind,
+    wire: u32,
+    ecn: bool,
+    /// ECMP selector: the flow's salt, or a per-packet value when
+    /// spraying.
+    ecmp: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    TxDone(u32),
+    Arrive { port: u32, pkt: Packet },
+    Timeout { flow: u32 },
+    PullTick { host: u32 },
+    Emit { op: OpRef, done: bool },
+    LocalDone { flow: u32 },
+}
+
+struct HeapEv {
+    t: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reversal.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+struct Port {
+    rate: f64,
+    latency: u64,
+    to_host: Option<u32>,
+    is_core: bool,
+    busy: bool,
+    queue: VecDeque<Packet>,
+    qbytes: u64,
+    in_service: Option<Packet>,
+    cap: u64,
+    kmin: u64,
+    kmax: u64,
+}
+
+/// Dense bitmaps for per-packet sender/receiver state.
+#[derive(Debug, Default)]
+struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    fn new(n: u32) -> Self {
+        Bitmap { words: vec![0; (n as usize).div_ceil(64)] }
+    }
+    #[inline]
+    fn get(&self, i: u32) -> bool {
+        self.words[i as usize / 64] >> (i % 64) & 1 == 1
+    }
+    #[inline]
+    fn set(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1 << (i % 64);
+    }
+    #[inline]
+    fn clear(&mut self, i: u32) {
+        self.words[i as usize / 64] &= !(1 << (i % 64));
+    }
+}
+
+struct Flow {
+    op: OpRef,
+    src: u32,
+    dst: u32,
+    bytes: u64,
+    npkts: u32,
+    path: Vec<u32>,
+    rpath: Vec<u32>,
+    /// ECMP salt; per-packet spray values derive from it.
+    salt: u64,
+    rto: u64,
+    cc: CcState,
+    // sender state
+    next_idx: u32,
+    acked: Bitmap,
+    inflight: u64,
+    rtx: VecDeque<u32>,
+    in_rtx: Bitmap,
+    send_ts: Vec<Time>,
+    last_activity: Time,
+    // receiver state
+    rcvd: Bitmap,
+    rcvd_count: u32,
+    complete: bool,
+    complete_time: Option<Time>,
+    recv_op: Option<OpRef>,
+    start: Time,
+}
+
+impl Flow {
+    fn payload(&self, idx: u32, mtu: u32) -> u32 {
+        if idx + 1 == self.npkts {
+            let rem = self.bytes - (self.npkts as u64 - 1) * mtu as u64;
+            rem as u32
+        } else {
+            mtu
+        }
+    }
+}
+
+struct PullPacer {
+    credits: VecDeque<u32>,
+    busy: bool,
+}
+
+/// The packet-level backend.
+pub struct HtsimBackend {
+    cfg: HtsimConfig,
+    topo: Topology,
+    ports: Vec<Port>,
+    flows: Vec<Flow>,
+    heap: std::collections::BinaryHeap<HeapEv>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    matcher: Matcher<u32, (OpRef, Time)>,
+    pacers: Vec<PullPacer>,
+    stats: NetStats,
+    records: Vec<FlowRecord>,
+    // per-port drop/trim/mark counters folded into stats live
+}
+
+impl HtsimBackend {
+    pub fn new(cfg: HtsimConfig) -> Self {
+        let topo = Topology::build(cfg.topology.clone());
+        let mut b = HtsimBackend {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            topo,
+            ports: Vec::new(),
+            flows: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            matcher: Matcher::new(),
+            pacers: Vec::new(),
+            stats: NetStats::default(),
+            records: Vec::new(),
+            cfg,
+        };
+        b.reset();
+        b
+    }
+
+    fn reset(&mut self) {
+        self.ports = self
+            .topo
+            .ports()
+            .iter()
+            .map(|s| Port {
+                rate: s.link.bytes_per_ns(),
+                latency: s.link.latency_ns,
+                to_host: s.to_host,
+                is_core: s.is_core,
+                busy: false,
+                queue: VecDeque::new(),
+                qbytes: 0,
+                in_service: None,
+                cap: self.cfg.queue_bytes,
+                kmin: (self.cfg.queue_bytes as f64 * self.cfg.kmin_frac) as u64,
+                kmax: (self.cfg.queue_bytes as f64 * self.cfg.kmax_frac) as u64,
+            })
+            .collect();
+        self.flows.clear();
+        self.heap.clear();
+        self.now = 0;
+        self.seq = 0;
+        self.rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.matcher = Matcher::new();
+        self.pacers = (0..self.topo.num_hosts())
+            .map(|_| PullPacer { credits: VecDeque::new(), busy: false })
+            .collect();
+        self.stats = NetStats::default();
+        self.records.clear();
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Flow completion records (only when `collect_flows` is set).
+    pub fn flow_records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    pub fn config(&self) -> &HtsimConfig {
+        &self.cfg
+    }
+
+    fn push(&mut self, t: Time, ev: Ev) {
+        self.heap.push(HeapEv { t, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    // ---- port machinery ------------------------------------------------
+
+    fn enqueue(&mut self, port_id: u32, mut pkt: Packet) {
+        let kmin;
+        let kmax;
+        let q;
+        {
+            let port = &self.ports[port_id as usize];
+            kmin = port.kmin;
+            kmax = port.kmax;
+            q = port.qbytes;
+        }
+        if pkt.kind == PktKind::Data {
+            // ECN marking on instantaneous occupancy.
+            if q >= kmax {
+                pkt.ecn = true;
+            } else if q > kmin {
+                let p = (q - kmin) as f64 / (kmax - kmin).max(1) as f64;
+                if self.rng.random::<f64>() < p {
+                    pkt.ecn = true;
+                }
+            }
+            if pkt.ecn {
+                self.stats.ecn_marks += 1;
+            }
+            // Admission: trim (NDP) or drop on overflow.
+            if q + pkt.wire as u64 > self.ports[port_id as usize].cap {
+                if self.cfg.cc == CcAlgo::Ndp {
+                    pkt.kind = PktKind::Trimmed;
+                    pkt.wire = HDR_BYTES;
+                    self.stats.trims += 1;
+                    if self.ports[port_id as usize].is_core {
+                        self.stats.core_drops += 1;
+                    }
+                } else {
+                    self.stats.drops += 1;
+                    if self.ports[port_id as usize].is_core {
+                        self.stats.core_drops += 1;
+                    }
+                    return;
+                }
+            }
+        }
+        let port = &mut self.ports[port_id as usize];
+        port.qbytes += pkt.wire as u64;
+        self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(port.qbytes);
+        port.queue.push_back(pkt);
+        if !port.busy {
+            self.start_tx(port_id);
+        }
+    }
+
+    fn start_tx(&mut self, port_id: u32) {
+        let (tx_ns, ok) = {
+            let port = &mut self.ports[port_id as usize];
+            if let Some(pkt) = port.queue.pop_front() {
+                port.qbytes -= pkt.wire as u64;
+                port.busy = true;
+                let tx = (pkt.wire as f64 / port.rate).ceil() as u64;
+                port.in_service = Some(pkt);
+                (tx, true)
+            } else {
+                port.busy = false;
+                (0, false)
+            }
+        };
+        if ok {
+            self.push(self.now + tx_ns, Ev::TxDone(port_id));
+        }
+    }
+
+    fn on_tx_done(&mut self, port_id: u32) {
+        let (pkt, latency) = {
+            let port = &mut self.ports[port_id as usize];
+            (port.in_service.take().expect("TxDone without packet"), port.latency)
+        };
+        self.push(self.now + latency, Ev::Arrive { port: port_id, pkt });
+        self.start_tx(port_id);
+    }
+
+    fn on_arrive(&mut self, port_id: u32, mut pkt: Packet) {
+        if let Some(host) = self.ports[port_id as usize].to_host {
+            self.host_receive(host, pkt);
+            return;
+        }
+        // Forward through the switch.
+        pkt.hop += 1;
+        let next = {
+            let f = &self.flows[pkt.flow as usize];
+            if self.cfg.spray {
+                // Per-packet path: recompute from the packet's spray value.
+                let path = match pkt.kind {
+                    PktKind::Data | PktKind::Trimmed => self.topo.route(f.src, f.dst, pkt.ecmp),
+                    _ => self.topo.route(f.dst, f.src, pkt.ecmp),
+                };
+                path[pkt.hop as usize]
+            } else {
+                let path = match pkt.kind {
+                    PktKind::Data | PktKind::Trimmed => &f.path,
+                    _ => &f.rpath,
+                };
+                path[pkt.hop as usize]
+            }
+        };
+        self.enqueue(next, pkt);
+    }
+
+    // ---- sender --------------------------------------------------------
+
+    fn try_send(&mut self, fid: u32) {
+        loop {
+            let (idx, window_ok) = {
+                let f = &mut self.flows[fid as usize];
+                if f.complete {
+                    return;
+                }
+                let window = f.cc.window();
+                if f.inflight >= window {
+                    return;
+                }
+                let idx = if let Some(i) = f.rtx.pop_front() {
+                    if f.acked.get(i) {
+                        continue; // stale rtx entry
+                    }
+                    Some(i)
+                } else if f.next_idx < f.npkts {
+                    let i = f.next_idx;
+                    f.next_idx += 1;
+                    Some(i)
+                } else {
+                    None
+                };
+                (idx, true)
+            };
+            debug_assert!(window_ok);
+            match idx {
+                Some(i) => self.send_packet(fid, i),
+                None => return,
+            }
+        }
+    }
+
+    fn send_packet(&mut self, fid: u32, idx: u32) {
+        let (port0, pkt, was_rtx) = {
+            let mtu = self.cfg.mtu;
+            let f = &mut self.flows[fid as usize];
+            let payload = f.payload(idx, mtu);
+            f.send_ts[idx as usize] = self.now;
+            f.inflight += payload as u64;
+            f.last_activity = self.now;
+            // Clear the retransmission marker: if this copy is lost too,
+            // the next timeout must be able to requeue the packet.
+            let was_rtx = f.in_rtx.get(idx);
+            if was_rtx {
+                f.in_rtx.clear(idx);
+            }
+            let ecmp = if self.cfg.spray {
+                f.salt ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            } else {
+                f.salt
+            };
+            let pkt = Packet {
+                flow: fid,
+                idx,
+                hop: 0,
+                kind: PktKind::Data,
+                wire: payload + HDR_BYTES,
+                ecn: false,
+                ecmp,
+            };
+            (f.path[0], pkt, was_rtx)
+        };
+        self.stats.packets_sent += 1;
+        self.stats.retransmissions += u64::from(was_rtx);
+        self.enqueue(port0, pkt);
+    }
+
+    /// Control packets (ACK/NACK/PULL) travel the reverse path, reusing
+    /// the triggering packet's ECMP selector (symmetric spraying).
+    fn control_packet(&mut self, fid: u32, idx: u32, kind: PktKind, ecn: bool, ecmp: u64) {
+        let port0 = self.flows[fid as usize].rpath[0];
+        let pkt = Packet { flow: fid, idx, hop: 0, kind, wire: HDR_BYTES, ecn, ecmp };
+        self.enqueue(port0, pkt);
+    }
+
+    // ---- receiver ------------------------------------------------------
+
+    fn host_receive(&mut self, host: u32, pkt: Packet) {
+        match pkt.kind {
+            PktKind::Data => {
+                let fresh = {
+                    let f = &mut self.flows[pkt.flow as usize];
+                    if f.complete || f.rcvd.get(pkt.idx) {
+                        false
+                    } else {
+                        f.rcvd.set(pkt.idx);
+                        f.rcvd_count += 1;
+                        true
+                    }
+                };
+                self.control_packet(pkt.flow, pkt.idx, PktKind::Ack, pkt.ecn, pkt.ecmp);
+                if self.cfg.cc == CcAlgo::Ndp {
+                    self.add_pull_credit(host, pkt.flow);
+                }
+                if fresh && self.flows[pkt.flow as usize].rcvd_count
+                    == self.flows[pkt.flow as usize].npkts
+                {
+                    self.complete_flow(pkt.flow);
+                }
+            }
+            PktKind::Trimmed => {
+                self.control_packet(pkt.flow, pkt.idx, PktKind::Nack, false, pkt.ecmp);
+                self.add_pull_credit(host, pkt.flow);
+            }
+            PktKind::Ack => {
+                let rtt_and_more = {
+                    let f = &mut self.flows[pkt.flow as usize];
+                    if f.complete || f.acked.get(pkt.idx) {
+                        None
+                    } else {
+                        f.acked.set(pkt.idx);
+                        let payload = f.payload(pkt.idx, 0) /* placeholder */;
+                        let _ = payload;
+                        Some(f.send_ts[pkt.idx as usize])
+                    }
+                };
+                if let Some(ts) = rtt_and_more {
+                    let mtu = self.cfg.mtu;
+                    let f = &mut self.flows[pkt.flow as usize];
+                    let payload = f.payload(pkt.idx, mtu) as u64;
+                    f.inflight = f.inflight.saturating_sub(payload);
+                    let rtt = self.now.saturating_sub(ts).max(1);
+                    f.cc.on_ack(self.now, rtt, pkt.ecn);
+                    f.last_activity = self.now;
+                    self.try_send(pkt.flow);
+                }
+            }
+            PktKind::Nack => {
+                let f = &mut self.flows[pkt.flow as usize];
+                if !f.complete && !f.acked.get(pkt.idx) && !f.in_rtx.get(pkt.idx) {
+                    f.in_rtx.set(pkt.idx);
+                    f.rtx.push_back(pkt.idx);
+                    // The trimmed payload is no longer in flight.
+                    let mtu = self.cfg.mtu;
+                    let payload = f.payload(pkt.idx, mtu) as u64;
+                    f.inflight = f.inflight.saturating_sub(payload);
+                }
+            }
+            PktKind::Pull => {
+                // Release exactly one packet, bypassing the window.
+                let idx = {
+                    let f = &mut self.flows[pkt.flow as usize];
+                    if f.complete {
+                        None
+                    } else if let Some(i) = f.rtx.pop_front() {
+                        if f.acked.get(i) {
+                            None
+                        } else {
+                            Some(i)
+                        }
+                    } else if f.next_idx < f.npkts {
+                        let i = f.next_idx;
+                        f.next_idx += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(i) = idx {
+                    self.send_packet(pkt.flow, i);
+                }
+            }
+        }
+    }
+
+    fn add_pull_credit(&mut self, host: u32, fid: u32) {
+        if self.flows[fid as usize].complete {
+            return;
+        }
+        self.pacers[host as usize].credits.push_back(fid);
+        if !self.pacers[host as usize].busy {
+            self.pacers[host as usize].busy = true;
+            self.push(self.now, Ev::PullTick { host });
+        }
+    }
+
+    fn on_pull_tick(&mut self, host: u32) {
+        let fid = self.pacers[host as usize].credits.pop_front();
+        match fid {
+            None => {
+                self.pacers[host as usize].busy = false;
+            }
+            Some(fid) => {
+                if !self.flows[fid as usize].complete {
+                    let salt = self.flows[fid as usize].salt;
+                    self.control_packet(fid, 0, PktKind::Pull, false, salt);
+                }
+                // Pace at the receiver's edge-link rate.
+                let rate = self.ports[host as usize].rate;
+                let interval = ((self.cfg.mtu + HDR_BYTES) as f64 / rate).ceil() as u64;
+                self.push(self.now + interval, Ev::PullTick { host });
+            }
+        }
+    }
+
+    fn complete_flow(&mut self, fid: u32) {
+        let (op, recv_op, src, dst, bytes, start) = {
+            let f = &mut self.flows[fid as usize];
+            f.complete = true;
+            f.complete_time = Some(self.now);
+            (f.op, f.recv_op, f.src, f.dst, f.bytes, f.start)
+        };
+        self.push(self.now, Ev::Emit { op, done: true });
+        if let Some(r) = recv_op {
+            self.push(self.now + self.cfg.host_o, Ev::Emit { op: r, done: true });
+        }
+        if self.cfg.collect_flows {
+            self.records.push(FlowRecord { src, dst, bytes, start, end: self.now });
+        }
+    }
+
+    fn on_timeout(&mut self, fid: u32) {
+        let reschedule = {
+            let f = &mut self.flows[fid as usize];
+            if f.complete {
+                None
+            } else if self.now.saturating_sub(f.last_activity) < f.rto {
+                Some(f.last_activity + f.rto)
+            } else {
+                // Timeout fires: requeue every sent-but-unacked packet.
+                f.cc.on_timeout();
+                for i in 0..f.next_idx {
+                    if !f.acked.get(i) && !f.in_rtx.get(i) {
+                        f.in_rtx.set(i);
+                        f.rtx.push_back(i);
+                    }
+                }
+                f.inflight = 0;
+                f.last_activity = self.now;
+                Some(self.now + f.rto)
+            }
+        };
+        if let Some(t) = reschedule {
+            // Count retransmissions triggered by the timeout path.
+            self.try_send(fid);
+            self.push(t, Ev::Timeout { flow: fid });
+        }
+    }
+}
+
+impl Backend for HtsimBackend {
+    fn simulation_setup(&mut self, num_ranks: usize) {
+        assert!(
+            num_ranks <= self.topo.num_hosts(),
+            "schedule needs {num_ranks} ranks but topology has {} hosts",
+            self.topo.num_hosts()
+        );
+        self.reset();
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, op: OpRef, dst: Rank, bytes: u64, tag: Tag) {
+        let key: MatchKey = (op.rank, dst, tag);
+        self.push(self.now + self.cfg.host_o, Ev::Emit { op, done: false });
+        let fid = self.flows.len() as u32;
+        self.stats.flows += 1;
+
+        if op.rank == dst {
+            // Intra-node message: no fabric traversal (Stage 4 normally
+            // replaces these with calcs; handle gracefully if present).
+            let mut f = self.make_flow(fid, op, dst, bytes, true);
+            f.complete = true;
+            self.flows.push(f);
+            if let Some((recv_op, _)) = self.matcher.offer_send(key, fid) {
+                self.flows[fid as usize].recv_op = Some(recv_op);
+            }
+            self.push(self.now + self.cfg.host_o, Ev::LocalDone { flow: fid });
+            return;
+        }
+
+        let f = self.make_flow(fid, op, dst, bytes, false);
+        let rto = f.rto;
+        self.flows.push(f);
+        if let Some((recv_op, _)) = self.matcher.offer_send(key, fid) {
+            self.flows[fid as usize].recv_op = Some(recv_op);
+        }
+        self.try_send(fid);
+        self.push(self.now + rto, Ev::Timeout { flow: fid });
+    }
+
+    fn recv(&mut self, op: OpRef, src: Rank, _bytes: u64, tag: Tag) {
+        let key: MatchKey = (src, op.rank, tag);
+        self.push(self.now, Ev::Emit { op, done: false });
+        if let Some(fid) = self.matcher.offer_recv(key, (op, self.now)) {
+            let complete = self.flows[fid as usize].complete_time;
+            match complete {
+                Some(_t) => {
+                    self.push(self.now + self.cfg.host_o, Ev::Emit { op, done: true });
+                }
+                None => {
+                    self.flows[fid as usize].recv_op = Some(op);
+                }
+            }
+        }
+    }
+
+    fn calc(&mut self, op: OpRef, cost: u64) {
+        self.push(self.now + cost, Ev::Emit { op, done: true });
+    }
+
+    fn next_event(&mut self) -> Option<Completion> {
+        while let Some(HeapEv { t, ev, .. }) = self.heap.pop() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.stats.internal_events += 1;
+            if self.stats.internal_events % 200_000_000 == 0
+                && std::env::var_os("ATLAHS_HTSIM_DEBUG").is_some()
+            {
+                eprintln!(
+                    "[htsim] internal={}M now={}ms heap={} pkts={} drops={} rtx={} timeouts={} flows={}",
+                    self.stats.internal_events / 1_000_000,
+                    self.now / 1_000_000,
+                    self.heap.len(),
+                    self.stats.packets_sent,
+                    self.stats.drops,
+                    self.stats.retransmissions,
+                    self.stats.timeouts,
+                    self.stats.flows,
+                );
+            }
+            match ev {
+                Ev::Emit { op, done } => {
+                    return Some(if done {
+                        Completion::done(op, t)
+                    } else {
+                        Completion::cpu_free(op, t)
+                    });
+                }
+                Ev::TxDone(p) => self.on_tx_done(p),
+                Ev::Arrive { port, pkt } => self.on_arrive(port, pkt),
+                Ev::Timeout { flow } => {
+                    self.stats.timeouts += 1;
+                    self.on_timeout(flow);
+                }
+                Ev::PullTick { host } => self.on_pull_tick(host),
+                Ev::LocalDone { flow } => {
+                    let (op, recv_op) = {
+                        let f = &mut self.flows[flow as usize];
+                        f.complete_time = Some(self.now);
+                        (f.op, f.recv_op)
+                    };
+                    self.push(self.now, Ev::Emit { op, done: true });
+                    if let Some(r) = recv_op {
+                        self.push(self.now + self.cfg.host_o, Ev::Emit { op: r, done: true });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl HtsimBackend {
+    fn make_flow(&mut self, _fid: u32, op: OpRef, dst: Rank, bytes: u64, local: bool) -> Flow {
+        let bytes = bytes.max(1);
+        let mtu = self.cfg.mtu as u64;
+        let npkts = bytes.div_ceil(mtu) as u32;
+        let (path, rpath, salt, rto, cc) = if local {
+            (Vec::new(), Vec::new(), 0, 0, CcState::new(self.cfg.cc, self.cfg.mtu, 1, 1))
+        } else {
+            let salt = self.rng.random::<u64>();
+            let path = self.topo.route(op.rank, dst, salt);
+            let rpath = self.topo.route(dst, op.rank, salt);
+            let base_rtt = self.topo.base_rtt(&path, &rpath, self.cfg.mtu);
+            let host_rate = self.ports[op.rank as usize].rate;
+            let bdp = (base_rtt as f64 * host_rate) as u64;
+            let rto = if self.cfg.rto_ns > 0 {
+                self.cfg.rto_ns
+            } else {
+                3 * base_rtt + (10.0 * mtu as f64 / host_rate) as u64
+            };
+            let cc = CcState::new(self.cfg.cc, self.cfg.mtu, base_rtt, bdp);
+            (path, rpath, salt, rto, cc)
+        };
+        Flow {
+            op,
+            src: op.rank,
+            dst,
+            bytes,
+            npkts,
+            path,
+            rpath,
+            salt,
+            rto,
+            cc,
+            next_idx: 0,
+            acked: Bitmap::new(npkts),
+            inflight: 0,
+            rtx: VecDeque::new(),
+            in_rtx: Bitmap::new(npkts),
+            send_ts: vec![0; npkts as usize],
+            last_activity: self.now,
+            rcvd: Bitmap::new(npkts),
+            rcvd_count: 0,
+            complete: false,
+            complete_time: None,
+            recv_op: None,
+            start: self.now,
+        }
+    }
+}

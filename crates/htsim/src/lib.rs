@@ -1,0 +1,376 @@
+//! # atlahs-htsim
+//!
+//! The packet-level network backend of the toolchain (the paper's "ATLAHS
+//! htsim" configuration): an output-queued, ECN-capable packet simulator
+//! with fat-tree topologies, ECMP routing, and the congestion-control
+//! algorithms the paper's case studies compare — **MPRDMA**, **Swift**, and
+//! **NDP** (plus DCTCP as a reference).
+//!
+//! Packet-level simulation is what enables the statistics message-level
+//! models cannot see: packet drops, trims, queue occupancy, per-message
+//! completion times (Fig. 11 and Fig. 12 of the paper are regenerated from
+//! [`HtsimBackend::net_stats`] / [`HtsimBackend::flow_records`]).
+//!
+//! ```
+//! use atlahs_core::Simulation;
+//! use atlahs_goal::GoalBuilder;
+//! use atlahs_htsim::{CcAlgo, HtsimBackend, HtsimConfig, TopologyConfig};
+//!
+//! let mut b = GoalBuilder::new(2);
+//! b.send(0, 1, 64 * 1024, 0);
+//! b.recv(1, 0, 64 * 1024, 0);
+//! let goal = b.build().unwrap();
+//!
+//! let cfg = HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma);
+//! let mut backend = HtsimBackend::new(cfg);
+//! let report = Simulation::new(&goal).run(&mut backend).unwrap();
+//! assert!(report.makespan > 0);
+//! ```
+
+pub mod cc;
+pub mod engine;
+pub mod topology;
+
+pub use cc::{CcAlgo, CcState};
+pub use engine::{FlowRecord, HtsimBackend, HtsimConfig, NetStats};
+pub use topology::{LinkParams, Topology, TopologyConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlahs_core::{SimReport, Simulation};
+    use atlahs_goal::{GoalBuilder, GoalSchedule};
+
+    fn run_with(goal: &GoalSchedule, cfg: HtsimConfig) -> (SimReport, HtsimBackend) {
+        let mut backend = HtsimBackend::new(cfg);
+        let report = Simulation::new(goal).run(&mut backend).expect("no deadlock");
+        (report, backend)
+    }
+
+    fn ping(bytes: u64) -> GoalSchedule {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, bytes, 0);
+        b.recv(1, 0, bytes, 0);
+        b.build().unwrap()
+    }
+
+    fn small_switch(cc: CcAlgo) -> HtsimConfig {
+        HtsimConfig::new(
+            TopologyConfig::SingleSwitch { hosts: 16, link: LinkParams::default() },
+            cc,
+        )
+    }
+
+    #[test]
+    fn single_packet_ping_latency_is_sane() {
+        // 100 Gb/s = 12.5 B/ns; packet = 4096+64 B -> ~333 ns per hop;
+        // 2 hops + 2x500 ns propagation + host overheads.
+        let (rep, _) = run_with(&ping(4096), small_switch(CcAlgo::Mprdma));
+        assert!(rep.makespan > 1_600, "{}", rep.makespan);
+        assert!(rep.makespan < 4_000, "{}", rep.makespan);
+    }
+
+    #[test]
+    fn large_transfer_approaches_line_rate() {
+        let bytes = 8 << 20; // 8 MiB
+        let (rep, _) = run_with(&ping(bytes as u64), small_switch(CcAlgo::Mprdma));
+        // Ideal: 8 MiB / 12.5 B/ns ≈ 671 µs + header overhead (64/4096 ≈ 1.6%).
+        let ideal = (bytes as f64 / 12.5) as u64;
+        assert!(rep.makespan > ideal, "can't beat line rate: {}", rep.makespan);
+        assert!(
+            rep.makespan < ideal * 13 / 10,
+            "within 30% of line rate: {} vs {ideal}",
+            rep.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let goal = ping(1 << 20);
+        let (r1, _) = run_with(&goal, small_switch(CcAlgo::Swift));
+        let (r2, _) = run_with(&goal, small_switch(CcAlgo::Swift));
+        assert_eq!(r1.makespan, r2.makespan);
+    }
+
+    fn incast(n: u32, bytes: u64) -> GoalSchedule {
+        // ranks 1..=n all send to rank 0.
+        let mut b = GoalBuilder::new(n as usize + 1);
+        for s in 1..=n {
+            b.send(s, 0, bytes, s);
+            b.recv(0, s, bytes, s);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incast_completes_under_all_cc() {
+        for cc in [CcAlgo::Mprdma, CcAlgo::Swift, CcAlgo::Ndp, CcAlgo::Dctcp] {
+            let goal = incast(8, 256 * 1024);
+            let (rep, backend) = run_with(&goal, small_switch(cc));
+            assert_eq!(rep.completed, goal.total_tasks(), "{cc}");
+            // 8 x 256 KiB into one 100 Gb/s link: >= 2 MiB / 12.5 B/ns.
+            assert!(rep.makespan > 150_000, "{cc}: {}", rep.makespan);
+            let st = backend.net_stats();
+            assert!(st.packets_sent >= 8 * 64, "{cc}");
+        }
+    }
+
+    #[test]
+    fn ndp_trims_instead_of_dropping() {
+        let mut cfg = small_switch(CcAlgo::Ndp);
+        cfg.queue_bytes = 64 * 1024; // tiny buffers force overflow
+        let goal = incast(8, 512 * 1024);
+        let (_, backend) = run_with(&goal, cfg);
+        let st = backend.net_stats();
+        assert!(st.trims > 0, "incast with tiny buffers must trim: {st:?}");
+        assert_eq!(st.drops, 0, "NDP never drops data packets");
+    }
+
+    #[test]
+    fn ecn_marks_appear_under_congestion() {
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.queue_bytes = 256 * 1024;
+        let goal = incast(8, 512 * 1024);
+        let (_, backend) = run_with(&goal, cfg);
+        assert!(backend.net_stats().ecn_marks > 0);
+    }
+
+    fn permutation(hosts: u32, bytes: u64) -> GoalSchedule {
+        let mut b = GoalBuilder::new(hosts as usize);
+        for h in 0..hosts {
+            let dst = (h + hosts / 2) % hosts;
+            b.send(h, dst, bytes, h);
+            b.recv(dst, h, bytes, h);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn oversubscription_slows_permutation() {
+        // ECMP collisions already degrade the fully provisioned case, so
+        // the oversubscribed run is compared against the contention-free
+        // wire time: 4 flows forced through one uplink cannot beat 4x the
+        // line-rate transfer, and must be strictly slower than full
+        // provisioning.
+        let goal = permutation(16, 1 << 20);
+        let full = HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma);
+        let over =
+            HtsimConfig::new(TopologyConfig::fat_tree_oversubscribed(16, 4, 4), CcAlgo::Mprdma);
+        let (r_full, _) = run_with(&goal, full);
+        let (r_over, _) = run_with(&goal, over);
+        let wire_ns = ((1u64 << 20) as f64 / 12.5) as u64;
+        assert!(
+            r_over.makespan > 4 * wire_ns,
+            "4 flows through one uplink: {} vs 4x wire {}",
+            r_over.makespan,
+            4 * wire_ns
+        );
+        assert!(r_over.makespan > r_full.makespan);
+    }
+
+    #[test]
+    fn intra_tor_traffic_unaffected_by_oversubscription() {
+        // hosts 0 and 1 share a ToR: no core crossing.
+        let goal = ping(1 << 20);
+        let full = HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma);
+        let over =
+            HtsimConfig::new(TopologyConfig::fat_tree_oversubscribed(16, 4, 4), CcAlgo::Mprdma);
+        let (r_full, _) = run_with(&goal, full);
+        let (r_over, _) = run_with(&goal, over);
+        assert_eq!(r_full.makespan, r_over.makespan);
+    }
+
+    #[test]
+    fn flow_records_collected_when_enabled() {
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.collect_flows = true;
+        let goal = incast(4, 64 * 1024);
+        let (_, backend) = run_with(&goal, cfg);
+        let recs = backend.flow_records();
+        assert_eq!(recs.len(), 4);
+        for r in recs {
+            assert_eq!(r.bytes, 64 * 1024);
+            assert!(r.duration() > 0);
+            assert_eq!(r.dst, 0);
+        }
+    }
+
+    #[test]
+    fn collective_runs_on_packet_backend() {
+        use atlahs_collectives::{mpi, CollParams};
+        let ranks: Vec<u32> = (0..8).collect();
+        let mut b = GoalBuilder::new(8);
+        mpi::allreduce_ring(&mut b, &ranks, 1 << 18, 0, &CollParams::default());
+        let goal = b.build().unwrap();
+        let cfg = HtsimConfig::new(TopologyConfig::fat_tree(8, 4), CcAlgo::Mprdma);
+        let (rep, backend) = run_with(&goal, cfg);
+        assert_eq!(rep.completed, goal.total_tasks());
+        assert!(backend.net_stats().drops == 0, "no drops expected at this load");
+    }
+
+    #[test]
+    fn drops_recovered_by_timeout() {
+        // Non-NDP with tiny buffers: drops happen, RTO must recover them.
+        let mut cfg = small_switch(CcAlgo::Dctcp);
+        cfg.queue_bytes = 32 * 1024;
+        let goal = incast(8, 256 * 1024);
+        let (rep, backend) = run_with(&goal, cfg);
+        assert_eq!(rep.completed, goal.total_tasks());
+        assert!(backend.net_stats().drops > 0, "expected drops with 32 KiB buffers");
+    }
+
+    #[test]
+    fn local_send_completes_without_network() {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 0, 4096, 0);
+        b.recv(0, 0, 4096, 0);
+        let goal = b.build().unwrap();
+        let (rep, backend) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        assert_eq!(rep.completed, 2);
+        assert_eq!(backend.net_stats().packets_sent, 0);
+    }
+
+    #[test]
+    fn swift_and_mprdma_similar_on_uncongested_path() {
+        let goal = ping(1 << 20);
+        let (a, _) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let (b, _) = run_with(&goal, small_switch(CcAlgo::Swift));
+        let ratio = a.makespan as f64 / b.makespan as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "uncongested: CC choice should not matter much ({} vs {})",
+            a.makespan,
+            b.makespan
+        );
+    }
+
+    /// Regression: a retransmitted packet that is dropped *again* must be
+    /// requeued by the next timeout. (The `in_rtx` marker used to stay
+    /// set after the retransmission was sent, so a twice-dropped packet
+    /// could never be retried and its flow's timeout respawned forever.)
+    #[test]
+    fn repeatedly_dropped_packets_eventually_deliver() {
+        // Brutal incast into 16 KiB buffers: many packets drop several
+        // times. The run must still complete, with retransmissions
+        // counted and simulated time bounded (no timeout livelock).
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.queue_bytes = 16 * 1024;
+        let goal = incast(12, 256 * 1024);
+        let (rep, backend) = run_with(&goal, cfg);
+        assert_eq!(rep.completed, goal.total_tasks());
+        let st = backend.net_stats();
+        assert!(st.drops > 100, "this scenario must drop heavily: {st:?}");
+        assert!(st.retransmissions > 0, "drops imply retransmissions: {st:?}");
+        assert!(
+            rep.makespan < 1_000_000_000,
+            "timeout livelock: sim time exploded to {} ns",
+            rep.makespan
+        );
+    }
+
+    #[test]
+    fn retransmissions_only_under_loss() {
+        let (_, clean) = run_with(&ping(1 << 20), small_switch(CcAlgo::Mprdma));
+        assert_eq!(clean.net_stats().retransmissions, 0);
+        assert_eq!(clean.net_stats().drops, 0);
+    }
+
+    #[test]
+    fn timeouts_stop_after_completion() {
+        // Timeout events stop respawning once flows complete: the total
+        // count stays within a small multiple of the flow count.
+        let goal = incast(8, 64 * 1024);
+        let (_, backend) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let st = backend.net_stats();
+        assert!(
+            st.timeouts <= 20 * st.flows,
+            "timer events must be bounded per flow: {st:?}"
+        );
+    }
+
+    #[test]
+    fn ndp_recovers_trims_via_nack_and_pull() {
+        let mut cfg = small_switch(CcAlgo::Ndp);
+        cfg.queue_bytes = 32 * 1024;
+        let goal = incast(12, 256 * 1024);
+        let (rep, backend) = run_with(&goal, cfg);
+        assert_eq!(rep.completed, goal.total_tasks());
+        let st = backend.net_stats();
+        assert!(st.trims > 0);
+        assert!(st.retransmissions > 0, "trimmed payloads are resent: {st:?}");
+    }
+
+    #[test]
+    fn max_queue_stat_respects_capacity() {
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.queue_bytes = 128 * 1024;
+        let goal = incast(8, 512 * 1024);
+        let (_, backend) = run_with(&goal, cfg);
+        let st = backend.net_stats();
+        assert!(st.max_queue_bytes > 0);
+        assert!(
+            st.max_queue_bytes <= 128 * 1024 + 4160,
+            "occupancy may exceed cap by at most one packet: {st:?}"
+        );
+    }
+
+    #[test]
+    fn spraying_removes_ecmp_collision_hotspots() {
+        // Cross-ToR permutation on a fully provisioned fat tree: per-flow
+        // ECMP suffers hash collisions (some uplink carries 2+ flows);
+        // per-packet spraying spreads every flow over all uplinks and
+        // approaches the contention-free wire time.
+        let goal = permutation(16, 4 << 20);
+        let wire_ns = ((4u64 << 20) as f64 / 12.5) as u64;
+        let mk = |spray: bool| {
+            let mut cfg = HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma);
+            cfg.spray = spray;
+            cfg
+        };
+        let (hashed, _) = run_with(&goal, mk(false));
+        let (sprayed, _) = run_with(&goal, mk(true));
+        assert!(
+            sprayed.makespan < hashed.makespan,
+            "spraying must not be slower: {} vs {}",
+            sprayed.makespan,
+            hashed.makespan
+        );
+        assert!(
+            (sprayed.makespan as f64) < wire_ns as f64 * 1.4,
+            "sprayed permutation should run near line rate: {} vs wire {wire_ns}",
+            sprayed.makespan
+        );
+    }
+
+    #[test]
+    fn spraying_is_deterministic_and_complete() {
+        let goal = permutation(16, 1 << 20);
+        let mut cfg = HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma);
+        cfg.spray = true;
+        let (r1, b1) = run_with(&goal, cfg.clone());
+        let (r2, _) = run_with(&goal, cfg);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.completed, goal.total_tasks());
+        assert_eq!(b1.net_stats().drops, 0, "no drops expected when spread evenly");
+    }
+
+    #[test]
+    fn kmin_kmax_thresholds_gate_marking() {
+        // With the marking window pushed to the very top of the queue,
+        // the same workload produces fewer marks than with a low window.
+        let mk = |kmin: f64, kmax: f64| {
+            let mut cfg = small_switch(CcAlgo::Mprdma);
+            cfg.kmin_frac = kmin;
+            cfg.kmax_frac = kmax;
+            let goal = incast(8, 512 * 1024);
+            let (_, backend) = run_with(&goal, cfg);
+            backend.net_stats().ecn_marks
+        };
+        let low = mk(0.05, 0.2);
+        let high = mk(0.9, 0.99);
+        assert!(
+            low > 2 * high,
+            "early marking must produce more marks: low={low} high={high}"
+        );
+    }
+}

@@ -1,0 +1,556 @@
+//! Network topologies: port layout and routing.
+//!
+//! The packet engine sees a flat array of unidirectional **ports** (output
+//! queues). A topology assigns ports to host NICs and switch interfaces and
+//! computes per-flow paths (lists of port ids) with ECMP hashing across
+//! equal-cost core links.
+
+/// Physical parameters of one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Line rate in Gbit/s.
+    pub gbps: f64,
+    /// Propagation latency in ns.
+    pub latency_ns: u64,
+}
+
+impl LinkParams {
+    /// Rate in bytes per nanosecond.
+    pub fn bytes_per_ns(&self) -> f64 {
+        self.gbps / 8.0
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // 100 Gb/s, 500 ns per hop.
+        LinkParams { gbps: 100.0, latency_ns: 500 }
+    }
+}
+
+/// Topology selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyConfig {
+    /// All hosts behind one output-queued crossbar switch.
+    SingleSwitch { hosts: usize, link: LinkParams },
+    /// Two-level fat tree: ToR switches with `hosts_per_tor` downlinks and
+    /// `uplinks_per_tor` core uplinks. The oversubscription ratio is
+    /// `hosts_per_tor / uplinks_per_tor` (1 = fully provisioned).
+    FatTree2L {
+        hosts: usize,
+        hosts_per_tor: usize,
+        uplinks_per_tor: usize,
+        edge: LinkParams,
+        core: LinkParams,
+    },
+    /// Single-level Dragonfly (the Alps/Slingshot class): `groups` groups
+    /// of `routers_per_group` routers, `hosts_per_router` hosts each.
+    /// Routers within a group are all-to-all connected; each router owns
+    /// `global_per_router` global links, distributed round-robin over the
+    /// other groups. Minimal routing is `host → router [→ local] [→
+    /// global] [→ local] → host`.
+    Dragonfly {
+        groups: usize,
+        routers_per_group: usize,
+        hosts_per_router: usize,
+        /// Global links per router (≥1; the canonical balanced dragonfly
+        /// has `groups - 1` globals spread over a group's routers).
+        global_per_router: usize,
+        edge: LinkParams,
+        local: LinkParams,
+        global: LinkParams,
+    },
+}
+
+impl TopologyConfig {
+    /// A fully provisioned fat tree for `hosts` hosts.
+    pub fn fat_tree(hosts: usize, hosts_per_tor: usize) -> Self {
+        TopologyConfig::FatTree2L {
+            hosts,
+            hosts_per_tor,
+            uplinks_per_tor: hosts_per_tor,
+            edge: LinkParams::default(),
+            core: LinkParams::default(),
+        }
+    }
+
+    /// A fat tree with `ratio:1` oversubscription between ToR and core.
+    pub fn fat_tree_oversubscribed(hosts: usize, hosts_per_tor: usize, ratio: usize) -> Self {
+        assert!(ratio >= 1 && hosts_per_tor % ratio == 0, "ratio must divide hosts_per_tor");
+        TopologyConfig::FatTree2L {
+            hosts,
+            hosts_per_tor,
+            uplinks_per_tor: hosts_per_tor / ratio,
+            edge: LinkParams::default(),
+            core: LinkParams::default(),
+        }
+    }
+
+    /// A balanced dragonfly: every router carries enough global links for
+    /// each group to reach every other group directly.
+    pub fn dragonfly(groups: usize, routers_per_group: usize, hosts_per_router: usize) -> Self {
+        let global_per_router = (groups - 1).div_ceil(routers_per_group).max(1);
+        TopologyConfig::Dragonfly {
+            groups,
+            routers_per_group,
+            hosts_per_router,
+            global_per_router,
+            edge: LinkParams::default(),
+            local: LinkParams::default(),
+            global: LinkParams { gbps: 100.0, latency_ns: 1_500 }, // long fibres
+        }
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        match *self {
+            TopologyConfig::SingleSwitch { hosts, .. } => hosts,
+            TopologyConfig::FatTree2L { hosts, .. } => hosts,
+            TopologyConfig::Dragonfly { groups, routers_per_group, hosts_per_router, .. } => {
+                groups * routers_per_group * hosts_per_router
+            }
+        }
+    }
+}
+
+/// Description of one port for the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PortSpec {
+    pub link: LinkParams,
+    /// Host id this port delivers to, if it is the last hop of a path.
+    pub to_host: Option<u32>,
+    /// True for ToR→core and core→ToR ports (used in statistics).
+    pub is_core: bool,
+}
+
+/// Dragonfly bookkeeping: geometry plus the global-link wiring map.
+#[derive(Debug, Clone)]
+struct DragonflyMap {
+    routers_per_group: usize,
+    hosts_per_router: usize,
+    local_base: usize,
+    /// `links[g][tg]` = global links from group `g` to group `tg`, each as
+    /// `(source router, port id, landing router)`.
+    links: Vec<Vec<Vec<(u32, u32, u32)>>>,
+}
+
+/// A built topology: port table plus routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    config: TopologyConfig,
+    ports: Vec<PortSpec>,
+    hosts: usize,
+    // FatTree2L bookkeeping
+    hosts_per_tor: usize,
+    uplinks: usize,
+    tors: usize,
+    // Dragonfly bookkeeping
+    df: Option<DragonflyMap>,
+}
+
+impl Topology {
+    pub fn build(config: TopologyConfig) -> Self {
+        match config {
+            TopologyConfig::SingleSwitch { hosts, link } => {
+                let mut ports = Vec::with_capacity(2 * hosts);
+                // 0..hosts: host h -> switch
+                for _ in 0..hosts {
+                    ports.push(PortSpec { link, to_host: None, is_core: false });
+                }
+                // hosts..2*hosts: switch -> host h
+                for h in 0..hosts {
+                    ports.push(PortSpec { link, to_host: Some(h as u32), is_core: false });
+                }
+                Topology {
+                    config: TopologyConfig::SingleSwitch { hosts, link },
+                    ports,
+                    hosts,
+                    hosts_per_tor: hosts,
+                    uplinks: 0,
+                    tors: 1,
+                    df: None,
+                }
+            }
+            TopologyConfig::FatTree2L { hosts, hosts_per_tor, uplinks_per_tor, edge, core } => {
+                assert!(hosts_per_tor > 0 && uplinks_per_tor > 0);
+                let tors = hosts.div_ceil(hosts_per_tor);
+                let mut ports = Vec::new();
+                // 0..H: host h -> its ToR
+                for _ in 0..hosts {
+                    ports.push(PortSpec { link: edge, to_host: None, is_core: false });
+                }
+                // H..2H: ToR -> host h
+                for h in 0..hosts {
+                    ports.push(PortSpec { link: edge, to_host: Some(h as u32), is_core: false });
+                }
+                // 2H..2H+T*U: tor t uplink u -> core u
+                for _ in 0..tors * uplinks_per_tor {
+                    ports.push(PortSpec { link: core, to_host: None, is_core: true });
+                }
+                // 2H+T*U..2H+2*T*U: core u downlink -> tor t
+                for _ in 0..tors * uplinks_per_tor {
+                    ports.push(PortSpec { link: core, to_host: None, is_core: true });
+                }
+                Topology {
+                    config: TopologyConfig::FatTree2L {
+                        hosts,
+                        hosts_per_tor,
+                        uplinks_per_tor,
+                        edge,
+                        core,
+                    },
+                    ports,
+                    hosts,
+                    hosts_per_tor,
+                    uplinks: uplinks_per_tor,
+                    tors,
+                    df: None,
+                }
+            }
+            TopologyConfig::Dragonfly {
+                groups,
+                routers_per_group: r,
+                hosts_per_router: h,
+                global_per_router: gl,
+                edge,
+                local,
+                global,
+            } => {
+                assert!(groups >= 2 && r > 0 && h > 0 && gl > 0);
+                assert!(
+                    r * gl >= groups - 1,
+                    "each group needs ≥ groups-1 global links to reach every peer \
+                     (have {} = {r} routers x {gl} globals, need {})",
+                    r * gl,
+                    groups - 1
+                );
+                let hosts = groups * r * h;
+                let mut ports = Vec::new();
+                // [0, N): host -> its router.
+                for _ in 0..hosts {
+                    ports.push(PortSpec { link: edge, to_host: None, is_core: false });
+                }
+                // [N, 2N): router -> host.
+                for hh in 0..hosts {
+                    ports.push(PortSpec { link: edge, to_host: Some(hh as u32), is_core: false });
+                }
+                // Local all-to-all within each group: (g, a, b) with a != b.
+                let local_base = ports.len();
+                for _ in 0..groups * r * (r - 1) {
+                    ports.push(PortSpec { link: local, to_host: None, is_core: false });
+                }
+                // Global links: router (g, rr) owns `gl` of them.
+                let global_base = ports.len();
+                for _ in 0..groups * r * gl {
+                    ports.push(PortSpec { link: global, to_host: None, is_core: true });
+                }
+                // Wire globals: link j of group g targets the j-th other
+                // group in cyclic order, landing on a spread-out router.
+                let mut links = vec![vec![Vec::new(); groups]; groups];
+                for g in 0..groups {
+                    for j in 0..r * gl {
+                        let src_router = (j / gl) as u32;
+                        let k = j % gl;
+                        let tg = (g + 1 + (j % (groups - 1))) % groups;
+                        let dst_router = ((g + j / (groups - 1)) % r) as u32;
+                        let port = (global_base + (g * r + src_router as usize) * gl + k) as u32;
+                        links[g][tg].push((src_router, port, dst_router));
+                    }
+                }
+                Topology {
+                    config: TopologyConfig::Dragonfly {
+                        groups,
+                        routers_per_group: r,
+                        hosts_per_router: h,
+                        global_per_router: gl,
+                        edge,
+                        local,
+                        global,
+                    },
+                    ports,
+                    hosts,
+                    hosts_per_tor: r * h, // hosts per group (for stats naming)
+                    uplinks: gl,
+                    tors: groups,
+                    df: Some(DragonflyMap {
+                        routers_per_group: r,
+                        hosts_per_router: h,
+                        local_base,
+                        links,
+                    }),
+                }
+            }
+        }
+    }
+
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    pub fn num_hosts(&self) -> usize {
+        self.hosts
+    }
+
+    pub fn ports(&self) -> &[PortSpec] {
+        &self.ports
+    }
+
+    fn tor_of(&self, host: u32) -> usize {
+        host as usize / self.hosts_per_tor
+    }
+
+    /// The path (list of port ids) for a flow from `src` to `dst`, using
+    /// `ecmp` to pick among equal-cost core links.
+    pub fn route(&self, src: u32, dst: u32, ecmp: u64) -> Vec<u32> {
+        assert_ne!(src, dst, "no self-routing: intra-node traffic is a calc");
+        match self.config {
+            TopologyConfig::SingleSwitch { hosts, .. } => {
+                vec![src, (hosts + dst as usize) as u32]
+            }
+            TopologyConfig::FatTree2L { hosts, .. } => {
+                let h = hosts;
+                let ts = self.tor_of(src);
+                let td = self.tor_of(dst);
+                if ts == td {
+                    vec![src, (h + dst as usize) as u32]
+                } else {
+                    // ECMP over the uplinks (one per core switch).
+                    let u = (ecmp % self.uplinks as u64) as usize;
+                    let tor_up = 2 * h + ts * self.uplinks + u;
+                    let core_down = 2 * h + self.tors * self.uplinks + u * self.tors + td;
+                    vec![src, tor_up as u32, core_down as u32, (h + dst as usize) as u32]
+                }
+            }
+            TopologyConfig::Dragonfly { .. } => {
+                let df = self.df.as_ref().expect("built dragonfly");
+                let r = df.routers_per_group;
+                let h = df.hosts_per_router;
+                let router_of = |host: u32| host as usize / h;
+                let group_of = |host: u32| host as usize / (r * h);
+                // Port id of the local link router a -> router b in group g.
+                let local_port = |g: usize, a: usize, b: usize| -> u32 {
+                    debug_assert_ne!(a, b);
+                    let slot = if b < a { b } else { b - 1 };
+                    (df.local_base + (g * r + a) * (r - 1) + slot) as u32
+                };
+                let down = (self.hosts + dst as usize) as u32;
+                let gs = group_of(src);
+                let gd = group_of(dst);
+                let rs = router_of(src) % r;
+                let rd = router_of(dst) % r;
+                let mut path = vec![src];
+                if gs == gd {
+                    if rs != rd {
+                        path.push(local_port(gs, rs, rd));
+                    }
+                } else {
+                    // Minimal routing, ECMP over the direct global links.
+                    let options = &df.links[gs][gd];
+                    let (ra, gport, rb) = options[(ecmp % options.len() as u64) as usize];
+                    if rs != ra as usize {
+                        path.push(local_port(gs, rs, ra as usize));
+                    }
+                    path.push(gport);
+                    if rb as usize != rd {
+                        path.push(local_port(gd, rb as usize, rd));
+                    }
+                }
+                path.push(down);
+                path
+            }
+        }
+    }
+
+    /// Base round-trip estimate for a path and its reverse: propagation plus
+    /// one MTU serialization per forward hop and one header per reverse hop.
+    pub fn base_rtt(&self, path: &[u32], rpath: &[u32], mtu: u32) -> u64 {
+        let fwd: f64 = path
+            .iter()
+            .map(|&p| {
+                let l = self.ports[p as usize].link;
+                l.latency_ns as f64 + mtu as f64 / l.bytes_per_ns()
+            })
+            .sum();
+        let rev: f64 = rpath
+            .iter()
+            .map(|&p| {
+                let l = self.ports[p as usize].link;
+                l.latency_ns as f64 + 64.0 / l.bytes_per_ns()
+            })
+            .sum();
+        (fwd + rev).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes() {
+        let t = Topology::build(TopologyConfig::SingleSwitch {
+            hosts: 4,
+            link: LinkParams::default(),
+        });
+        assert_eq!(t.route(0, 3, 0), vec![0, 4 + 3]);
+        assert_eq!(t.ports().len(), 8);
+        assert_eq!(t.ports()[7].to_host, Some(3));
+    }
+
+    #[test]
+    fn fat_tree_intra_tor_short_path() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        // hosts 0 and 3 share ToR 0: two hops.
+        assert_eq!(t.route(0, 3, 0).len(), 2);
+        // hosts 0 and 5 are on different ToRs: four hops.
+        assert_eq!(t.route(0, 5, 0).len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_ecmp_spreads_over_uplinks() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        let paths: std::collections::HashSet<Vec<u32>> =
+            (0..16).map(|e| t.route(0, 5, e)).collect();
+        assert_eq!(paths.len(), 4, "4 uplinks -> 4 distinct paths");
+    }
+
+    #[test]
+    fn oversubscription_reduces_uplinks() {
+        let t = Topology::build(TopologyConfig::fat_tree_oversubscribed(16, 8, 8));
+        let paths: std::collections::HashSet<Vec<u32>> =
+            (0..16).map(|e| t.route(0, 9, e)).collect();
+        assert_eq!(paths.len(), 1, "8:1 oversubscription leaves one uplink");
+        // Core ports flagged for statistics.
+        let cores = t.ports().iter().filter(|p| p.is_core).count();
+        assert_eq!(cores, 2 * 2 * 1); // 2 tors x 1 uplink, both directions
+    }
+
+    #[test]
+    fn last_hop_delivers_to_destination() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        for (src, dst) in [(0u32, 5u32), (7, 2), (15, 0)] {
+            let path = t.route(src, dst, 3);
+            let last = *path.last().unwrap();
+            assert_eq!(t.ports()[last as usize].to_host, Some(dst));
+        }
+    }
+
+    #[test]
+    fn base_rtt_scales_with_hops() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        let near = t.route(0, 1, 0);
+        let far = t.route(0, 5, 0);
+        let rtt_near = t.base_rtt(&near, &near, 4096);
+        let rtt_far = t.base_rtt(&far, &far, 4096);
+        assert!(rtt_far > rtt_near);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-routing")]
+    fn self_route_rejected() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        t.route(3, 3, 0);
+    }
+
+    // ---- Dragonfly --------------------------------------------------
+
+    fn df() -> Topology {
+        // 4 groups x 3 routers x 2 hosts = 24 hosts; gl = ceil(3/3)=1.
+        Topology::build(TopologyConfig::dragonfly(4, 3, 2))
+    }
+
+    #[test]
+    fn dragonfly_geometry() {
+        let t = df();
+        assert_eq!(t.num_hosts(), 24);
+        // ports: 2*24 edge + 4*3*2 local + 4*3*1 global.
+        assert_eq!(t.ports().len(), 48 + 24 + 12);
+        let globals = t.ports().iter().filter(|p| p.is_core).count();
+        assert_eq!(globals, 12);
+    }
+
+    #[test]
+    fn dragonfly_paths_terminate_at_destination() {
+        let t = df();
+        for (s, d) in [(0u32, 1u32), (0, 2), (0, 5), (0, 7), (0, 23), (13, 2), (22, 6)] {
+            let path = t.route(s, d, 3);
+            let last = *path.last().unwrap();
+            assert_eq!(t.ports()[last as usize].to_host, Some(d), "{s}->{d}: {path:?}");
+            assert!(path.len() <= 5, "minimal route is ≤5 hops: {path:?}");
+        }
+    }
+
+    #[test]
+    fn dragonfly_same_router_is_two_hops() {
+        let t = df();
+        // hosts 0 and 1 share router 0 of group 0.
+        assert_eq!(t.route(0, 1, 0).len(), 2);
+        // hosts 0 and 2 are different routers, same group: 3 hops.
+        assert_eq!(t.route(0, 2, 0).len(), 3);
+        // cross-group: at least one global hop.
+        let cross = t.route(0, 23, 0);
+        assert!(cross.len() >= 3);
+        assert!(
+            cross.iter().any(|&p| t.ports()[p as usize].is_core),
+            "cross-group path must take a global link: {cross:?}"
+        );
+    }
+
+    #[test]
+    fn dragonfly_intra_group_avoids_globals() {
+        let t = df();
+        for d in 1..6u32 {
+            let path = t.route(0, d, 7);
+            assert!(
+                path.iter().all(|&p| !t.ports()[p as usize].is_core),
+                "intra-group traffic must stay local: 0->{d} {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dragonfly_every_group_pair_is_connected() {
+        let t = df();
+        // Sample a host per group; every pair must route.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    let s = a * 6;
+                    let d = b * 6 + 1;
+                    let path = t.route(s, d, a as u64 * 7 + b as u64);
+                    assert_eq!(t.ports()[*path.last().unwrap() as usize].to_host, Some(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "global links")]
+    fn dragonfly_underprovisioned_globals_rejected() {
+        Topology::build(TopologyConfig::Dragonfly {
+            groups: 8,
+            routers_per_group: 2,
+            hosts_per_router: 1,
+            global_per_router: 1, // 2 < 7 required
+            edge: LinkParams::default(),
+            local: LinkParams::default(),
+            global: LinkParams::default(),
+        });
+    }
+
+    #[test]
+    fn dragonfly_runs_traffic_end_to_end() {
+        use atlahs_core::Simulation;
+        use atlahs_goal::GoalBuilder;
+        let mut b = GoalBuilder::new(24);
+        for s in 0..24u32 {
+            let d = (s + 7) % 24;
+            b.send(s, d, 64 << 10, s);
+            b.recv(d, s, 64 << 10, s);
+        }
+        let goal = b.build().unwrap();
+        let cfg = crate::HtsimConfig::new(TopologyConfig::dragonfly(4, 3, 2), crate::CcAlgo::Mprdma);
+        let mut be = crate::HtsimBackend::new(cfg);
+        let rep = Simulation::new(&goal).run(&mut be).unwrap();
+        assert_eq!(rep.completed, goal.total_tasks());
+    }
+}

@@ -1,0 +1,419 @@
+//! # atlahs-lgs
+//!
+//! The LogGOPSim message-level backend: a discrete-event implementation of
+//! the **LogGOPS** model (LogGP extended with per-byte CPU overhead `O` and
+//! an eager/rendezvous switch `S`), the model behind the original
+//! LogGOPSim and the "ATLAHS LGS" configuration of the paper.
+//!
+//! Parameters (all times ns, rates ns/byte):
+//!
+//! | param | meaning |
+//! |-------|---------|
+//! | `L`   | wire latency between any two ranks |
+//! | `o`   | per-message CPU overhead (send and recv side) |
+//! | `g`   | inter-message gap at the NIC |
+//! | `G`   | per-byte gap (inverse bandwidth) at the NIC |
+//! | `O`   | per-byte CPU overhead |
+//! | `S`   | rendezvous threshold: messages larger than `S` handshake first (`0` disables) |
+//!
+//! ## Operation timing
+//!
+//! * `calc cost` — occupies its compute stream for `cost` ns.
+//! * eager send — CPU busy `o + O·b`; the message then occupies the sender
+//!   NIC for `g + G·b` (serialized per rank) and arrives `L` later; the send
+//!   is *done* (dependents fire) at CPU completion, like a buffered send.
+//! * rendezvous send (`b > S > 0`) — CPU busy `o + O·b`, then an RTS travels
+//!   `L`; when the matching recv is posted, a CTS returns (`o + L`); only
+//!   then does the payload occupy the NIC; the send is done when the last
+//!   byte leaves (buffer reusable).
+//! * recv — posting is free (stream released immediately); the recv is done
+//!   `o + O·b` after the matched payload has fully arrived (and the
+//!   receiving NIC charged its `g`).
+//!
+//! The paper's parameters: AI (Alps): `L=3700, o=200, g=5, G=0.04, O=0, S=0`;
+//! HPC test-bed: `L=3000, o=6000, g=0, G=0.18, O=0, S=256000`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use atlahs_core::matcher::MatchKey;
+use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
+use atlahs_goal::{Rank, Tag};
+
+/// LogGOPS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGopsParams {
+    /// Wire latency (ns).
+    pub l: u64,
+    /// Per-message CPU overhead (ns).
+    pub o: u64,
+    /// Inter-message NIC gap (ns).
+    pub g: u64,
+    /// Per-byte NIC gap (ns/byte) — `G`.
+    pub big_g: f64,
+    /// Per-byte CPU overhead (ns/byte) — `O`.
+    pub big_o: f64,
+    /// Rendezvous threshold (bytes) — `S`; 0 disables rendezvous.
+    pub s: u64,
+}
+
+impl LogGopsParams {
+    /// The paper's AI validation parameters (Alps, §5.2).
+    pub fn ai_alps() -> Self {
+        LogGopsParams { l: 3700, o: 200, g: 5, big_g: 0.04, big_o: 0.0, s: 0 }
+    }
+
+    /// The paper's HPC validation parameters (§5.3).
+    pub fn hpc_testbed() -> Self {
+        LogGopsParams { l: 3000, o: 6000, g: 0, big_g: 0.18, big_o: 0.0, s: 256_000 }
+    }
+
+    #[inline]
+    fn cpu_cost(&self, bytes: u64) -> u64 {
+        self.o + (bytes as f64 * self.big_o).round() as u64
+    }
+
+    #[inline]
+    fn nic_cost(&self, bytes: u64) -> u64 {
+        self.g + (bytes as f64 * self.big_g).round() as u64
+    }
+
+    #[inline]
+    fn is_rendezvous(&self, bytes: u64) -> bool {
+        self.s > 0 && bytes > self.s
+    }
+}
+
+/// Counters exposed after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LgsStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub rendezvous_messages: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Emit a `Done` completion for the op.
+    Done(OpRef),
+    /// Emit a `CpuFree` completion for the op.
+    CpuFree(OpRef),
+    /// Eager payload arrives at the destination NIC.
+    Arrive { key: MatchKey, bytes: u64 },
+    /// Rendezvous RTS arrives at the destination.
+    RtsArrive { key: MatchKey, send_op: OpRef, bytes: u64 },
+    /// Rendezvous CTS arrives back at the sender.
+    CtsArrive { send_op: OpRef, recv_op: OpRef, bytes: u64 },
+    /// Rendezvous payload arrives at the destination.
+    DataArrive { recv_op: OpRef, bytes: u64 },
+}
+
+/// The LogGOPSim backend.
+#[derive(Debug)]
+pub struct LgsBackend {
+    params: LogGopsParams,
+    now: Time,
+    seq: u64,
+    events: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    nic_tx_free: Vec<Time>,
+    nic_rx_free: Vec<Time>,
+    /// Eager: in-flight arrivals (value: time data is available) vs posted recvs.
+    eager: Matcher<Time, (OpRef, Time)>,
+    /// Rendezvous: RTS arrivals vs posted recvs.
+    rdv: Matcher<(OpRef, u64), (OpRef, Time)>,
+    stats: LgsStats,
+}
+
+impl LgsBackend {
+    pub fn new(params: LogGopsParams) -> Self {
+        LgsBackend {
+            params,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nic_tx_free: Vec::new(),
+            nic_rx_free: Vec::new(),
+            eager: Matcher::new(),
+            rdv: Matcher::new(),
+            stats: LgsStats::default(),
+        }
+    }
+
+    pub fn params(&self) -> &LogGopsParams {
+        &self.params
+    }
+
+    pub fn stats(&self) -> LgsStats {
+        self.stats
+    }
+
+    fn push(&mut self, time: Time, ev: Ev) {
+        self.events.push(Reverse((time, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    /// Occupy the sender NIC starting no earlier than `earliest`; returns
+    /// the time the last byte has left.
+    fn tx(&mut self, rank: Rank, earliest: Time, bytes: u64) -> Time {
+        let start = earliest.max(self.nic_tx_free[rank as usize]);
+        let end = start + self.params.nic_cost(bytes);
+        self.nic_tx_free[rank as usize] = end;
+        end
+    }
+
+    /// Charge the receive-side NIC gap; returns the time the data is
+    /// available to the host.
+    fn rx(&mut self, rank: Rank, arrival: Time) -> Time {
+        let avail = arrival.max(self.nic_rx_free[rank as usize]);
+        self.nic_rx_free[rank as usize] = avail + self.params.g;
+        avail
+    }
+}
+
+impl Backend for LgsBackend {
+    fn simulation_setup(&mut self, num_ranks: usize) {
+        self.now = 0;
+        self.seq = 0;
+        self.events.clear();
+        self.nic_tx_free = vec![0; num_ranks];
+        self.nic_rx_free = vec![0; num_ranks];
+        self.eager = Matcher::new();
+        self.rdv = Matcher::new();
+        self.stats = LgsStats::default();
+    }
+
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&mut self, op: OpRef, dst: Rank, bytes: u64, tag: Tag) {
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        let key: MatchKey = (op.rank, dst, tag);
+        let cpu_done = self.now + self.params.cpu_cost(bytes);
+        if self.params.is_rendezvous(bytes) {
+            self.stats.rendezvous_messages += 1;
+            self.push(cpu_done, Ev::CpuFree(op));
+            let rts_at = cpu_done + self.params.l;
+            self.push(rts_at, Ev::RtsArrive { key, send_op: op, bytes });
+        } else {
+            // Eager: done at CPU completion; payload overlaps with progress.
+            self.push(cpu_done, Ev::Done(op));
+            let tx_end = self.tx(op.rank, cpu_done, bytes);
+            let arrive = tx_end + self.params.l;
+            self.push(arrive, Ev::Arrive { key, bytes });
+        }
+    }
+
+    fn recv(&mut self, op: OpRef, src: Rank, bytes: u64, tag: Tag) {
+        let key: MatchKey = (src, op.rank, tag);
+        // Posting is cheap: release the stream immediately.
+        self.push(self.now, Ev::CpuFree(op));
+        if self.params.is_rendezvous(bytes) {
+            if let Some((send_op, b)) = self.rdv.offer_recv(key, (op, self.now)) {
+                // RTS already here: CTS leaves after receiver overhead.
+                let cts_at = self.now + self.params.o + self.params.l;
+                self.push(cts_at, Ev::CtsArrive { send_op, recv_op: op, bytes: b });
+            }
+        } else if let Some(avail) = self.eager.offer_recv(key, (op, self.now)) {
+            // Payload already arrived.
+            let done = avail.max(self.now) + self.params.cpu_cost(bytes);
+            self.push(done, Ev::Done(op));
+        }
+    }
+
+    fn calc(&mut self, op: OpRef, cost: u64) {
+        self.push(self.now + cost, Ev::Done(op));
+    }
+
+    fn next_event(&mut self) -> Option<Completion> {
+        while let Some(Reverse((time, _, ev))) = self.events.pop() {
+            debug_assert!(time >= self.now);
+            self.now = time;
+            match ev {
+                Ev::Done(op) => return Some(Completion::done(op, time)),
+                Ev::CpuFree(op) => return Some(Completion::cpu_free(op, time)),
+                Ev::Arrive { key, bytes } => {
+                    let avail = self.rx(key.1, time);
+                    if let Some((recv_op, post)) = self.eager.offer_send(key, avail) {
+                        let done = avail.max(post) + self.params.cpu_cost(bytes);
+                        self.push(done, Ev::Done(recv_op));
+                    }
+                }
+                Ev::RtsArrive { key, send_op, bytes } => {
+                    if let Some((recv_op, _post)) = self.rdv.offer_send(key, (send_op, bytes)) {
+                        let cts_at = time + self.params.o + self.params.l;
+                        self.push(cts_at, Ev::CtsArrive { send_op, recv_op, bytes });
+                    }
+                }
+                Ev::CtsArrive { send_op, recv_op, bytes } => {
+                    let tx_end = self.tx(send_op.rank, time, bytes);
+                    // Buffer reusable once the last byte left the NIC.
+                    self.push(tx_end, Ev::Done(send_op));
+                    self.push(tx_end + self.params.l, Ev::DataArrive { recv_op, bytes });
+                }
+                Ev::DataArrive { recv_op, bytes } => {
+                    let avail = self.rx(recv_op.rank, time);
+                    let done = avail + self.params.cpu_cost(bytes);
+                    self.push(done, Ev::Done(recv_op));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlahs_core::Simulation;
+    use atlahs_goal::{GoalBuilder, GoalSchedule};
+
+    fn run(goal: &GoalSchedule, params: LogGopsParams) -> atlahs_core::SimReport {
+        let mut b = LgsBackend::new(params);
+        Simulation::new(goal).run(&mut b).expect("no deadlock")
+    }
+
+    fn ping(bytes: u64) -> GoalSchedule {
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, bytes, 0);
+        b.recv(1, 0, bytes, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn eager_ping_timing_exact() {
+        // o=200, g=5, G=0.04, L=3700, O=0:
+        // send done at o=200; wire: 200 + 5 + 40 = 245; arrive 3945;
+        // recv done at 3945 + 200 = 4145.
+        let p = LogGopsParams::ai_alps();
+        let rep = run(&ping(1000), p);
+        assert_eq!(rep.rank_finish[0], 200);
+        assert_eq!(rep.rank_finish[1], 4145);
+    }
+
+    #[test]
+    fn rendezvous_ping_timing_exact() {
+        // s=100 so 1000B is rendezvous. o=100, g=0, G=1, L=500, O=0.
+        let p = LogGopsParams { l: 500, o: 100, g: 0, big_g: 1.0, big_o: 0.0, s: 100 };
+        let rep = run(&ping(1000), p);
+        // send cpu done 100; RTS at 600; recv posted at 0 -> CTS at 600+100+500=1200;
+        // data tx 1200..2200 (G=1ns/B); send done 2200; arrive 2700;
+        // recv done 2700 + o = 2800.
+        assert_eq!(rep.rank_finish[0], 2200);
+        assert_eq!(rep.rank_finish[1], 2800);
+    }
+
+    #[test]
+    fn rendezvous_waits_for_late_recv() {
+        let p = LogGopsParams { l: 500, o: 100, g: 0, big_g: 1.0, big_o: 0.0, s: 100 };
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 1000, 0);
+        let c = b.calc(1, 50_000);
+        let r = b.recv(1, 0, 1000, 0);
+        b.requires(1, r, c);
+        let goal = b.build().unwrap();
+        let rep = run(&goal, p);
+        // recv posts at 50_000; CTS at 50_600; data 50_600..51_600;
+        // arrive 52_100; done 52_200.
+        assert_eq!(rep.rank_finish[1], 52_200);
+        assert_eq!(rep.rank_finish[0], 51_600);
+    }
+
+    #[test]
+    fn nic_gap_serializes_back_to_back_sends() {
+        // Two eager sends from rank 0: NIC occupancy serializes the wire.
+        let p = LogGopsParams { l: 0, o: 10, g: 100, big_g: 0.0, big_o: 0.0, s: 0 };
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 8, 0);
+        b.send(0, 1, 8, 1);
+        b.recv(1, 0, 8, 0);
+        b.recv(1, 0, 8, 1);
+        let goal = b.build().unwrap();
+        let rep = run(&goal, p);
+        // send1 cpu done 10, tx 10..110; send2 issues at 10, cpu done 20,
+        // tx 110..210; arrivals at 110 and 210 (rx gap pushes availability);
+        // recv2 done 210 + 10 = 220.
+        assert_eq!(rep.makespan, 220);
+    }
+
+    #[test]
+    fn per_byte_cpu_overhead_counts() {
+        let p = LogGopsParams { l: 0, o: 0, g: 0, big_g: 0.0, big_o: 2.0, s: 0 };
+        let rep = run(&ping(100), p);
+        // send done at 200 (O*b), arrive 200, recv done 200 + 200.
+        assert_eq!(rep.rank_finish[0], 200);
+        assert_eq!(rep.rank_finish[1], 400);
+    }
+
+    #[test]
+    fn exchange_pattern_no_deadlock_under_rendezvous() {
+        // Both ranks send then recv (same stream). Rendezvous requires the
+        // peer's recv to be posted; CpuFree after o lets the recv post.
+        let p = LogGopsParams { l: 100, o: 10, g: 0, big_g: 0.1, big_o: 0.0, s: 10 };
+        let mut b = GoalBuilder::new(2);
+        b.send(0, 1, 1000, 0);
+        b.recv(0, 1, 1000, 0);
+        b.send(1, 0, 1000, 0);
+        b.recv(1, 0, 1000, 0);
+        let goal = b.build().unwrap();
+        let rep = run(&goal, p);
+        assert_eq!(rep.completed, 4);
+    }
+
+    #[test]
+    fn collective_on_lgs_completes() {
+        use atlahs_collectives::{mpi, CollParams};
+        let ranks: Vec<u32> = (0..8).collect();
+        let mut b = GoalBuilder::new(8);
+        mpi::allreduce_ring(&mut b, &ranks, 1 << 20, 0, &CollParams::default());
+        let goal = b.build().unwrap();
+        let rep = run(&goal, LogGopsParams::hpc_testbed());
+        assert_eq!(rep.completed, goal.total_tasks());
+        assert!(rep.makespan > 0);
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let p = LogGopsParams::ai_alps();
+        let mut backend = LgsBackend::new(p);
+        let goal = ping(4096);
+        Simulation::new(&goal).run(&mut backend).unwrap();
+        let st = backend.stats();
+        assert_eq!(st.messages, 1);
+        assert_eq!(st.bytes, 4096);
+        assert_eq!(st.rendezvous_messages, 0);
+    }
+
+    #[test]
+    fn bandwidth_bound_scales_with_g() {
+        let slow = LogGopsParams { big_g: 1.0, ..LogGopsParams::ai_alps() };
+        let fast = LogGopsParams { big_g: 0.01, ..LogGopsParams::ai_alps() };
+        let t_slow = run(&ping(1 << 20), slow).makespan;
+        let t_fast = run(&ping(1 << 20), fast).makespan;
+        assert!(t_slow > 50 * t_fast, "slow {t_slow} vs fast {t_fast}");
+    }
+
+    #[test]
+    fn larger_clusters_take_longer_rings() {
+        use atlahs_collectives::{mpi, CollParams};
+        let time_for = |k: usize| {
+            let ranks: Vec<u32> = (0..k as u32).collect();
+            let mut b = GoalBuilder::new(k);
+            mpi::allreduce_ring(&mut b, &ranks, 1 << 16, 0, &CollParams::default());
+            run(&b.build().unwrap(), LogGopsParams::hpc_testbed()).makespan
+        };
+        assert!(time_for(16) > time_for(4));
+    }
+
+    #[test]
+    fn nccl_collective_on_lgs() {
+        use atlahs_collectives::nccl::{self, NcclConfig};
+        let ranks: Vec<u32> = (0..16).collect();
+        let mut b = GoalBuilder::new(16);
+        nccl::allreduce(&mut b, &ranks, 8 << 20, 0, &NcclConfig::default());
+        let goal = b.build().unwrap();
+        let rep = run(&goal, LogGopsParams::ai_alps());
+        assert_eq!(rep.completed, goal.total_tasks());
+    }
+}

@@ -1,0 +1,190 @@
+//! Synthetic microbenchmarks (the workloads the paper argues are *not*
+//! enough — used by Fig. 1C to contrast with application traces).
+
+use atlahs_goal::{GoalBuilder, GoalError, GoalSchedule, Rank};
+
+/// N-to-one incast: ranks `1..=n` each send `bytes` to rank 0, `repeat`
+/// times back-to-back.
+pub fn incast(n: usize, bytes: u64, repeat: u32) -> Result<GoalSchedule, GoalError> {
+    let mut b = GoalBuilder::new(n + 1);
+    for s in 1..=n as u32 {
+        let mut prev_s = None;
+        let mut prev_r = None;
+        for rep in 0..repeat {
+            let tag = s + rep * (n as u32 + 1);
+            let snd = b.send(s, 0, bytes, tag);
+            if let Some(p) = prev_s {
+                b.requires(s, snd, p);
+            }
+            prev_s = Some(snd);
+            let rcv = b.recv(0, s, bytes, tag);
+            if let Some(p) = prev_r {
+                b.requires(0, rcv, p);
+            }
+            prev_r = Some(rcv);
+        }
+    }
+    b.build()
+}
+
+/// Shift permutation: rank `i` sends `bytes` to `(i + shift) mod n`,
+/// `repeat` times.
+pub fn permutation(n: usize, bytes: u64, shift: usize, repeat: u32) -> Result<GoalSchedule, GoalError> {
+    assert!(shift % n != 0, "shift must move data");
+    let mut b = GoalBuilder::new(n);
+    for i in 0..n as u32 {
+        let dst = (i + shift as u32) % n as u32;
+        let src = (i + n as u32 - shift as u32 % n as u32) % n as u32;
+        let mut prev_s = None;
+        let mut prev_r = None;
+        for rep in 0..repeat {
+            let snd = b.send(i, dst, bytes, rep);
+            if let Some(p) = prev_s {
+                b.requires(i, snd, p);
+            }
+            prev_s = Some(snd);
+            let rcv = b.recv(i, src, bytes, rep);
+            if let Some(p) = prev_r {
+                b.requires(i, rcv, p);
+            }
+            prev_r = Some(rcv);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random traffic: `msgs` messages of `bytes`, uniformly random
+/// (src, dst) pairs, seeded.
+pub fn uniform_random(n: usize, bytes: u64, msgs: usize, seed: u64) -> Result<GoalSchedule, GoalError> {
+    // Simple xorshift so this module stays dependency-free.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut b = GoalBuilder::new(n);
+    let mut chain_s: Vec<Option<atlahs_goal::TaskId>> = vec![None; n];
+    let mut chain_r: Vec<Option<atlahs_goal::TaskId>> = vec![None; n];
+    for m in 0..msgs {
+        let src = (next() % n as u64) as u32;
+        let mut dst = (next() % n as u64) as u32;
+        if dst == src {
+            dst = (dst + 1) % n as u32;
+        }
+        let tag = m as u32;
+        let s = b.send(src, dst, bytes, tag);
+        if let Some(p) = chain_s[src as usize] {
+            b.requires(src, s, p);
+        }
+        chain_s[src as usize] = Some(s);
+        let r = b.recv(dst, src, bytes, tag);
+        if let Some(p) = chain_r[dst as usize] {
+            b.requires(dst, r, p);
+        }
+        chain_r[dst as usize] = Some(r);
+    }
+    b.build()
+}
+
+/// One full ring rotation: rank i sends to i+1, `repeat` laps.
+pub fn ring(n: usize, bytes: u64, repeat: u32) -> Result<GoalSchedule, GoalError> {
+    let mut b = GoalBuilder::new(n);
+    let mut prev: Vec<Option<atlahs_goal::TaskId>> = vec![None; n];
+    for rep in 0..repeat {
+        for i in 0..n as u32 {
+            let dst = (i + 1) % n as u32;
+            let src = (i + n as u32 - 1) % n as u32;
+            let s = b.send(i, dst, bytes, rep);
+            let r = b.recv(i, src, bytes, rep);
+            if let Some(p) = prev[i as usize] {
+                b.requires(i, s, p);
+                b.requires(i, r, p);
+            }
+            let j = b.dummy(i as Rank);
+            b.requires(i, j, s);
+            b.requires(i, j, r);
+            prev[i as usize] = Some(j);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlahs_core::{backends::IdealBackend, Simulation};
+    use atlahs_goal::stats::check_matching;
+
+    fn runs(goal: &GoalSchedule) {
+        check_matching(goal).unwrap();
+        let mut be = IdealBackend::new(10.0, 100);
+        let rep = Simulation::new(goal).run(&mut be).unwrap();
+        assert_eq!(rep.completed, goal.total_tasks());
+    }
+
+    #[test]
+    fn incast_shape() {
+        let g = incast(8, 4096, 3).unwrap();
+        runs(&g);
+        let stats = atlahs_goal::ScheduleStats::of(&g);
+        assert_eq!(stats.sends, 24);
+        assert_eq!(stats.recvs, 24);
+        // all recvs on rank 0
+        assert_eq!(
+            g.rank(0)
+                .tasks()
+                .iter()
+                .filter(|t| matches!(t.kind, atlahs_goal::TaskKind::Recv { .. }))
+                .count(),
+            24
+        );
+    }
+
+    #[test]
+    fn permutation_is_balanced() {
+        let g = permutation(8, 1024, 3, 2).unwrap();
+        runs(&g);
+        for r in 0..8 {
+            let sends = g
+                .rank(r)
+                .tasks()
+                .iter()
+                .filter(|t| matches!(t.kind, atlahs_goal::TaskKind::Send { .. }))
+                .count();
+            assert_eq!(sends, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shift must move data")]
+    fn zero_shift_panics() {
+        let _ = permutation(4, 10, 4, 1);
+    }
+
+    #[test]
+    fn uniform_random_matches() {
+        let g = uniform_random(16, 2048, 100, 99).unwrap();
+        runs(&g);
+        let stats = atlahs_goal::ScheduleStats::of(&g);
+        assert_eq!(stats.sends, 100);
+    }
+
+    #[test]
+    fn uniform_random_deterministic() {
+        let a = uniform_random(16, 2048, 50, 1).unwrap();
+        let b = uniform_random(16, 2048, 50, 1).unwrap();
+        assert_eq!(a, b);
+        let c = uniform_random(16, 2048, 50, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ring_laps() {
+        let g = ring(6, 512, 4).unwrap();
+        runs(&g);
+        let stats = atlahs_goal::ScheduleStats::of(&g);
+        assert_eq!(stats.sends, 24);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ATLAHS
+//!
+//! Umbrella crate of the ATLAHS toolchain reproduction: an
+//! application-centric network simulator toolchain for AI, HPC, and
+//! distributed storage (SC 2025).
+//!
+//! This crate re-exports the public API of every subsystem so downstream
+//! users can depend on a single crate:
+//!
+//! * [`goal`] — the GOAL schedule format (DAGs of send/recv/calc),
+//! * [`collectives`] — collective→point-to-point decomposition algorithms,
+//! * [`tracers`] — application tracers (MPI, NCCL, block I/O),
+//! * [`schedgen`] — trace→GOAL converters,
+//! * [`directdrive`] — the Direct Drive distributed storage substrate,
+//! * [`core`] — backend API, GOAL scheduler, placement, simulation driver,
+//! * [`lgs`] — the LogGOPSim message-level backend,
+//! * [`htsim`] — the packet-level backend (fat tree, MPRDMA/Swift/NDP/DCTCP),
+//! * [`testbed`] — the fluid-flow ground-truth cluster emulator,
+//! * [`baselines`] — the AstraSim/Chakra-class baseline.
+
+pub use atlahs_baselines as baselines;
+pub use atlahs_collectives as collectives;
+pub use atlahs_core as core;
+pub use atlahs_directdrive as directdrive;
+pub use atlahs_goal as goal;
+pub use atlahs_htsim as htsim;
+pub use atlahs_lgs as lgs;
+pub use atlahs_schedgen as schedgen;
+pub use atlahs_testbed as testbed;
+pub use atlahs_tracers as tracers;

@@ -1,0 +1,158 @@
+//! Integration: multi-job and multi-tenant composition across placement
+//! strategies and backends (paper §3.2, Fig. 13).
+
+use atlahs::core::backends::IdealBackend;
+use atlahs::core::{allocate, PlacementStrategy, Simulation};
+use atlahs::goal::merge::{compose, place, PlacedJob, TAG_STRIDE};
+use atlahs::goal::stats::check_matching;
+use atlahs::goal::{GoalBuilder, GoalSchedule, TaskKind};
+use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs::htsim::topology::TopologyConfig;
+use atlahs::htsim::CcAlgo;
+use atlahs::lgs::{LgsBackend, LogGopsParams};
+
+/// An all-to-all-ish job: every rank sends one message to every other.
+fn chatty_job(ranks: usize, bytes: u64) -> GoalSchedule {
+    let mut b = GoalBuilder::new(ranks);
+    for s in 0..ranks as u32 {
+        for d in 0..ranks as u32 {
+            if s != d {
+                b.send(s, d, bytes, s * ranks as u32 + d);
+                b.recv(d, s, bytes, s * ranks as u32 + d);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A compute-only job.
+fn quiet_job(ranks: usize, cost: u64) -> GoalSchedule {
+    let mut b = GoalBuilder::new(ranks);
+    for r in 0..ranks as u32 {
+        b.calc(r, cost);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn every_strategy_produces_a_runnable_composition() {
+    let a = chatty_job(4, 64 << 10);
+    let bq = quiet_job(4, 100_000);
+    for strategy in [
+        PlacementStrategy::Packed,
+        PlacementStrategy::Random { seed: 3 },
+        PlacementStrategy::RoundRobin,
+    ] {
+        let placement = allocate(strategy, 8, &[4, 4]).unwrap();
+        let merged = compose(
+            &[PlacedJob::new(&a, placement[0].clone()), PlacedJob::new(&bq, placement[1].clone())],
+            8,
+        )
+        .unwrap();
+        check_matching(&merged).unwrap();
+        let mut be = IdealBackend::new(10.0, 500);
+        let rep = Simulation::new(&merged).run(&mut be).unwrap();
+        assert_eq!(rep.completed, merged.total_tasks(), "{strategy:?}");
+    }
+}
+
+#[test]
+fn composition_preserves_task_counts_plus_anchors() {
+    let a = chatty_job(3, 1024);
+    let b = quiet_job(2, 10);
+    let merged = compose(
+        &[PlacedJob::new(&a, vec![0, 1, 2]), PlacedJob::new(&b, vec![0, 1])],
+        4,
+    )
+    .unwrap();
+    // Every original task survives; each tenant sub-DAG gains one dummy
+    // anchor per (job, rank) pair.
+    let anchors = 3 + 2;
+    assert_eq!(merged.total_tasks(), a.total_tasks() + b.total_tasks() + anchors);
+}
+
+#[test]
+fn tags_never_cross_job_boundaries() {
+    // Two identical jobs co-located on the same nodes: their matching
+    // send/recv pairs use identical application tags. Composition must
+    // namespace them (TAG_STRIDE) so messages never cross-match.
+    let a = chatty_job(2, 4096);
+    let merged = compose(
+        &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&a, vec![0, 1])],
+        2,
+    )
+    .unwrap();
+    check_matching(&merged).unwrap();
+    let mut tags: Vec<u32> = Vec::new();
+    for r in merged.ranks() {
+        for t in r.tasks() {
+            if let TaskKind::Send { tag, .. } = t.kind {
+                tags.push(tag);
+            }
+        }
+    }
+    assert!(tags.iter().any(|&t| t < TAG_STRIDE), "job 0 tags in low space");
+    assert!(tags.iter().any(|&t| t >= TAG_STRIDE), "job 1 tags offset");
+
+    // And the composition actually runs without mismatched completions.
+    let mut be = LgsBackend::new(LogGopsParams::ai_alps());
+    let rep = Simulation::new(&merged).run(&mut be).unwrap();
+    assert_eq!(rep.completed, merged.total_tasks());
+}
+
+#[test]
+fn colocated_tenants_slow_each_other_on_a_real_network() {
+    let job = chatty_job(4, 1 << 20);
+    let topo = TopologyConfig::fat_tree(8, 4);
+    let solo = place(&job, vec![0, 1, 2, 3], 8).unwrap();
+    let both = compose(
+        &[PlacedJob::new(&job, vec![0, 1, 2, 3]), PlacedJob::new(&job, vec![0, 1, 2, 3])],
+        8,
+    )
+    .unwrap();
+    let time = |g: &GoalSchedule| {
+        let mut be = HtsimBackend::new(HtsimConfig::new(topo.clone(), CcAlgo::Mprdma));
+        Simulation::new(g).run(&mut be).unwrap().makespan
+    };
+    let t_solo = time(&solo);
+    let t_both = time(&both);
+    assert!(
+        t_both as f64 > t_solo as f64 * 1.3,
+        "two tenants on one NIC must contend: solo {t_solo}, shared {t_both}"
+    );
+}
+
+#[test]
+fn spread_placement_crosses_the_core_packed_does_not() {
+    // On an 8:1-oversubscribed fat tree, a chatty job packed into one ToR
+    // never touches the thin core; split across two ToRs, four ranks per
+    // side must funnel 4x4 cross flows through a single uplink.
+    let job = chatty_job(8, 1 << 20);
+    let topo = TopologyConfig::fat_tree_oversubscribed(16, 8, 8);
+    let time = |nodes: Vec<u32>| {
+        let placed = place(&job, nodes, 16).unwrap();
+        let mut be = HtsimBackend::new(HtsimConfig::new(topo.clone(), CcAlgo::Mprdma));
+        Simulation::new(&placed).run(&mut be).unwrap().makespan
+    };
+    let packed = time(vec![0, 1, 2, 3, 4, 5, 6, 7]); // one ToR
+    let spread = time(vec![0, 1, 2, 3, 8, 9, 10, 11]); // half per ToR
+    assert!(
+        spread as f64 > packed as f64 * 1.5,
+        "spread {spread} must pay the oversubscribed core vs packed {packed}"
+    );
+}
+
+#[test]
+fn empty_cluster_nodes_stay_idle() {
+    let job = quiet_job(2, 1000);
+    let placed = place(&job, vec![5, 9], 12).unwrap();
+    let mut be = IdealBackend::new(1.0, 10);
+    let rep = Simulation::new(&placed).run(&mut be).unwrap();
+    for (r, &finish) in rep.rank_finish.iter().enumerate() {
+        if r == 5 || r == 9 {
+            assert!(finish > 0);
+        } else {
+            assert_eq!(finish, 0, "rank {r} should never run anything");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration: the HPC pipeline — liballprof-style traces for every
+//! application skeleton → Schedgen → backends (paper §3.1.1, §5.3).
+
+use atlahs::core::Simulation;
+use atlahs::goal::stats::check_matching;
+use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs::htsim::topology::TopologyConfig;
+use atlahs::htsim::CcAlgo;
+use atlahs::lgs::{LgsBackend, LogGopsParams};
+use atlahs::schedgen::mpi2goal::{self, AllreduceAlgo, MpiToGoalConfig};
+use atlahs::tracers::mpi::{self, HpcAppConfig, MpiTrace, Scaling};
+
+fn small_cfg(ranks: usize) -> HpcAppConfig {
+    HpcAppConfig {
+        ranks,
+        iterations: 3,
+        scaling: Scaling::Weak,
+        compute_ns: 100_000,
+        halo_bytes: 8 * 1024,
+        noise: 0.02,
+        seed: 5,
+    }
+}
+
+fn all_apps(cfg: &HpcAppConfig) -> Vec<(&'static str, MpiTrace)> {
+    vec![
+        ("CloverLeaf", mpi::cloverleaf(cfg)),
+        ("HPCG", mpi::hpcg(cfg)),
+        ("LULESH", mpi::lulesh(cfg)),
+        ("LAMMPS", mpi::lammps(cfg)),
+        ("ICON", mpi::icon(cfg)),
+        ("OpenMX", mpi::openmx(cfg)),
+    ]
+}
+
+#[test]
+fn every_app_traces_roundtrips_lowers_and_runs() {
+    let cfg = small_cfg(16);
+    for (name, trace) in all_apps(&cfg) {
+        // Trace file round-trip.
+        let back = MpiTrace::parse(&trace.to_text()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(trace.num_records(), back.num_records(), "{name}");
+
+        // Lowering and matching.
+        let goal = mpi2goal::convert(&trace, &MpiToGoalConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_matching(&goal).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        // Message-level run.
+        let mut lgs = LgsBackend::new(LogGopsParams::hpc_testbed());
+        let rep = Simulation::new(&goal).run(&mut lgs).unwrap();
+        assert_eq!(rep.completed, goal.total_tasks(), "{name}");
+        assert!(rep.makespan > 0, "{name}");
+
+        // Packet-level run.
+        let mut ht = HtsimBackend::new(HtsimConfig::new(
+            TopologyConfig::fat_tree(16, 4),
+            CcAlgo::Mprdma,
+        ));
+        let rep = Simulation::new(&goal).run(&mut ht).unwrap();
+        assert_eq!(rep.completed, goal.total_tasks(), "{name}");
+    }
+}
+
+#[test]
+fn strong_scaling_reduces_per_rank_compute() {
+    let weak = HpcAppConfig { scaling: Scaling::Weak, ..small_cfg(32) };
+    let strong = HpcAppConfig { scaling: Scaling::Strong, ..small_cfg(32) };
+    let time = |cfg: &HpcAppConfig| {
+        let goal = mpi2goal::convert(&mpi::lulesh(cfg), &MpiToGoalConfig::default()).unwrap();
+        let mut lgs = LgsBackend::new(LogGopsParams::hpc_testbed());
+        Simulation::new(&goal).run(&mut lgs).unwrap().makespan
+    };
+    assert!(
+        time(&strong) < time(&weak),
+        "strong scaling divides the work across ranks"
+    );
+}
+
+#[test]
+fn collective_algorithm_substitution_changes_the_schedule() {
+    let cfg = small_cfg(32);
+    let trace = mpi::hpcg(&cfg);
+    let tasks_with = |algo| {
+        let conv = MpiToGoalConfig { allreduce: algo, ..Default::default() };
+        mpi2goal::convert(&trace, &conv).unwrap().total_tasks()
+    };
+    let ring = tasks_with(AllreduceAlgo::Ring);
+    let recdoub = tasks_with(AllreduceAlgo::RecursiveDoubling);
+    assert_ne!(
+        ring, recdoub,
+        "Schedgen must substitute different P2P expansions per algorithm"
+    );
+}
+
+#[test]
+fn auto_algorithm_selection_respects_cutoff() {
+    // Small payloads choose the latency-optimal algorithm, large payloads
+    // the bandwidth-optimal one; the task counts must reflect the switch.
+    use atlahs::tracers::mpi::{MpiOp, MpiRecord};
+    let one_allreduce = |bytes: u64| MpiTrace {
+        app: "synthetic".to_string(),
+        timelines: (0..16)
+            .map(|_| {
+                vec![MpiRecord { op: MpiOp::Allreduce { bytes }, tstart: 0, tend: 1000 }]
+            })
+            .collect(),
+    };
+    let auto = MpiToGoalConfig::default();
+    let explicit_recdoub = MpiToGoalConfig {
+        allreduce: AllreduceAlgo::RecursiveDoubling,
+        ..Default::default()
+    };
+    let tasks = |trace: &MpiTrace, cfg: &MpiToGoalConfig| {
+        mpi2goal::convert(trace, cfg).unwrap().total_tasks()
+    };
+    // Small (256 B) messages under Auto behave like the latency-optimal
+    // recursive-doubling expansion.
+    let small = one_allreduce(256);
+    assert_eq!(tasks(&small, &auto), tasks(&small, &explicit_recdoub));
+    // Large (4 MiB) messages under Auto switch to a different expansion.
+    let large = one_allreduce(4 << 20);
+    assert_ne!(tasks(&large, &auto), tasks(&large, &explicit_recdoub));
+}
+
+#[test]
+fn larger_clusters_communicate_more() {
+    let bytes = |ranks: usize| {
+        let goal =
+            mpi2goal::convert(&mpi::lammps(&small_cfg(ranks)), &MpiToGoalConfig::default())
+                .unwrap();
+        atlahs::goal::ScheduleStats::of(&goal).bytes_sent
+    };
+    assert!(bytes(64) > bytes(16));
+    assert!(bytes(16) > bytes(4));
+}
+
+#[test]
+fn noise_perturbs_traces_but_not_structure() {
+    let base = small_cfg(8);
+    let noisy = HpcAppConfig { noise: 0.2, seed: 99, ..base.clone() };
+    let t1 = mpi::icon(&base);
+    let t2 = mpi::icon(&noisy);
+    assert_eq!(t1.num_records(), t2.num_records(), "same communication structure");
+    // But the recorded timestamps differ (compute jitter).
+    let end1: u64 = t1.timelines.iter().map(|tl| tl.last().unwrap().tend).max().unwrap();
+    let end2: u64 = t2.timelines.iter().map(|tl| tl.last().unwrap().tend).max().unwrap();
+    assert_ne!(end1, end2);
+}
