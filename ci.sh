@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for the ATLAHS workspace. Run from the repo root.
+#
+# Stages:
+#   1. cargo fmt --check          — formatting (config in rustfmt.toml)
+#   2. cargo clippy -D warnings   — lints, all targets, no allowlist
+#   3. cargo build --release      — the tier-1 build
+#   4. cargo test -q              — unit + integration + doc tests (tier-1)
+#   5. cargo doc --no-deps        — rustdoc must build warning-free
+#
+# The build is fully offline: external deps are vendored shims under
+# crates/shims/ (see README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test -q --workspace
+
+step "cargo doc (no warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+printf '\nCI gate passed.\n'

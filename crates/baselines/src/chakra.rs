@@ -10,8 +10,8 @@
 //!
 //! This module reproduces that artifact from the same nsys-style reports
 //! ATLAHS consumes, so Fig. 8/9 compare the two toolchains on *identical
-//! execution patterns* (the paper generates Chakra traces from raw PyTorch
-//! + Kineto captures of the same run). The verbosity is intrinsic to the
+//! execution patterns* (the paper generates Chakra traces from raw
+//! PyTorch + Kineto captures of the same run). The verbosity is intrinsic to the
 //! schema — per-node attribute records — which is what makes the on-disk
 //! Chakra traces a multiple of GOAL's size (Fig. 9).
 
@@ -391,7 +391,8 @@ pub fn from_nsys(report: &NsysReport) -> ChakraTrace {
                     let comp_id = next_id;
                     next_id += 1;
                     let name = OP_NAMES[(comp_id % OP_NAMES.len() as u64) as usize];
-                    let dur = if k + 1 == nops { per_op + std::mem::take(&mut tail) } else { per_op };
+                    let dur =
+                        if k + 1 == nops { per_op + std::mem::take(&mut tail) } else { per_op };
                     nodes.push(ChakraNode {
                         id: comp_id,
                         name: format!("{name}#{comp_id}"),
@@ -448,25 +449,16 @@ pub fn from_nsys(report: &NsysReport) -> ChakraTrace {
                     None,
                     "nccl:all_to_all".to_string(),
                 ),
-                NcclKernel::Send { peer } => (
-                    ChakraNodeType::CommSend,
-                    None,
-                    Some(peer),
-                    "nccl:send".to_string(),
-                ),
-                NcclKernel::Recv { peer } => (
-                    ChakraNodeType::CommRecv,
-                    None,
-                    Some(peer),
-                    "nccl:recv".to_string(),
-                ),
+                NcclKernel::Send { peer } => {
+                    (ChakraNodeType::CommSend, None, Some(peer), "nccl:send".to_string())
+                }
+                NcclKernel::Recv { peer } => {
+                    (ChakraNodeType::CommRecv, None, Some(peer), "nccl:recv".to_string())
+                }
             };
             let mut attrs = verbose_attrs(&name.replace(':', "_"), rec.bytes, id, rec.stream);
             attrs.push(Attr::new("comm_type", node_type.as_str()));
-            attrs.push(Attr::new(
-                "pg_name",
-                format!("default_pg:{}.{}", rec.comm, rec.stream),
-            ));
+            attrs.push(Attr::new("pg_name", format!("default_pg:{}.{}", rec.comm, rec.stream)));
             attrs.push(Attr::new("dtype", "BFloat16"));
             attrs.push(Attr::new("count", (rec.bytes / 2).to_string()));
             nodes.push(ChakraNode {

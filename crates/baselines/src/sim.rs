@@ -163,8 +163,7 @@ impl AstraSim {
             }
         }
 
-        let groups: HashMap<u32, &Vec<u32>> =
-            trace.groups.iter().map(|(id, m)| (*id, m)).collect();
+        let groups: HashMap<u32, &Vec<u32>> = trace.groups.iter().map(|(id, m)| (*id, m)).collect();
 
         // Per-rank dependency bookkeeping.
         let nranks = trace.ranks.len();
@@ -240,11 +239,7 @@ impl AstraSim {
                 let node = &trace.ranks[rank as usize].nodes[idx as usize];
                 match node.node_type {
                     ChakraNodeType::Comp => {
-                        heap.push(Reverse((
-                            at + node.duration_ns,
-                            seq,
-                            NodeDone { rank, idx },
-                        )));
+                        heap.push(Reverse((at + node.duration_ns, seq, NodeDone { rank, idx })));
                         seq += 1;
                     }
                     ChakraNodeType::CommColl => {
@@ -265,14 +260,9 @@ impl AstraSim {
                         if entry.arrived.len() == entry.expected {
                             // Everybody is here: the whole group starts at
                             // the latest arrival and completes together.
-                            let start =
-                                entry.arrived.iter().map(|&(_, _, t)| t).max().unwrap();
-                            let dur = self.collective_ns(
-                                entry.kind,
-                                entry.bytes,
-                                members,
-                                &mut chunks,
-                            );
+                            let start = entry.arrived.iter().map(|&(_, _, t)| t).max().unwrap();
+                            let dur =
+                                self.collective_ns(entry.kind, entry.bytes, members, &mut chunks);
                             let done = start + dur;
                             let coll = pending.remove(&(pg, inst)).expect("just inserted");
                             for (rk, ix, _) in coll.arrived {
@@ -289,7 +279,7 @@ impl AstraSim {
         }
 
         for (ri, r) in trace.ranks.iter().enumerate() {
-            for i in 0..r.nodes.len() {
+            for (i, _) in r.nodes.iter().enumerate() {
                 if indeg[ri][i] == 0 {
                     issue!(ri as u32, i as u32, 0);
                 }
@@ -484,10 +474,7 @@ mod tests {
         let inter = sim.collective_ns(CollKind::AllReduce, 8 << 20, &[0, 4, 8, 12], &mut c);
         // With small chunks the per-chunk boundary overhead compresses
         // the tier gap, but the slower tier must still clearly lose.
-        assert!(
-            inter as f64 > 1.3 * intra as f64,
-            "inter {inter} vs intra {intra}"
-        );
+        assert!(inter as f64 > 1.3 * intra as f64, "inter {inter} vs intra {intra}");
     }
 
     #[test]
@@ -549,11 +536,7 @@ mod tests {
         let mut et = dp_trace();
         // Drop one rank's last collective: the group now disagrees.
         let r0 = &mut et.ranks[0];
-        if let Some(pos) = r0
-            .nodes
-            .iter()
-            .rposition(|n| n.node_type == ChakraNodeType::CommColl)
-        {
+        if let Some(pos) = r0.nodes.iter().rposition(|n| n.node_type == ChakraNodeType::CommColl) {
             // Also detach any successors referencing it to keep deps valid.
             let removed_id = r0.nodes[pos].id;
             r0.nodes.remove(pos);

@@ -98,11 +98,7 @@ fn bench_nccl_protocol(c: &mut Criterion) {
         let goal = b.build().unwrap();
         let mut be = LgsBackend::new(LogGopsParams::ai_alps());
         let rep = Simulation::new(&goal).run(&mut be).unwrap();
-        eprintln!(
-            "# proto {label}: {} tasks, simulated {} ns",
-            goal.total_tasks(),
-            rep.makespan
-        );
+        eprintln!("# proto {label}: {} tasks, simulated {} ns", goal.total_tasks(), rep.makespan);
         g.bench_function(label, |b| {
             b.iter(|| {
                 let mut be = LgsBackend::new(LogGopsParams::ai_alps());
@@ -125,11 +121,7 @@ fn bench_chunk_size(c: &mut Criterion) {
         let goal = b.build().unwrap();
         let mut be = LgsBackend::new(LogGopsParams::ai_alps());
         let rep = Simulation::new(&goal).run(&mut be).unwrap();
-        eprintln!(
-            "# chunk {chunk}: {} tasks, simulated {} ns",
-            goal.total_tasks(),
-            rep.makespan
-        );
+        eprintln!("# chunk {chunk}: {} tasks, simulated {} ns", goal.total_tasks(), rep.makespan);
         g.bench_function(format!("{}KiB", chunk >> 10), |b| {
             b.iter(|| {
                 let mut be = LgsBackend::new(LogGopsParams::ai_alps());
@@ -148,7 +140,10 @@ fn bench_allreduce_algorithms(c: &mut Criterion) {
     let mut g = c.benchmark_group("allreduce_algorithms");
     for (bytes, regime) in [(1u64 << 10, "1KiB"), (4 << 20, "4MiB")] {
         for (name, f) in [
-            ("ring", mpi::allreduce_ring as fn(&mut GoalBuilder, &[u32], u64, u32, &CollParams) -> _),
+            (
+                "ring",
+                mpi::allreduce_ring as fn(&mut GoalBuilder, &[u32], u64, u32, &CollParams) -> _,
+            ),
             ("recdoub", mpi::allreduce_recdoub),
             ("rabenseifner", mpi::allreduce_rabenseifner),
         ] {

@@ -18,11 +18,11 @@ impl Args {
     /// if the next token does not start with `--`, it is that key's value,
     /// otherwise the key is a boolean switch.
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args())
+        Self::from_tokens(std::env::args())
     }
 
     /// Parse an explicit token stream (first token = program name).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+    pub fn from_tokens<I: IntoIterator<Item = String>>(iter: I) -> Args {
         let mut it = iter.into_iter();
         let program = it.next().unwrap_or_default();
         let mut values = HashMap::new();
@@ -61,9 +61,7 @@ impl Args {
     pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.values.get(name) {
             None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| panic!("--{name}: cannot parse {v:?}")),
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{name}: cannot parse {v:?}")),
         }
     }
 
@@ -90,7 +88,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(
+        Args::from_tokens(
             std::iter::once("prog".to_string()).chain(s.split_whitespace().map(String::from)),
         )
     }

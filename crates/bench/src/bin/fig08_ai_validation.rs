@@ -105,7 +105,8 @@ fn main() {
 
     if timing {
         println!("\n# §5.2 — simulation wall-clock (same runs as above)");
-        let mut t = Table::new(["workload", "ATLAHS LGS", "ATLAHS htsim", "AstraSim", "LGS speedup"]);
+        let mut t =
+            Table::new(["workload", "ATLAHS LGS", "ATLAHS htsim", "AstraSim", "LGS speedup"]);
         for (name, lgs, ht, astra) in timing_rows {
             let (astra_cell, speedup) = match astra {
                 Some(a) => (

@@ -23,13 +23,8 @@ fn main() {
 
     println!("# Fig. 9 — GOAL vs Chakra trace sizes (scale={scale}, seed={seed})\n");
 
-    let mut table = Table::new([
-        "workload",
-        "geometry",
-        "GOAL (ATLAHS)",
-        "Chakra (AstraSim)",
-        "ratio",
-    ]);
+    let mut table =
+        Table::new(["workload", "geometry", "GOAL (ATLAHS)", "Chakra (AstraSim)", "ratio"]);
     for case in workloads::ai_suite(scale, quick, seed) {
         let (report, goal) = workloads::ai_goal(&case.cfg);
         let goal_bytes = binary::encode(&goal).len() as u64;

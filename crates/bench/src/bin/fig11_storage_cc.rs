@@ -56,15 +56,8 @@ fn main() {
     trace_to_goal(&trace, &layout, &params, &mut b);
     let goal = b.build().expect("storage GOAL must build");
 
-    let mut table = Table::new([
-        "topology",
-        "CC",
-        "mean MCT",
-        "p99 MCT",
-        "max MCT",
-        "flows",
-        "drops/trims",
-    ]);
+    let mut table =
+        Table::new(["topology", "CC", "mean MCT", "p99 MCT", "max MCT", "flows", "drops/trims"]);
 
     let mut summaries = Vec::new();
     for (ratio, tlabel) in [(1usize, "fully provisioned"), (8, "8:1 oversubscribed")] {
@@ -88,19 +81,19 @@ fn main() {
 
     // The paper's headline deltas: NDP relative to MPRDMA, oversubscribed.
     let get = |ratio: usize, cc: CcAlgo| {
-        summaries
-            .iter()
-            .find(|(r, c, _)| *r == ratio && *c == cc)
-            .map(|(_, _, s)| *s)
-            .unwrap()
+        summaries.iter().find(|(r, c, _)| *r == ratio && *c == cc).map(|(_, _, s)| *s).unwrap()
     };
     let m = get(8, CcAlgo::Mprdma);
     let n = get(8, CcAlgo::Ndp);
-    println!(
-        "\n8:1 oversubscribed, NDP vs MPRDMA: mean {:+.0}%  p99 {:+.0}%  max {:+.0}%",
-        (n.mean / m.mean - 1.0) * 100.0,
-        (n.p99 as f64 / m.p99 as f64 - 1.0) * 100.0,
-        (n.max as f64 / m.max as f64 - 1.0) * 100.0,
-    );
-    println!("(paper: mean +14%, p99 +35%, max +77%)");
+    if m.count > 0 && n.count > 0 {
+        println!(
+            "\n8:1 oversubscribed, NDP vs MPRDMA: mean {:+.0}%  p99 {:+.0}%  max {:+.0}%",
+            (n.mean / m.mean - 1.0) * 100.0,
+            (n.p99 as f64 / m.p99 as f64 - 1.0) * 100.0,
+            (n.max as f64 / m.max as f64 - 1.0) * 100.0,
+        );
+        println!("(paper: mean +14%, p99 +35%, max +77%)");
+    } else {
+        println!("\n(no flows simulated — nothing to compare)");
+    }
 }

@@ -64,11 +64,7 @@ fn main() {
         let run = runner::run_htsim(&merged, topo.clone(), CcAlgo::Mprdma, seed, false);
         // Per-app runtime: the latest finish among the app's own nodes.
         let finish = |nodes: &[u32]| {
-            nodes
-                .iter()
-                .map(|&n| run.report.rank_finish[n as usize])
-                .max()
-                .unwrap_or(0)
+            nodes.iter().map(|&n| run.report.rank_finish[n as usize]).max().unwrap_or(0)
         };
         let llama_t = finish(&placement[0]);
         let lulesh_t = finish(&placement[1]);

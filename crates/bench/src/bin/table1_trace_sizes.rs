@@ -67,12 +67,7 @@ fn main() {
         (HpcApp::OpenMx, 512, 32),
     ];
     for (app, procs, nodes) in hpc {
-        let case = HpcCase {
-            app,
-            procs,
-            nodes,
-            scaling: atlahs_tracers::mpi::Scaling::Weak,
-        };
+        let case = HpcCase { app, procs, nodes, scaling: atlahs_tracers::mpi::Scaling::Weak };
         let (trace, goal) = workloads::hpc_goal(&case, scale.max(0.02), seed);
         let trace_bytes = trace.to_text().len() as u64;
         let goal_bytes = binary::encode(&goal).len() as u64;

@@ -64,23 +64,13 @@ pub fn run_htsim(
 pub fn run_htsim_cfg(goal: &GoalSchedule, cfg: HtsimConfig) -> HtsimRun {
     let mut backend = HtsimBackend::new(cfg);
     let (report, wall) = run_on(goal, &mut backend);
-    HtsimRun {
-        report,
-        stats: backend.net_stats(),
-        flows: backend.flow_records().to_vec(),
-        wall,
-    }
+    HtsimRun { report, stats: backend.net_stats(), flows: backend.flow_records().to_vec(), wall }
 }
 
 /// ATLAHS htsim on the AI fabric: Slingshot/UEC-class adaptive load
 /// balancing (per-packet spraying), the configuration the paper's AI
 /// validation uses.
-pub fn run_htsim_ai(
-    goal: &GoalSchedule,
-    topo: TopologyConfig,
-    cc: CcAlgo,
-    seed: u64,
-) -> HtsimRun {
+pub fn run_htsim_ai(goal: &GoalSchedule, topo: TopologyConfig, cc: CcAlgo, seed: u64) -> HtsimRun {
     let mut cfg = HtsimConfig::new(topo, cc);
     cfg.seed = seed;
     cfg.spray = true;
@@ -108,7 +98,11 @@ pub struct DistSummary {
 
 impl DistSummary {
     pub fn of(mut durations: Vec<u64>) -> DistSummary {
-        assert!(!durations.is_empty(), "summary of an empty distribution");
+        if durations.is_empty() {
+            // Degenerate workloads (e.g. `--ops 0`) summarize to zeros
+            // instead of panicking.
+            return DistSummary { mean: 0.0, p99: 0, max: 0, count: 0 };
+        }
         durations.sort_unstable();
         let count = durations.len();
         let mean = durations.iter().map(|&d| d as f64).sum::<f64>() / count as f64;
@@ -178,8 +172,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty distribution")]
-    fn dist_summary_rejects_empty() {
-        DistSummary::of(Vec::new());
+    fn dist_summary_of_empty_is_zeros() {
+        let s = DistSummary::of(Vec::new());
+        assert_eq!((s.mean, s.p99, s.max, s.count), (0.0, 0, 0, 0));
     }
 }

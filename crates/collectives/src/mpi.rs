@@ -27,7 +27,8 @@ pub fn bcast_binomial(
     let mut g = Group::new(b, ranks, params.stream);
     if k > 1 {
         for p in 0..k {
-            let v = (p + k - root) % k; // virtual rank, root at 0
+            // Virtual rank, root at 0.
+            let v = (p + k - root) % k;
             // Receive phase: find the bit that locates our parent.
             let mut mask = 1usize;
             while mask < k {
@@ -130,7 +131,8 @@ pub fn allreduce_recdoub(
     let mut g = Group::new(b, ranks, params.stream);
     if k > 1 {
         let pof2 = prev_pow2(k);
-        let r = k - pof2; // number of excess ranks
+        // Number of excess ranks over the power of two.
+        let r = k - pof2;
         // Fold: ranks 0..2r pair up (even sends to odd neighbour).
         for i in 0..r {
             let a = 2 * i; // retires for the butterfly
@@ -363,10 +365,10 @@ pub fn alltoall_linear(
                 last[p].push(v);
             }
         }
-        for p in 0..k {
+        for (p, lasts) in last.iter().enumerate().take(k) {
             let r = g.ranks[p];
             let join = g.b.dummy(r);
-            for &t in &last[p] {
+            for &t in lasts {
                 g.b.requires(r, join, t);
             }
             g.frontier[p] = join;
@@ -587,9 +589,7 @@ mod tests {
         let p = CollParams::default();
         for k in [1, 2, 3, 4, 5, 8, 13, 16] {
             for root in [0, k - 1, k / 2] {
-                let (goal, _) = build_and_check(k, |b, r| {
-                    bcast_binomial(b, r, 1024, root, 0, &p)
-                });
+                let (goal, _) = build_and_check(k, |b, r| bcast_binomial(b, r, 1024, root, 0, &p));
                 // k-1 messages total.
                 let stats = atlahs_goal::ScheduleStats::of(&goal);
                 assert_eq!(stats.sends, k - 1, "k={k} root={root}");
@@ -646,10 +646,7 @@ mod tests {
             let per_rank = stats.bytes_sent / k as u64;
             let expect = 2 * bytes * (k as u64 - 1) / k as u64;
             let tol = 2 * k as u64; // rounding of uneven chunks
-            assert!(
-                per_rank.abs_diff(expect) <= tol,
-                "k={k}: sent {per_rank}, expected ~{expect}"
-            );
+            assert!(per_rank.abs_diff(expect) <= tol, "k={k}: sent {per_rank}, expected ~{expect}");
         }
     }
 
@@ -765,8 +762,8 @@ mod tests {
         let mut b = GoalBuilder::new(4);
         let first = allreduce_ring(&mut b, &ranks, 1024, 0, &p);
         let second = allreduce_ring(&mut b, &ranks, 1024, 1, &p);
-        for i in 0..4 {
-            b.requires(ranks[i] as Rank, second.entry[i], first.exit[i]);
+        for (i, &rk) in ranks.iter().enumerate() {
+            b.requires(rk, second.entry[i], first.exit[i]);
         }
         let goal = b.build().unwrap();
         check_matching(&goal).unwrap();

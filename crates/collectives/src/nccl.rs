@@ -166,11 +166,11 @@ fn allreduce_ring(
                 };
                 // Reduce-scatter.
                 for s in 0..k - 1 {
-                    ring_step(&mut g, &mut frontier, s, &piece, ctag, cfg, true);
+                    ring_step(&mut g, &mut frontier, s, piece, ctag, cfg, true);
                 }
                 // Allgather.
                 for s in k - 1..2 * (k - 1) {
-                    ring_step(&mut g, &mut frontier, s, &piece, ctag, cfg, false);
+                    ring_step(&mut g, &mut frontier, s, piece, ctag, cfg, false);
                 }
             }
             for p in 0..k {
@@ -194,7 +194,7 @@ fn ring_step(
     reduce: bool,
 ) {
     let k = g.size();
-    for p in 0..k {
+    for (p, front) in frontier.iter_mut().enumerate().take(k) {
         // Chunk indices mirror the MPI ring; only sizes matter for timing.
         let send_chunk = (p + 2 * k - s) % k;
         let recv_chunk = (p + 2 * k - s - 1) % k;
@@ -203,7 +203,7 @@ fn ring_step(
         let dst = (p + 1) % k;
         let src = (p + k - 1) % k;
         let r = g.ranks[p];
-        let prev = frontier[p];
+        let prev = *front;
         let snd = g.b.send_on(r, g.ranks[dst], send_bytes.max(1), tag, g.stream);
         let rcv = g.b.recv_on(r, g.ranks[src], recv_bytes.max(1), tag, g.stream);
         g.b.requires(r, snd, prev);
@@ -217,7 +217,7 @@ fn ring_step(
         let join = g.b.dummy(r);
         g.b.requires(r, join, snd);
         g.b.requires(r, join, tail);
-        frontier[p] = join;
+        *front = join;
     }
 }
 
@@ -268,19 +268,19 @@ fn allreduce_tree(
                     }
                 }
                 // Broadcast down.
-                for p in 0..k {
+                for (p, front) in frontier.iter_mut().enumerate().take(k) {
                     let r = g.ranks[p];
                     if p > 0 {
                         let parent = (p - 1) / 2;
                         let rcv = g.b.recv_on(r, g.ranks[parent], wire, ctag, g.stream);
-                        g.b.requires(r, rcv, frontier[p]);
-                        frontier[p] = rcv;
+                        g.b.requires(r, rcv, *front);
+                        *front = rcv;
                     }
                     for child in [2 * p + 1, 2 * p + 2] {
                         if child < k {
                             let snd = g.b.send_on(r, g.ranks[child], wire, ctag, g.stream);
-                            g.b.requires(r, snd, frontier[p]);
-                            frontier[p] = snd;
+                            g.b.requires(r, snd, *front);
+                            *front = snd;
                         }
                     }
                 }
@@ -367,7 +367,7 @@ pub fn allgather(
             for w in 0..windows {
                 let base = share / windows;
                 let rem = share % windows;
-                let piece_sz = base + u64::from((w as u64) < rem);
+                let piece_sz = base + u64::from(w < rem);
                 if piece_sz == 0 {
                     continue;
                 }
@@ -414,7 +414,7 @@ pub fn reduce_scatter(
                     base + u64::from(w < rem)
                 };
                 for s in 0..k - 1 {
-                    ring_step(&mut g, &mut frontier, s, &piece, ctag, cfg, true);
+                    ring_step(&mut g, &mut frontier, s, piece, ctag, cfg, true);
                 }
             }
             for p in 0..k {
@@ -455,10 +455,10 @@ pub fn alltoall(
                 last[p].push(v);
             }
         }
-        for p in 0..k {
+        for (p, lasts) in last.iter().enumerate().take(k) {
             let r = g.ranks[p];
             let join = g.b.dummy(r);
-            for &t in &last[p] {
+            for &t in lasts {
                 g.b.requires(r, join, t);
             }
             g.frontier[p] = join;
@@ -536,11 +536,7 @@ mod tests {
     fn fig4_broadcast_chunks() {
         // 2 MB broadcast over 4 GPUs, Simple protocol, 1 channel:
         // 4 chunks of 512 KiB, each crossing 3 hops.
-        let cfg = NcclConfig {
-            channels: 1,
-            launch_ns: 0,
-            ..NcclConfig::default()
-        };
+        let cfg = NcclConfig { channels: 1, launch_ns: 0, ..NcclConfig::default() };
         let ranks: Vec<Rank> = (0..4).collect();
         let mut b = GoalBuilder::new(4);
         broadcast(&mut b, &ranks, 2 * 1024 * 1024, 0, 0, &cfg);
@@ -573,8 +569,7 @@ mod tests {
     fn ll_protocol_doubles_wire_bytes() {
         let ranks: Vec<Rank> = (0..4).collect();
         let mk = |protocol: NcclProtocol| {
-            let cfg =
-                NcclConfig { protocol, channels: 1, launch_ns: 0, ..NcclConfig::default() };
+            let cfg = NcclConfig { protocol, channels: 1, launch_ns: 0, ..NcclConfig::default() };
             let mut b = GoalBuilder::new(4);
             allreduce(&mut b, &ranks, 1 << 20, 0, &cfg);
             let goal = b.build().unwrap();
@@ -583,10 +578,7 @@ mod tests {
         };
         let simple = mk(NcclProtocol::Simple);
         let ll = mk(NcclProtocol::Ll);
-        assert!(
-            ll > simple * 19 / 10,
-            "LL {ll} should be ~2x Simple {simple}"
-        );
+        assert!(ll > simple * 19 / 10, "LL {ll} should be ~2x Simple {simple}");
     }
 
     #[test]
@@ -601,8 +593,7 @@ mod tests {
         // For tiny payloads on many ranks, tree depth log2(k) beats ring 2(k-1).
         let ranks: Vec<Rank> = (0..16).collect();
         let mk = |algorithm: NcclAlgo| {
-            let cfg =
-                NcclConfig { algorithm, channels: 1, launch_ns: 0, ..NcclConfig::default() };
+            let cfg = NcclConfig { algorithm, channels: 1, launch_ns: 0, ..NcclConfig::default() };
             let mut b = GoalBuilder::new(16);
             allreduce(&mut b, &ranks, 256, 0, &cfg);
             let goal = b.build().unwrap();
@@ -618,8 +609,7 @@ mod tests {
     fn ring_beats_tree_on_bandwidth_large_messages() {
         let ranks: Vec<Rank> = (0..8).collect();
         let mk = |algorithm: NcclAlgo| {
-            let cfg =
-                NcclConfig { algorithm, channels: 1, launch_ns: 0, ..NcclConfig::default() };
+            let cfg = NcclConfig { algorithm, channels: 1, launch_ns: 0, ..NcclConfig::default() };
             let mut b = GoalBuilder::new(8);
             allreduce(&mut b, &ranks, 64 << 20, 0, &cfg);
             let goal = b.build().unwrap();

@@ -138,10 +138,7 @@ mod tests {
             } else {
                 let _ = m.offer_send((1, 2, 3), i);
             }
-            assert!(
-                m.pending_sends() == 0 || m.pending_recvs() == 0,
-                "both sides queued at i={i}"
-            );
+            assert!(m.pending_sends() == 0 || m.pending_recvs() == 0, "both sides queued at i={i}");
         }
     }
 

@@ -32,9 +32,7 @@ pub fn allocate(
 ) -> Result<Vec<Vec<Rank>>, String> {
     let needed: usize = job_sizes.iter().sum();
     if needed > cluster_size {
-        return Err(format!(
-            "jobs need {needed} nodes but the cluster has {cluster_size}"
-        ));
+        return Err(format!("jobs need {needed} nodes but the cluster has {cluster_size}"));
     }
 
     match strategy {

@@ -46,10 +46,9 @@ impl std::fmt::Display for SimError {
             SimError::SpuriousCompletion { op } => {
                 write!(f, "backend reported event for task {op:?} which was not running")
             }
-            SimError::TimeRegression { op, time, previous } => write!(
-                f,
-                "backend time went backwards at {op:?}: {time} < {previous}"
-            ),
+            SimError::TimeRegression { op, time, previous } => {
+                write!(f, "backend time went backwards at {op:?}: {time} < {previous}")
+            }
         }
     }
 }
@@ -199,9 +198,7 @@ impl<'g> Simulation<'g> {
 
 fn maybe_ready(sched: &atlahs_goal::RankSchedule, rs: &mut RankState, id: TaskId) {
     let i = id.index();
-    if rs.state[i] == TaskState::Waiting
-        && rs.full_remaining[i] == 0
-        && rs.start_remaining[i] == 0
+    if rs.state[i] == TaskState::Waiting && rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0
     {
         rs.state[i] = TaskState::Ready;
         let stream = sched.task(id).stream;

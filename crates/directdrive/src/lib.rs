@@ -168,8 +168,7 @@ pub fn trace_to_goal(
             // Primary persists and fans out to secondaries concurrently.
             let w_prim = b.calc(
                 primary,
-                params.bss_write_base_ns
-                    + (rec.bytes as f64 * params.bss_write_per_byte) as u64,
+                params.bss_write_base_ns + (rec.bytes as f64 * params.bss_write_per_byte) as u64,
             );
             b.requires(primary, w_prim, r_data);
             let mut acks = Vec::new();
@@ -251,9 +250,8 @@ mod tests {
         let set: std::collections::HashSet<_> = r1.iter().collect();
         assert_eq!(set.len(), 3, "replicas must be distinct BSS");
         // Different slabs spread over different primaries.
-        let primaries: std::collections::HashSet<usize> = (0..64)
-            .map(|s| slab_replicas(s * p.slab_blocks, &p, 8)[0])
-            .collect();
+        let primaries: std::collections::HashSet<usize> =
+            (0..64).map(|s| slab_replicas(s * p.slab_blocks, &p, 8)[0]).collect();
         assert!(primaries.len() >= 6, "spread: {primaries:?}");
     }
 

@@ -70,8 +70,8 @@ fn unzigzag(v: u64) -> i64 {
 /// Encode a schedule into the compact binary format.
 pub fn encode(goal: &GoalSchedule) -> Vec<u8> {
     // Rough pre-size: ~6 bytes per task + ~3 per edge.
-    let cap = 16
-        + goal.ranks().iter().map(|r| 6 * r.num_tasks() + 3 * r.num_deps() + 10).sum::<usize>();
+    let cap =
+        16 + goal.ranks().iter().map(|r| 6 * r.num_tasks() + 3 * r.num_deps() + 10).sum::<usize>();
     let mut out = Vec::with_capacity(cap);
     out.extend_from_slice(MAGIC);
     put_varint(&mut out, goal.num_ranks() as u64);

@@ -28,10 +28,7 @@ pub struct GoalBuilder {
 impl GoalBuilder {
     /// A builder for `num_ranks` ranks with empty schedules.
     pub fn new(num_ranks: usize) -> Self {
-        GoalBuilder {
-            tasks: vec![Vec::new(); num_ranks],
-            deps: vec![Vec::new(); num_ranks],
-        }
+        GoalBuilder { tasks: vec![Vec::new(); num_ranks], deps: vec![Vec::new(); num_ranks] }
     }
 
     /// Number of ranks the builder was created with.
@@ -68,7 +65,14 @@ impl GoalBuilder {
     }
 
     /// Add a send on an explicit compute stream.
-    pub fn send_on(&mut self, rank: Rank, dst: Rank, bytes: u64, tag: Tag, stream: Stream) -> TaskId {
+    pub fn send_on(
+        &mut self,
+        rank: Rank,
+        dst: Rank,
+        bytes: u64,
+        tag: Tag,
+        stream: Stream,
+    ) -> TaskId {
         self.add_task(rank, Task::send(dst, bytes, tag).on_stream(stream))
     }
 
@@ -78,7 +82,14 @@ impl GoalBuilder {
     }
 
     /// Add a recv on an explicit compute stream.
-    pub fn recv_on(&mut self, rank: Rank, src: Rank, bytes: u64, tag: Tag, stream: Stream) -> TaskId {
+    pub fn recv_on(
+        &mut self,
+        rank: Rank,
+        src: Rank,
+        bytes: u64,
+        tag: Tag,
+        stream: Stream,
+    ) -> TaskId {
         self.add_task(rank, Task::recv(src, bytes, tag).on_stream(stream))
     }
 
@@ -208,14 +219,8 @@ mod tests {
         let mut b = GoalBuilder::new(2);
         let (s, r) = send_recv_pair(&mut b, 0, 1, 64, 3);
         let goal = b.build().unwrap();
-        assert_eq!(
-            goal.rank(0).task(s).kind,
-            TaskKind::Send { bytes: 64, dst: 1, tag: 3 }
-        );
-        assert_eq!(
-            goal.rank(1).task(r).kind,
-            TaskKind::Recv { bytes: 64, src: 0, tag: 3 }
-        );
+        assert_eq!(goal.rank(0).task(s).kind, TaskKind::Send { bytes: 64, dst: 1, tag: 3 });
+        assert_eq!(goal.rank(1).task(r).kind, TaskKind::Recv { bytes: 64, src: 0, tag: 3 });
     }
 
     #[test]

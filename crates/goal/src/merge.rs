@@ -196,11 +196,8 @@ mod tests {
     fn disjoint_multi_job() {
         let a = ping(2, 10);
         let b = ping(2, 20);
-        let merged = compose(
-            &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![2, 3])],
-            4,
-        )
-        .unwrap();
+        let merged =
+            compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![2, 3])], 4).unwrap();
         // Each node holds dummy + 1 task.
         for r in 0..4 {
             assert_eq!(merged.rank(r).num_tasks(), 2, "rank {r}");
@@ -222,11 +219,8 @@ mod tests {
     fn multi_tenant_shares_node_with_distinct_streams() {
         let a = ping(2, 10);
         let b = ping(2, 20);
-        let merged = compose(
-            &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![0, 1])],
-            2,
-        )
-        .unwrap();
+        let merged =
+            compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![0, 1])], 2).unwrap();
         // Node 0: dummy+send (job a) + dummy+send (job b).
         assert_eq!(merged.rank(0).num_tasks(), 4);
         let streams: Vec<u32> = merged.rank(0).tasks().iter().map(|t| t.stream).collect();
@@ -242,13 +236,11 @@ mod tests {
         let c2 = gb.calc(0, 7);
         gb.requires(0, c2, c1);
         let job = gb.build().unwrap();
-        let merged = compose(
-            &[PlacedJob::new(&job, vec![0]), PlacedJob::new(&job, vec![0])],
-            1,
-        )
-        .unwrap();
+        let merged =
+            compose(&[PlacedJob::new(&job, vec![0]), PlacedJob::new(&job, vec![0])], 1).unwrap();
         let r0 = merged.rank(0);
-        assert_eq!(r0.num_tasks(), 6); // 2 * (dummy + 2 calcs)
+        // 2 * (dummy + 2 calcs).
+        assert_eq!(r0.num_tasks(), 6);
         // The dummy (task 0) must be the only root of tenant 0's sub-DAG.
         let roots: Vec<_> = r0.roots().collect();
         assert_eq!(roots, vec![TaskId(0), TaskId(3)]);

@@ -127,9 +127,7 @@ impl RankSchedule {
 
     /// Tasks with no predecessors (initially eligible).
     pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
-        (0..self.num_tasks())
-            .map(|i| TaskId(i as u32))
-            .filter(|&id| self.preds(id).is_empty())
+        (0..self.num_tasks()).map(|i| TaskId(i as u32)).filter(|&id| self.preds(id).is_empty())
     }
 
     /// Per-task `(full, start)` in-degree counters, as used by schedulers.
@@ -155,8 +153,8 @@ impl RankSchedule {
     pub fn topo_order(&self) -> Option<Vec<TaskId>> {
         let n = self.num_tasks();
         let mut indeg = vec![0u32; n];
-        for i in 0..n {
-            indeg[i] = self.preds(TaskId(i as u32)).len() as u32;
+        for (i, d) in indeg.iter_mut().enumerate() {
+            *d = self.preds(TaskId(i as u32)).len() as u32;
         }
         let mut queue: Vec<TaskId> =
             (0..n).map(|i| TaskId(i as u32)).filter(|&id| indeg[id.index()] == 0).collect();
@@ -293,10 +291,8 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let tasks = vec![Task::calc(1), Task::calc(2)];
-        let deps = vec![
-            (TaskId(0), TaskId(1), DepKind::Full),
-            (TaskId(1), TaskId(0), DepKind::Full),
-        ];
+        let deps =
+            vec![(TaskId(0), TaskId(1), DepKind::Full), (TaskId(1), TaskId(0), DepKind::Full)];
         let s = RankSchedule::from_parts(0, tasks, &deps).unwrap();
         assert!(s.topo_order().is_none());
         let g = GoalSchedule::new(vec![s]);
@@ -330,10 +326,8 @@ mod tests {
     #[test]
     fn indegrees_split_by_kind() {
         let tasks = vec![Task::calc(1), Task::calc(2), Task::calc(3)];
-        let deps = vec![
-            (TaskId(2), TaskId(0), DepKind::Full),
-            (TaskId(2), TaskId(1), DepKind::Start),
-        ];
+        let deps =
+            vec![(TaskId(2), TaskId(0), DepKind::Full), (TaskId(2), TaskId(1), DepKind::Start)];
         let s = RankSchedule::from_parts(0, tasks, &deps).unwrap();
         let (full, start) = s.indegrees();
         assert_eq!(full, vec![0, 0, 1]);

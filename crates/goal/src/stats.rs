@@ -86,12 +86,7 @@ impl SimpleCostModel {
         let mut finish = vec![0u64; sched.num_tasks()];
         let mut best = 0u64;
         for id in order {
-            let start = sched
-                .preds(id)
-                .iter()
-                .map(|&(p, _)| finish[p.index()])
-                .max()
-                .unwrap_or(0);
+            let start = sched.preds(id).iter().map(|&(p, _)| finish[p.index()]).max().unwrap_or(0);
             let f = start + self.task_cost(&sched.task(id).kind);
             finish[id.index()] = f;
             best = best.max(f);

@@ -236,10 +236,9 @@ fn parse_size(tok: &str, line: usize) -> Result<u64, GoalError> {
     } else {
         (lower.as_str(), 1)
     };
-    let n: u64 = digits.parse().map_err(|_| GoalError::Parse {
-        line,
-        msg: format!("invalid size `{tok}`"),
-    })?;
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| GoalError::Parse { line, msg: format!("invalid size `{tok}`") })?;
     Ok(n * mult)
 }
 
@@ -270,22 +269,14 @@ fn parse_task(body: &str, line: usize) -> Result<Task, GoalError> {
                 return Err(err(format!("expected `send <size> to <rank>`, got `{body}`")));
             }
             i = 4;
-            TaskKind::Send {
-                bytes: parse_size(toks[1], line)?,
-                dst: parse_u32(toks[3])?,
-                tag: 0,
-            }
+            TaskKind::Send { bytes: parse_size(toks[1], line)?, dst: parse_u32(toks[3])?, tag: 0 }
         }
         "recv" => {
             if toks.len() < 4 || toks[2] != "from" {
                 return Err(err(format!("expected `recv <size> from <rank>`, got `{body}`")));
             }
             i = 4;
-            TaskKind::Recv {
-                bytes: parse_size(toks[1], line)?,
-                src: parse_u32(toks[3])?,
-                tag: 0,
-            }
+            TaskKind::Recv { bytes: parse_size(toks[1], line)?, src: parse_u32(toks[3])?, tag: 0 }
         }
         other => return Err(err(format!("unknown task kind `{other}`"))),
     };
@@ -313,10 +304,7 @@ fn parse_task(body: &str, line: usize) -> Result<Task, GoalError> {
                 i += 1;
             }
             other => {
-                return Err(GoalError::Parse {
-                    line,
-                    msg: format!("unexpected token `{other}`"),
-                })
+                return Err(GoalError::Parse { line, msg: format!("unexpected token `{other}`") })
             }
         }
     }
@@ -358,10 +346,7 @@ rank 1 {
         let r0 = goal.rank(0);
         assert_eq!(r0.num_tasks(), 4);
         assert_eq!(r0.task(TaskId(2)).stream, 1);
-        assert_eq!(
-            r0.task(TaskId(3)).kind,
-            TaskKind::Send { bytes: 10, dst: 1, tag: 0 }
-        );
+        assert_eq!(r0.task(TaskId(3)).kind, TaskKind::Send { bytes: 10, dst: 1, tag: 0 });
         assert_eq!(r0.preds(TaskId(3)).len(), 2);
         assert_eq!(goal.rank(1).num_tasks(), 1);
     }
@@ -385,10 +370,7 @@ rank 1 {
     #[test]
     fn tags_parse_and_print() {
         let g = parse("num_ranks 2\nrank 0 {\na: send 8b to 1 tag 9\n}\nrank 1 {\nb: recv 8b from 0 tag 9 cpu 2\n}").unwrap();
-        assert_eq!(
-            g.rank(0).task(TaskId(0)).kind,
-            TaskKind::Send { bytes: 8, dst: 1, tag: 9 }
-        );
+        assert_eq!(g.rank(0).task(TaskId(0)).kind, TaskKind::Send { bytes: 8, dst: 1, tag: 9 });
         let t = g.rank(1).task(TaskId(0));
         assert_eq!(t.kind, TaskKind::Recv { bytes: 8, src: 0, tag: 9 });
         assert_eq!(t.stream, 2);
@@ -399,7 +381,8 @@ rank 1 {
 
     #[test]
     fn comments_ignored() {
-        let g = parse("num_ranks 1 // trailing\nrank 0 {\n# full-line comment\na: calc 5\n}").unwrap();
+        let g =
+            parse("num_ranks 1 // trailing\nrank 0 {\n# full-line comment\na: calc 5\n}").unwrap();
         assert_eq!(g.rank(0).num_tasks(), 1);
     }
 

@@ -43,14 +43,12 @@ pub fn scale_message_bytes(goal: &GoalSchedule, factor: f64) -> GoalSchedule {
     assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite and non-negative");
     let scale = |b: u64| ((b as f64 * factor).round() as u64).max(1);
     map_tasks(goal, |t| match t.kind {
-        TaskKind::Send { bytes, dst, tag } => Task {
-            kind: TaskKind::Send { bytes: scale(bytes), dst, tag },
-            stream: t.stream,
-        },
-        TaskKind::Recv { bytes, src, tag } => Task {
-            kind: TaskKind::Recv { bytes: scale(bytes), src, tag },
-            stream: t.stream,
-        },
+        TaskKind::Send { bytes, dst, tag } => {
+            Task { kind: TaskKind::Send { bytes: scale(bytes), dst, tag }, stream: t.stream }
+        }
+        TaskKind::Recv { bytes, src, tag } => {
+            Task { kind: TaskKind::Recv { bytes: scale(bytes), src, tag }, stream: t.stream }
+        }
         _ => *t,
     })
 }
@@ -171,14 +169,8 @@ mod tests {
         let g = sample();
         // 0 -> 2, 1 -> 0, 2 -> 1
         let p = permute_ranks(&g, &[2, 0, 1]).unwrap();
-        assert_eq!(
-            p.rank(2).task(TaskId(1)).kind,
-            TaskKind::Send { bytes: 4096, dst: 0, tag: 5 }
-        );
-        assert_eq!(
-            p.rank(0).task(TaskId(0)).kind,
-            TaskKind::Recv { bytes: 4096, src: 2, tag: 5 }
-        );
+        assert_eq!(p.rank(2).task(TaskId(1)).kind, TaskKind::Send { bytes: 4096, dst: 0, tag: 5 });
+        assert_eq!(p.rank(0).task(TaskId(0)).kind, TaskKind::Recv { bytes: 4096, src: 2, tag: 5 });
         crate::stats::check_matching(&p).unwrap();
     }
 

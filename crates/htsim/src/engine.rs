@@ -133,11 +133,27 @@ struct Packet {
 #[derive(Debug)]
 enum Ev {
     TxDone(u32),
-    Arrive { port: u32, pkt: Packet },
-    Timeout { flow: u32 },
-    PullTick { host: u32 },
-    Emit { op: OpRef, done: bool },
-    LocalDone { flow: u32 },
+    Arrive {
+        port: u32,
+        pkt: Packet,
+    },
+    /// Retransmission timer for `flow`. `gen` identifies the timer chain:
+    /// events whose generation no longer matches the flow's are stale
+    /// (the chain was re-armed early on backoff recovery) and are dropped.
+    Timeout {
+        flow: u32,
+        gen: u32,
+    },
+    PullTick {
+        host: u32,
+    },
+    Emit {
+        op: OpRef,
+        done: bool,
+    },
+    LocalDone {
+        flow: u32,
+    },
 }
 
 struct HeapEv {
@@ -212,7 +228,13 @@ struct Flow {
     rpath: Vec<u32>,
     /// ECMP salt; per-packet spray values derive from it.
     salt: u64,
+    /// Current retransmission timeout (backs off exponentially while the
+    /// flow makes no progress; see [`HtsimBackend::on_timeout`]).
     rto: u64,
+    /// The RTO the flow started with; restored on ACK progress.
+    rto_base: u64,
+    /// Current timer-chain generation (see [`Ev::Timeout`]).
+    timeout_gen: u32,
     cc: CcState,
     // sender state
     next_idx: u32,
@@ -540,8 +562,9 @@ impl HtsimBackend {
                 if self.cfg.cc == CcAlgo::Ndp {
                     self.add_pull_credit(host, pkt.flow);
                 }
-                if fresh && self.flows[pkt.flow as usize].rcvd_count
-                    == self.flows[pkt.flow as usize].npkts
+                if fresh
+                    && self.flows[pkt.flow as usize].rcvd_count
+                        == self.flows[pkt.flow as usize].npkts
                 {
                     self.complete_flow(pkt.flow);
                 }
@@ -557,8 +580,6 @@ impl HtsimBackend {
                         None
                     } else {
                         f.acked.set(pkt.idx);
-                        let payload = f.payload(pkt.idx, 0) /* placeholder */;
-                        let _ = payload;
                         Some(f.send_ts[pkt.idx as usize])
                     }
                 };
@@ -570,6 +591,20 @@ impl HtsimBackend {
                     let rtt = self.now.saturating_sub(ts).max(1);
                     f.cc.on_ack(self.now, rtt, pkt.ecn);
                     f.last_activity = self.now;
+                    if f.rto != f.rto_base {
+                        // Backoff recovery: restore the base RTO and re-arm
+                        // the timer promptly — the pending timeout event sits
+                        // up to 64x base in the future and would delay
+                        // detection of a new stall by that much. Bumping the
+                        // generation invalidates the old chain.
+                        f.rto = f.rto_base;
+                        f.timeout_gen = f.timeout_gen.wrapping_add(1);
+                        let (t, ev) = (
+                            self.now + f.rto_base,
+                            Ev::Timeout { flow: pkt.flow, gen: f.timeout_gen },
+                        );
+                        self.push(t, ev);
+                    }
                     self.try_send(pkt.flow);
                 }
             }
@@ -657,10 +692,12 @@ impl HtsimBackend {
         }
     }
 
-    fn on_timeout(&mut self, fid: u32) {
+    fn on_timeout(&mut self, fid: u32, gen: u32) {
         let reschedule = {
             let f = &mut self.flows[fid as usize];
-            if f.complete {
+            if f.complete || gen != f.timeout_gen {
+                // Flow finished, or this chain was superseded by an early
+                // re-arm on backoff recovery: let the stale chain die.
                 None
             } else if self.now.saturating_sub(f.last_activity) < f.rto {
                 Some(f.last_activity + f.rto)
@@ -675,13 +712,19 @@ impl HtsimBackend {
                 }
                 f.inflight = 0;
                 f.last_activity = self.now;
+                // Exponential backoff (capped at 64x base): a static RTO
+                // sized from the *base* RTT livelocks once queueing delay
+                // exceeds it — every flow times out each RTO, re-injects
+                // its whole window, and the storm sustains the very
+                // congestion that caused it.
+                f.rto = f.rto.saturating_mul(2).min(f.rto_base.saturating_mul(64));
                 Some(self.now + f.rto)
             }
         };
         if let Some(t) = reschedule {
             // Count retransmissions triggered by the timeout path.
             self.try_send(fid);
-            self.push(t, Ev::Timeout { flow: fid });
+            self.push(t, Ev::Timeout { flow: fid, gen });
         }
     }
 }
@@ -726,7 +769,7 @@ impl Backend for HtsimBackend {
             self.flows[fid as usize].recv_op = Some(recv_op);
         }
         self.try_send(fid);
-        self.push(self.now + rto, Ev::Timeout { flow: fid });
+        self.push(self.now + rto, Ev::Timeout { flow: fid, gen: 0 });
     }
 
     fn recv(&mut self, op: OpRef, src: Rank, _bytes: u64, tag: Tag) {
@@ -779,9 +822,9 @@ impl Backend for HtsimBackend {
                 }
                 Ev::TxDone(p) => self.on_tx_done(p),
                 Ev::Arrive { port, pkt } => self.on_arrive(port, pkt),
-                Ev::Timeout { flow } => {
+                Ev::Timeout { flow, gen } => {
                     self.stats.timeouts += 1;
-                    self.on_timeout(flow);
+                    self.on_timeout(flow, gen);
                 }
                 Ev::PullTick { host } => self.on_pull_tick(host),
                 Ev::LocalDone { flow } => {
@@ -833,6 +876,8 @@ impl HtsimBackend {
             rpath,
             salt,
             rto,
+            rto_base: rto.max(1),
+            timeout_gen: 0,
             cc,
             next_idx: 0,
             acked: Bitmap::new(npkts),

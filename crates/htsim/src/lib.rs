@@ -282,10 +282,7 @@ mod tests {
         let goal = incast(8, 64 * 1024);
         let (_, backend) = run_with(&goal, small_switch(CcAlgo::Mprdma));
         let st = backend.net_stats();
-        assert!(
-            st.timeouts <= 20 * st.flows,
-            "timer events must be bounded per flow: {st:?}"
-        );
+        assert!(st.timeouts <= 20 * st.flows, "timer events must be bounded per flow: {st:?}");
     }
 
     #[test]
@@ -368,9 +365,6 @@ mod tests {
         };
         let low = mk(0.05, 0.2);
         let high = mk(0.9, 0.99);
-        assert!(
-            low > 2 * high,
-            "early marking must produce more marks: low={low} high={high}"
-        );
+        assert!(low > 2 * high, "early marking must produce more marks: low={low} high={high}");
     }
 }

@@ -246,14 +246,14 @@ impl Topology {
                 // Wire globals: link j of group g targets the j-th other
                 // group in cyclic order, landing on a spread-out router.
                 let mut links = vec![vec![Vec::new(); groups]; groups];
-                for g in 0..groups {
+                for (g, from_g) in links.iter_mut().enumerate() {
                     for j in 0..r * gl {
                         let src_router = (j / gl) as u32;
                         let k = j % gl;
                         let tg = (g + 1 + (j % (groups - 1))) % groups;
                         let dst_router = ((g + j / (groups - 1)) % r) as u32;
                         let port = (global_base + (g * r + src_router as usize) * gl + k) as u32;
-                        links[g][tg].push((src_router, port, dst_router));
+                        from_g[tg].push((src_router, port, dst_router));
                     }
                 }
                 Topology {
@@ -387,10 +387,8 @@ mod tests {
 
     #[test]
     fn single_switch_routes() {
-        let t = Topology::build(TopologyConfig::SingleSwitch {
-            hosts: 4,
-            link: LinkParams::default(),
-        });
+        let t =
+            Topology::build(TopologyConfig::SingleSwitch { hosts: 4, link: LinkParams::default() });
         assert_eq!(t.route(0, 3, 0), vec![0, 4 + 3]);
         assert_eq!(t.ports().len(), 8);
         assert_eq!(t.ports()[7].to_host, Some(3));
@@ -421,7 +419,7 @@ mod tests {
         assert_eq!(paths.len(), 1, "8:1 oversubscription leaves one uplink");
         // Core ports flagged for statistics.
         let cores = t.ports().iter().filter(|p| p.is_core).count();
-        assert_eq!(cores, 2 * 2 * 1); // 2 tors x 1 uplink, both directions
+        assert_eq!(cores, 2 * 2); // 2 tors x 1 uplink, both directions
     }
 
     #[test]
@@ -548,7 +546,8 @@ mod tests {
             b.recv(d, s, 64 << 10, s);
         }
         let goal = b.build().unwrap();
-        let cfg = crate::HtsimConfig::new(TopologyConfig::dragonfly(4, 3, 2), crate::CcAlgo::Mprdma);
+        let cfg =
+            crate::HtsimConfig::new(TopologyConfig::dragonfly(4, 3, 2), crate::CcAlgo::Mprdma);
         let mut be = crate::HtsimBackend::new(cfg);
         let rep = Simulation::new(&goal).run(&mut be).unwrap();
         assert_eq!(rep.completed, goal.total_tasks());

@@ -166,13 +166,11 @@ pub fn convert(trace: &MpiTrace, cfg: &MpiToGoalConfig) -> Result<GoalSchedule, 
 
         // All ranks at a collective record: verify and emit one instance.
         let op0 = trace.timelines[0][idx[0]].op;
-        for r in 1..n {
-            let opr = trace.timelines[r][idx[r]].op;
+        for (r, &ir) in idx.iter().enumerate().take(n).skip(1) {
+            let opr = trace.timelines[r][ir].op;
             if std::mem::discriminant(&opr) != std::mem::discriminant(&op0) {
                 return Err(GoalError::Compose {
-                    msg: format!(
-                        "collective mismatch: rank 0 at {op0:?}, rank {r} at {opr:?}"
-                    ),
+                    msg: format!("collective mismatch: rank 0 at {op0:?}, rank {r} at {opr:?}"),
                 });
             }
         }
@@ -366,9 +364,7 @@ mod tests {
         let mk = |bytes: u64| MpiTrace {
             app: "x".into(),
             timelines: (0..4)
-                .map(|_| {
-                    vec![MpiRecord { op: MpiOp::Allreduce { bytes }, tstart: 0, tend: 1 }]
-                })
+                .map(|_| vec![MpiRecord { op: MpiOp::Allreduce { bytes }, tstart: 0, tend: 1 }])
                 .collect(),
         };
         let small = convert(&mk(1024), &MpiToGoalConfig::default()).unwrap();

@@ -21,9 +21,7 @@
 use std::collections::HashMap;
 
 use atlahs_collectives::nccl::{self as nc, NcclConfig};
-use atlahs_goal::{
-    GoalBuilder, GoalError, GoalSchedule, Rank, Task, TaskId, TaskKind,
-};
+use atlahs_goal::{GoalBuilder, GoalError, GoalSchedule, Rank, Task, TaskId, TaskKind};
 use atlahs_tracers::nccl::{KernelRecord, NcclKernel, NsysReport};
 
 /// Converter configuration.
@@ -71,10 +69,7 @@ pub fn convert(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSchedu
 }
 
 /// Stages 2+3: a GOAL schedule with one rank per **GPU**.
-pub fn gpu_level(
-    report: &NsysReport,
-    cfg: &NcclToGoalConfig,
-) -> Result<GoalSchedule, GoalError> {
+pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSchedule, GoalError> {
     let ngpus = report.num_gpus();
     let mut b = GoalBuilder::new(ngpus);
     // (gpu, record index) -> (entry, exit) vertices of its decomposition.
@@ -94,14 +89,12 @@ pub fn gpu_level(
             let members = comm_members.get(&rec.comm).ok_or_else(|| GoalError::Compose {
                 msg: format!("record references unknown communicator {}", rec.comm),
             })?;
-            let pos = members.iter().position(|&m| m == gi as u32).ok_or_else(|| {
-                GoalError::Compose {
+            let pos =
+                members.iter().position(|&m| m == gi as u32).ok_or_else(|| GoalError::Compose {
                     msg: format!("gpu {gi} not a member of communicator {}", rec.comm),
-                }
-            })?;
-            let lists = instances
-                .entry(rec.comm)
-                .or_insert_with(|| vec![Vec::new(); members.len()]);
+                })?;
+            let lists =
+                instances.entry(rec.comm).or_insert_with(|| vec![Vec::new(); members.len()]);
             lists[pos].push(ri);
         }
     }
@@ -120,13 +113,11 @@ pub fn gpu_level(
             // The member records of this instance.
             let recs: Vec<&KernelRecord> = members
                 .iter()
-                .enumerate()
-                .map(|(m, &g)| &report.gpus[g as usize].records[lists[m][i]])
+                .zip(lists.iter())
+                .map(|(&g, list)| &report.gpus[g as usize].records[list[i]])
                 .collect();
             let k0 = recs[0].kernel;
-            if recs
-                .iter()
-                .any(|r| std::mem::discriminant(&r.kernel) != std::mem::discriminant(&k0))
+            if recs.iter().any(|r| std::mem::discriminant(&r.kernel) != std::mem::discriminant(&k0))
             {
                 return Err(GoalError::Compose {
                     msg: format!("communicator {comm}: instance {i} kernel mismatch"),
@@ -142,16 +133,11 @@ pub fn gpu_level(
             let p = match k0 {
                 NcclKernel::AllReduce => nc::allreduce(&mut b, members, bytes, tag, &ncfg),
                 NcclKernel::Broadcast { root } => {
-                    let root_pos = members
-                        .iter()
-                        .position(|&m| m == root)
-                        .unwrap_or(0);
+                    let root_pos = members.iter().position(|&m| m == root).unwrap_or(0);
                     nc::broadcast(&mut b, members, bytes, root_pos, tag, &ncfg)
                 }
                 NcclKernel::AllGather => nc::allgather(&mut b, members, bytes, tag, &ncfg),
-                NcclKernel::ReduceScatter => {
-                    nc::reduce_scatter(&mut b, members, bytes, tag, &ncfg)
-                }
+                NcclKernel::ReduceScatter => nc::reduce_scatter(&mut b, members, bytes, tag, &ncfg),
                 NcclKernel::AllToAll => {
                     nc::alltoall(&mut b, members, bytes / members.len() as u64, tag, &ncfg)
                 }
@@ -185,11 +171,7 @@ pub fn gpu_level(
         let (sends, recvs) = &p2p[&(src, dst)];
         if sends.len() != recvs.len() {
             return Err(GoalError::Compose {
-                msg: format!(
-                    "p2p {src}->{dst}: {} sends but {} recvs",
-                    sends.len(),
-                    recvs.len()
-                ),
+                msg: format!("p2p {src}->{dst}: {} sends but {} recvs", sends.len(), recvs.len()),
             });
         }
         for (&sk, &rk) in sends.iter().zip(recvs) {
@@ -209,8 +191,8 @@ pub fn gpu_level(
         // last (exit, tend) per stream
         let mut last: HashMap<u32, (TaskId, u64)> = HashMap::new();
         for (ri, rec) in g.records.iter().enumerate() {
-            let &(entry, exit) = ports.get(&(gi as u32, ri)).ok_or_else(|| {
-                GoalError::Compose { msg: format!("gpu {gi} record {ri} lost its ports") }
+            let &(entry, exit) = ports.get(&(gi as u32, ri)).ok_or_else(|| GoalError::Compose {
+                msg: format!("gpu {gi} record {ri} lost its ports"),
             })?;
             match last.get(&rec.stream) {
                 Some(&(prev_exit, prev_end)) => {
@@ -278,9 +260,7 @@ pub fn group_gpus(
         for (ti, t) in sched.tasks().iter().enumerate() {
             let stream = local[g] * STREAM_STRIDE + t.stream;
             let new_id = match t.kind {
-                TaskKind::Calc { cost } => {
-                    b.add_task(node, Task::calc(cost).on_stream(stream))
-                }
+                TaskKind::Calc { cost } => b.add_task(node, Task::calc(cost).on_stream(stream)),
                 TaskKind::Send { bytes, dst, tag } => {
                     if mapping[dst as usize] == node {
                         // NVLink copy: sender-side cost carries the transfer.
@@ -302,10 +282,7 @@ pub fn group_gpus(
                 TaskKind::Recv { bytes, src, tag } => {
                     if mapping[src as usize] == node {
                         let id = b.add_task(node, Task::calc(0).on_stream(stream));
-                        intra_recvs
-                            .entry((src, g as u32, tag))
-                            .or_default()
-                            .push((node, id));
+                        intra_recvs.entry((src, g as u32, tag)).or_default().push((node, id));
                         id
                     } else {
                         let tag = (tag << 3) | (src & 7);

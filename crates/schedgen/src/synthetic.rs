@@ -29,7 +29,12 @@ pub fn incast(n: usize, bytes: u64, repeat: u32) -> Result<GoalSchedule, GoalErr
 
 /// Shift permutation: rank `i` sends `bytes` to `(i + shift) mod n`,
 /// `repeat` times.
-pub fn permutation(n: usize, bytes: u64, shift: usize, repeat: u32) -> Result<GoalSchedule, GoalError> {
+pub fn permutation(
+    n: usize,
+    bytes: u64,
+    shift: usize,
+    repeat: u32,
+) -> Result<GoalSchedule, GoalError> {
     assert!(shift % n != 0, "shift must move data");
     let mut b = GoalBuilder::new(n);
     for i in 0..n as u32 {
@@ -55,7 +60,12 @@ pub fn permutation(n: usize, bytes: u64, shift: usize, repeat: u32) -> Result<Go
 
 /// Uniform random traffic: `msgs` messages of `bytes`, uniformly random
 /// (src, dst) pairs, seeded.
-pub fn uniform_random(n: usize, bytes: u64, msgs: usize, seed: u64) -> Result<GoalSchedule, GoalError> {
+pub fn uniform_random(
+    n: usize,
+    bytes: u64,
+    msgs: usize,
+    seed: u64,
+) -> Result<GoalSchedule, GoalError> {
     // Simple xorshift so this module stays dependency-free.
     let mut state = seed | 1;
     let mut next = move || {

@@ -1,0 +1,103 @@
+//! Offline, dependency-free stand-in for the parts of the [`bytes`] crate
+//! that ATLAHS uses (the GOAL binary codec in `atlahs_goal::binary`).
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! external dependencies are vendored as minimal API-compatible shims under
+//! `crates/shims/`. Only the cursor-style [`Buf`] reads over `&[u8]` and
+//! [`BufMut`] writes into `Vec<u8>` are provided; that is the entire surface
+//! the codec needs. Swapping in the real crate is a one-line change in the
+//! workspace manifest.
+//!
+//! [`bytes`]: https://docs.rs/bytes
+
+/// Read-side cursor over a contiguous byte buffer.
+///
+/// Mirrors `bytes::Buf` for the methods the GOAL codec calls: consuming
+/// reads advance an internal cursor (for `&[u8]`, the slice itself).
+pub trait Buf {
+    /// Number of bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Advance the cursor past `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Returns the bytes between the cursor and the end of the buffer.
+    fn chunk(&self) -> &[u8];
+
+    /// True while at least one unread byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Write-side sink for byte output.
+///
+/// Mirrors `bytes::BufMut` for the methods the GOAL codec calls.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a single byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_cursor_reads_and_advances() {
+        let data = [1u8, 2, 3];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 3);
+        assert_eq!(buf.get_u8(), 1);
+        buf.advance(1);
+        assert!(buf.has_remaining());
+        assert_eq!(buf.chunk(), &[3]);
+        assert_eq!(buf.get_u8(), 3);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn vec_sink_appends() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_slice(&[8, 9]);
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+}

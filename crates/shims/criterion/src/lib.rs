@@ -1,0 +1,197 @@
+//! Offline, dependency-free stand-in for the parts of the [`criterion`]
+//! benchmark harness that the `atlahs_bench` suite uses.
+//!
+//! This shim keeps the familiar structure — `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `Bencher::iter` — but measures with
+//! plain `std::time::Instant` and reports median ns/iteration to stdout
+//! instead of doing criterion's full statistical analysis. It exists so the
+//! `crates/bench/benches/*.rs` files compile and run (`cargo bench`)
+//! without network access; swap in the real crate for publication-grade
+//! statistics.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// measured batch regardless of the variant, so this is API-compatibility
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input; batch many iterations per setup.
+    SmallInput,
+    /// Large per-iteration input; batch few iterations per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement knobs shared by every benchmark in a run.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Wall-clock budget per benchmark (warmup + measurement).
+    measurement_time: Duration,
+    /// Number of timed samples collected per benchmark.
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(300), samples: 15 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks. Settings changed on the
+    /// group apply only within it.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { budget: self.measurement_time, samples: self.samples, _c: self, name }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.into(), self.measurement_time, self.samples, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: String, budget: Duration, samples: usize, mut f: F) {
+    let mut b = Bencher { budget, samples, median_ns: 0.0 };
+    f(&mut b);
+    println!("  {id:40} {:>12.1} ns/iter", b.median_ns);
+}
+
+/// A named collection of benchmarks with its own copy of the parent's
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(id, self.budget, self.samples, f);
+        self
+    }
+
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Cap the wall-clock measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// End the group. (The real crate flushes reports here; the shim
+    /// prints as it goes, so this only marks the boundary.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly and record the median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that fills roughly
+        // one sample's worth of the budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget / self.samples as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = times[times.len() / 2];
+    }
+
+    /// Measure `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            times.push(t.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// Declare a group function that runs each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `fn main` running the listed groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(10), samples: 3 };
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(10), samples: 3 };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline, dependency-free stand-in for the parts of the [`rand`] crate
+//! that ATLAHS uses.
+//!
+//! The simulators only need *reproducible* pseudo-randomness — every
+//! backend seeds its generator from a config field so that runs are
+//! deterministic and comparable — so a small SplitMix64 generator behind
+//! the familiar `StdRng` / `SeedableRng` / `shuffle` names is sufficient.
+//! The statistical quality bar is "decorrelated noise for jitter, loss,
+//! and placement shuffles", not cryptography.
+//!
+//! Provided surface:
+//!
+//! * [`rngs::StdRng`] — the concrete generator (SplitMix64),
+//! * [`SeedableRng::seed_from_u64`] — deterministic construction,
+//! * [`RngExt::random`] / [`RngExt::random_range`] — typed sampling,
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffles for placement.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+/// Core sampling interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Produce the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from an integer seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw output.
+///
+/// This plays the role of `rand`'s `StandardUniform` distribution for the
+/// handful of types the simulators draw directly.
+pub trait SampleStandard {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa entropy.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as `random_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Modulo bias is ~span/2^64, negligible for simulator spans.
+                low + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+///
+/// Named `RngExt` (rather than `Rng`) to make it obvious at the call sites
+/// that this is the local shim's extension trait.
+pub trait RngExt: RngCore {
+    /// Draw a uniformly distributed value of type `T`.
+    fn random<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from a half-open `low..high` range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, and passes BigCrush for non-crypto use.
+    ///
+    /// Chosen because it is a pure function of a single `u64` state word,
+    /// which keeps backend state snapshots trivial.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers (`shuffle`).
+
+    use super::{RngCore, RngExt};
+
+    /// In-place uniform shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle; every permutation is equally likely
+        /// (up to the generator's quality).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+}

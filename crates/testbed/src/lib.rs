@@ -45,13 +45,7 @@ pub struct TestbedConfig {
 
 impl TestbedConfig {
     pub fn new(topology: TopologyConfig) -> Self {
-        TestbedConfig {
-            topology,
-            host_o: 250,
-            efficiency: 0.92,
-            noise_frac: 0.015,
-            seed: 42,
-        }
+        TestbedConfig { topology, host_o: 250, efficiency: 0.92, noise_frac: 0.015, seed: 42 }
     }
 }
 
@@ -94,11 +88,8 @@ pub struct TestbedBackend {
 impl TestbedBackend {
     pub fn new(cfg: TestbedConfig) -> Self {
         let topo = Topology::build(cfg.topology.clone());
-        let port_rates = topo
-            .ports()
-            .iter()
-            .map(|p| p.link.bytes_per_ns() * cfg.efficiency)
-            .collect();
+        let port_rates =
+            topo.ports().iter().map(|p| p.link.bytes_per_ns() * cfg.efficiency).collect();
         TestbedBackend {
             rng: StdRng::seed_from_u64(cfg.seed),
             topo,
@@ -162,9 +153,7 @@ impl TestbedBackend {
             let Some((share, port)) = best else { break };
             // Freeze every unfrozen flow crossing that port.
             for (ai, &fi) in self.active.iter().enumerate() {
-                if assigned[ai].is_none()
-                    && self.flows[fi].path.contains(&(port as u32))
-                {
+                if assigned[ai].is_none() && self.flows[fi].path.contains(&(port as u32)) {
                     assigned[ai] = Some(share);
                     remaining -= 1;
                     for &p in &self.flows[fi].path {
@@ -270,10 +259,8 @@ impl Backend for TestbedBackend {
         self.advance(self.now);
         let salt = self.rng.random::<u64>();
         let path = self.topo.route(op.rank, dst, salt);
-        let latency: u64 = path
-            .iter()
-            .map(|&p| self.topo.ports()[p as usize].link.latency_ns)
-            .sum();
+        let latency: u64 =
+            path.iter().map(|&p| self.topo.ports()[p as usize].link.latency_ns).sum();
         let mut f = Flow {
             op,
             dst,
@@ -379,11 +366,7 @@ mod tests {
         let rep = run(&ping(1 << 20), cfg());
         let drain = ((1u64 << 20) as f64 / 12.5).ceil() as u64;
         let expect = drain + 1000 + 250 + 250;
-        assert!(
-            rep.makespan.abs_diff(expect) <= 2,
-            "{} vs {expect}",
-            rep.makespan
-        );
+        assert!(rep.makespan.abs_diff(expect) <= 2, "{} vs {expect}", rep.makespan);
     }
 
     #[test]
@@ -398,10 +381,7 @@ mod tests {
         let one = run(&ping(1 << 20), cfg()).makespan;
         let two = run(&goal, cfg()).makespan;
         let ratio = two as f64 / one as f64;
-        assert!(
-            (1.8..2.2).contains(&ratio),
-            "sharing should double completion: {ratio}"
-        );
+        assert!((1.8..2.2).contains(&ratio), "sharing should double completion: {ratio}");
     }
 
     #[test]

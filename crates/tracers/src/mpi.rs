@@ -11,18 +11,51 @@ use rand::{RngExt, SeedableRng};
 /// One MPI operation as recorded by the PMPI wrapper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MpiOp {
-    Send { bytes: u64, dst: u32, tag: u32 },
-    Recv { bytes: u64, src: u32, tag: u32 },
+    Send {
+        bytes: u64,
+        dst: u32,
+        tag: u32,
+    },
+    Recv {
+        bytes: u64,
+        src: u32,
+        tag: u32,
+    },
     /// Combined exchange (MPI_Sendrecv).
-    Sendrecv { bytes: u64, dst: u32, src: u32, tag: u32 },
-    Allreduce { bytes: u64 },
-    Bcast { bytes: u64, root: u32 },
-    Reduce { bytes: u64, root: u32 },
-    Allgather { bytes: u64 },
-    ReduceScatter { bytes: u64 },
-    Alltoall { bytes: u64 },
-    Gather { bytes: u64, root: u32 },
-    Scatter { bytes: u64, root: u32 },
+    Sendrecv {
+        bytes: u64,
+        dst: u32,
+        src: u32,
+        tag: u32,
+    },
+    Allreduce {
+        bytes: u64,
+    },
+    Bcast {
+        bytes: u64,
+        root: u32,
+    },
+    Reduce {
+        bytes: u64,
+        root: u32,
+    },
+    Allgather {
+        bytes: u64,
+    },
+    ReduceScatter {
+        bytes: u64,
+    },
+    Alltoall {
+        bytes: u64,
+    },
+    Gather {
+        bytes: u64,
+        root: u32,
+    },
+    Scatter {
+        bytes: u64,
+        root: u32,
+    },
     Barrier,
 }
 
@@ -67,10 +100,9 @@ impl MpiTrace {
                     MpiOp::Recv { bytes, src, tag } => {
                         ("MPI_Recv", format!("bytes={bytes} src={src} tag={tag}"))
                     }
-                    MpiOp::Sendrecv { bytes, dst, src, tag } => (
-                        "MPI_Sendrecv",
-                        format!("bytes={bytes} dest={dst} src={src} tag={tag}"),
-                    ),
+                    MpiOp::Sendrecv { bytes, dst, src, tag } => {
+                        ("MPI_Sendrecv", format!("bytes={bytes} dest={dst} src={src} tag={tag}"))
+                    }
                     MpiOp::Allreduce { bytes } => ("MPI_Allreduce", format!("bytes={bytes}")),
                     MpiOp::Bcast { bytes, root } => {
                         ("MPI_Bcast", format!("bytes={bytes} root={root}"))
@@ -271,12 +303,8 @@ pub fn cloverleaf(cfg: &HpcAppConfig) -> MpiTrace {
             tl.compute(r, comp);
             // Halo exchange in x then y (reflective boundaries: edge ranks
             // skip the missing neighbour, like the real app).
-            for (nx, ny) in [
-                (x.wrapping_sub(1), y),
-                (x + 1, y),
-                (x, y.wrapping_sub(1)),
-                (x, y + 1),
-            ] {
+            for (nx, ny) in [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)]
+            {
                 if nx < px && ny < py {
                     let peer = (ny * px + nx) as u32;
                     tl.record(
@@ -353,8 +381,7 @@ pub fn lammps(cfg: &HpcAppConfig) -> MpiTrace {
     for it in 0..cfg.iterations {
         for r in 0..n {
             tl.compute(r, comp);
-            let bytes =
-                if it % 20 == 19 { cfg.halo_bytes * 4 } else { cfg.halo_bytes };
+            let bytes = if it % 20 == 19 { cfg.halo_bytes * 4 } else { cfg.halo_bytes };
             halo_3d(&mut tl, r, px, py, pz, bytes, it);
         }
         if it % 10 == 9 {
@@ -449,11 +476,7 @@ fn halo_3d(tl: &mut Timeline, r: usize, px: usize, py: usize, pz: usize, bytes: 
     for (nx, ny, nz) in neigh {
         if nx < px && ny < py && nz < pz {
             let peer = ((nz * py + ny) * px + nx) as u32;
-            tl.record(
-                r,
-                MpiOp::Sendrecv { bytes, dst: peer, src: peer, tag },
-                est_p2p(bytes),
-            );
+            tl.record(r, MpiOp::Sendrecv { bytes, dst: peer, src: peer, tag }, est_p2p(bytes));
         }
     }
 }
@@ -524,7 +547,9 @@ mod tests {
         }
     }
 
-    fn apps() -> Vec<(&'static str, fn(&HpcAppConfig) -> MpiTrace)> {
+    type AppGen = fn(&HpcAppConfig) -> MpiTrace;
+
+    fn apps() -> Vec<(&'static str, AppGen)> {
         vec![
             ("CloverLeaf", cloverleaf),
             ("HPCG", hpcg),
@@ -590,10 +615,7 @@ mod tests {
     #[test]
     fn openmx_is_alltoall_heavy() {
         let t = openmx(&cfg(8));
-        let a2a = t.timelines[0]
-            .iter()
-            .filter(|r| matches!(r.op, MpiOp::Alltoall { .. }))
-            .count();
+        let a2a = t.timelines[0].iter().filter(|r| matches!(r.op, MpiOp::Alltoall { .. })).count();
         let other = t.timelines[0].len() - a2a;
         assert!(a2a >= other / 2, "a2a={a2a} other={other}");
     }

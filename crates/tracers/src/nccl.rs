@@ -132,10 +132,8 @@ impl NsysReport {
                     app = part.split(" gpus ").next().unwrap_or("").to_string();
                 }
                 if let Some(i) = rest.find("gpus_per_node ") {
-                    gpus_per_node = rest[i + 14..]
-                        .trim()
-                        .parse()
-                        .map_err(|_| err("bad gpus_per_node"))?;
+                    gpus_per_node =
+                        rest[i + 14..].trim().parse().map_err(|_| err("bad gpus_per_node"))?;
                 }
                 continue;
             }
@@ -430,50 +428,74 @@ pub fn trace_llm(cfg: &LlmConfig) -> NsysReport {
                         // recv activations from previous stage
                         if st > 0 {
                             let peer = cfg.rank(dp, st - 1, t);
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::Recv { peer },
-                                bytes: act_bytes / cfg.tp as u64,
-                                comm: 0,
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 2_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::Recv { peer },
+                                    bytes: act_bytes / cfg.tp as u64,
+                                    comm: 0,
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                2_000,
+                            );
                         }
                         // forward compute
                         advance(&mut clock0, g, fwd_ns(cfg, &mut rng));
                         // TP allreduce per stage (aggregated over its layers)
                         if cfg.tp > 1 {
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::AllReduce,
-                                bytes: act_bytes / cfg.tp as u64 * layers_per_stage as u64 / 4,
-                                comm: tp_comm[g],
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 20_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::AllReduce,
+                                    bytes: act_bytes / cfg.tp as u64 * layers_per_stage as u64 / 4,
+                                    comm: tp_comm[g],
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                20_000,
+                            );
                         }
                         // EP alltoall in MoE layers (fwd)
                         if cfg.ep > 1 && moe_per_stage > 0 {
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::AllToAll,
-                                bytes: act_bytes / cfg.ep as u64 * moe_per_stage as u64 / 4,
-                                comm: ep_comm[g],
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 30_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::AllToAll,
+                                    bytes: act_bytes / cfg.ep as u64 * moe_per_stage as u64 / 4,
+                                    comm: ep_comm[g],
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                30_000,
+                            );
                         }
                         // send activations to next stage
                         if st + 1 < cfg.pp {
                             let peer = cfg.rank(dp, st + 1, t);
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::Send { peer },
-                                bytes: act_bytes / cfg.tp as u64,
-                                comm: 0,
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 2_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::Send { peer },
+                                    bytes: act_bytes / cfg.tp as u64,
+                                    comm: 0,
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                2_000,
+                            );
                         }
                     }
                 }
@@ -483,46 +505,70 @@ pub fn trace_llm(cfg: &LlmConfig) -> NsysReport {
                         let g = cfg.rank(dp, st, t) as usize;
                         if st + 1 < cfg.pp {
                             let peer = cfg.rank(dp, st + 1, t);
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::Recv { peer },
-                                bytes: act_bytes / cfg.tp as u64,
-                                comm: 0,
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 2_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::Recv { peer },
+                                    bytes: act_bytes / cfg.tp as u64,
+                                    comm: 0,
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                2_000,
+                            );
                         }
                         advance(&mut clock0, g, 2 * fwd_ns(cfg, &mut rng));
                         if cfg.tp > 1 {
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::AllReduce,
-                                bytes: act_bytes / cfg.tp as u64 * layers_per_stage as u64 / 4,
-                                comm: tp_comm[g],
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 20_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::AllReduce,
+                                    bytes: act_bytes / cfg.tp as u64 * layers_per_stage as u64 / 4,
+                                    comm: tp_comm[g],
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                20_000,
+                            );
                         }
                         if cfg.ep > 1 && moe_per_stage > 0 {
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::AllToAll,
-                                bytes: act_bytes / cfg.ep as u64 * moe_per_stage as u64 / 4,
-                                comm: ep_comm[g],
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 30_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::AllToAll,
+                                    bytes: act_bytes / cfg.ep as u64 * moe_per_stage as u64 / 4,
+                                    comm: ep_comm[g],
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                30_000,
+                            );
                         }
                         if st > 0 {
                             let peer = cfg.rank(dp, st - 1, t);
-                            push(&mut traces, &mut clock0, g, KernelRecord {
-                                kernel: NcclKernel::Send { peer },
-                                bytes: act_bytes / cfg.tp as u64,
-                                comm: 0,
-                                stream: 0,
-                                tstart: 0,
-                                tend: 0,
-                            }, 2_000);
+                            push(
+                                &mut traces,
+                                &mut clock0,
+                                g,
+                                KernelRecord {
+                                    kernel: NcclKernel::Send { peer },
+                                    bytes: act_bytes / cfg.tp as u64,
+                                    comm: 0,
+                                    stream: 0,
+                                    tstart: 0,
+                                    tend: 0,
+                                },
+                                2_000,
+                            );
                         }
                         // On the last microbatch, gradient buckets of this
                         // stage start their DP allreduce on stream 1,
@@ -534,14 +580,20 @@ pub fn trace_llm(cfg: &LlmConfig) -> NsysReport {
                                 let b = (stage_params / cfg.tp as u64 / buckets).max(1);
                                 // stream 1 kernels start no earlier than "now"
                                 clock1[g] = clock1[g].max(clock0[g]);
-                                push1(&mut traces, &mut clock1, g, KernelRecord {
-                                    kernel: NcclKernel::AllReduce,
-                                    bytes: b,
-                                    comm: dp_comm[g],
-                                    stream: 1,
-                                    tstart: 0,
-                                    tend: 0,
-                                }, 50_000);
+                                push1(
+                                    &mut traces,
+                                    &mut clock1,
+                                    g,
+                                    KernelRecord {
+                                        kernel: NcclKernel::AllReduce,
+                                        bytes: b,
+                                        comm: dp_comm[g],
+                                        stream: 1,
+                                        tstart: 0,
+                                        tend: 0,
+                                    },
+                                    50_000,
+                                );
                             }
                         }
                     }
@@ -551,29 +603,18 @@ pub fn trace_llm(cfg: &LlmConfig) -> NsysReport {
         // Iteration boundary: optimizer step after DP sync.
         for g in 0..gpus as usize {
             clock0[g] = clock0[g].max(clock1[g]);
-            advance(&mut clock0, g, (stage_params / 50) as u64 / cfg.tp as u64);
+            advance(&mut clock0, g, (stage_params / 50) / cfg.tp as u64);
         }
     }
 
-    NsysReport {
-        app: cfg.name.clone(),
-        gpus: traces,
-        comms,
-        gpus_per_node: cfg.gpus_per_node,
-    }
+    NsysReport { app: cfg.name.clone(), gpus: traces, comms, gpus_per_node: cfg.gpus_per_node }
 }
 
 fn advance(clock: &mut [u64], g: usize, ns: u64) {
     clock[g] += ns;
 }
 
-fn push(
-    traces: &mut [GpuTrace],
-    clock: &mut [u64],
-    g: usize,
-    mut rec: KernelRecord,
-    est_ns: u64,
-) {
+fn push(traces: &mut [GpuTrace], clock: &mut [u64], g: usize, mut rec: KernelRecord, est_ns: u64) {
     rec.tstart = clock[g];
     rec.tend = clock[g] + est_ns;
     clock[g] = rec.tend;
@@ -721,6 +762,8 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(NsysReport::parse("ncclKernel_AllReduce: bytes=1").is_err());
-        assert!(NsysReport::parse("gpu 0 node 0\nncclKernel_Bogus: bytes=1 tstart=0 tend=1").is_err());
+        assert!(
+            NsysReport::parse("gpu 0 node 0\nncclKernel_Bogus: bytes=1 tstart=0 tend=1").is_err()
+        );
     }
 }

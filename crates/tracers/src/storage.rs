@@ -78,8 +78,8 @@ impl SpcTrace {
                 lba: f[1].trim().parse().map_err(|_| err("bad LBA"))?,
                 bytes: f[2].trim().parse().map_err(|_| err("bad size"))?,
                 write,
-                ts_ns: (f[4].trim().parse::<f64>().map_err(|_| err("bad timestamp"))? * 1e9)
-                    .round() as u64,
+                ts_ns: (f[4].trim().parse::<f64>().map_err(|_| err("bad timestamp"))? * 1e9).round()
+                    as u64,
             });
         }
         Ok(SpcTrace { records })

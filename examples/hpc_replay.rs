@@ -25,11 +25,7 @@ fn main() {
         seed: 11,
     };
     let trace = hpcg(&cfg);
-    println!(
-        "traced HPCG: {} ranks, {} MPI records",
-        trace.num_ranks(),
-        trace.num_records()
-    );
+    println!("traced HPCG: {} ranks, {} MPI records", trace.num_ranks(), trace.num_records());
 
     // ---- the on-disk liballprof format round-trips -----------------------
     let text = trace.to_text();

@@ -31,8 +31,8 @@ fn main() {
     );
 
     // ---- Stages 2–4: lower to a node-level GOAL schedule ----------------
-    let goal = nccl2goal::convert(&report, &NcclToGoalConfig::default())
-        .expect("trace lowers to GOAL");
+    let goal =
+        nccl2goal::convert(&report, &NcclToGoalConfig::default()).expect("trace lowers to GOAL");
     let stats = ScheduleStats::of(&goal);
     println!(
         "GOAL: {} node ranks, {} tasks ({} sends, {:.1} MiB on the wire)",

@@ -62,7 +62,11 @@ fn main() {
     let cluster = 16usize;
 
     println!("cluster: {cluster} nodes, 4:1 oversubscribed fat tree");
-    println!("job A: Llama 7B ({} nodes)   job B: ring job ({} nodes)\n", llama.num_ranks(), hpc.num_ranks());
+    println!(
+        "job A: Llama 7B ({} nodes)   job B: ring job ({} nodes)\n",
+        llama.num_ranks(),
+        hpc.num_ranks()
+    );
 
     // ---- multi-job: three allocation strategies -------------------------
     for (strategy, label) in [
@@ -70,8 +74,8 @@ fn main() {
         (PlacementStrategy::Random { seed: 3 }, "random    "),
         (PlacementStrategy::RoundRobin, "roundrobin"),
     ] {
-        let placement = allocate(strategy, cluster, &[llama.num_ranks(), hpc.num_ranks()])
-            .expect("fits");
+        let placement =
+            allocate(strategy, cluster, &[llama.num_ranks(), hpc.num_ranks()]).expect("fits");
         let merged = compose(
             &[
                 PlacedJob::new(&llama, placement[0].clone()),
@@ -81,9 +85,8 @@ fn main() {
         )
         .expect("composes");
         let finish = run(&merged, cluster);
-        let app_time = |nodes: &[u32]| {
-            nodes.iter().map(|&n| finish[n as usize]).max().unwrap() as f64 / 1e6
-        };
+        let app_time =
+            |nodes: &[u32]| nodes.iter().map(|&n| finish[n as usize]).max().unwrap() as f64 / 1e6;
         println!(
             "{label}: Llama {:7.3} ms   ring job {:7.3} ms",
             app_time(&placement[0]),
@@ -94,10 +97,7 @@ fn main() {
     // ---- multi-tenant: both tenants share the same 8 nodes --------------
     let solo = run(&atlahs::goal::merge::place(&hpc, (0..8).collect(), cluster).unwrap(), cluster);
     let tenants = compose(
-        &[
-            PlacedJob::new(&hpc, (0..8).collect()),
-            PlacedJob::new(&hpc, (0..8).collect()),
-        ],
+        &[PlacedJob::new(&hpc, (0..8).collect()), PlacedJob::new(&hpc, (0..8).collect())],
         cluster,
     )
     .expect("tenants compose");

@@ -18,11 +18,7 @@ use atlahs::tracers::storage::{financial_like, OltpConfig};
 fn main() {
     // ---- the workload: 1000 skewed, write-heavy OLTP operations ---------
     let trace = financial_like(&OltpConfig { operations: 1_000, seed: 7, ..Default::default() });
-    println!(
-        "SPC trace: {} ops, {:.0}% writes",
-        trace.len(),
-        trace.write_fraction() * 100.0
-    );
+    println!("SPC trace: {} ops, {:.0}% writes", trace.len(), trace.write_fraction() * 100.0);
 
     // ---- the storage cluster: 8 clients, 2 CCS, 12 BSS ------------------
     let layout = DirectDriveLayout::standard(8, 2, 12);

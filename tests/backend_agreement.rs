@@ -105,10 +105,7 @@ fn lgs_blind_to_oversubscription_htsim_is_not() {
     let lgs = run_lgs(&goal, lgs_params_for(100.0));
     let full = run_htsim(&goal, TopologyConfig::fat_tree(16, 4));
     let over = run_htsim(&goal, TopologyConfig::fat_tree_oversubscribed(16, 4, 4));
-    assert!(
-        over as f64 > lgs as f64 * 2.0,
-        "4:1 core must diverge: lgs={lgs} htsim={over}"
-    );
+    assert!(over as f64 > lgs as f64 * 2.0, "4:1 core must diverge: lgs={lgs} htsim={over}");
     // ECMP collisions already hurt the fully provisioned permutation, so
     // the *additional* oversubscription penalty is modest — but it must
     // be strictly worse.
@@ -167,14 +164,8 @@ fn collectives_rank_consistently_across_backends() {
     let ht_ring = run_htsim(&ring, topo.clone());
     let ht_rd = run_htsim(&recdoub, topo);
 
-    assert!(
-        lgs_ring < lgs_rd,
-        "LGS: ring allreduce wins at 4 MiB ({lgs_ring} vs {lgs_rd})"
-    );
-    assert!(
-        ht_ring < ht_rd,
-        "htsim: ring allreduce wins at 4 MiB ({ht_ring} vs {ht_rd})"
-    );
+    assert!(lgs_ring < lgs_rd, "LGS: ring allreduce wins at 4 MiB ({lgs_ring} vs {lgs_rd})");
+    assert!(ht_ring < ht_rd, "htsim: ring allreduce wins at 4 MiB ({ht_ring} vs {ht_rd})");
 }
 
 #[test]

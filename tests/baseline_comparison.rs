@@ -81,10 +81,7 @@ fn goal_binary_is_smaller_than_chakra_text_for_dp_workloads() {
     let goal = nccl2goal::convert(&report, &NcclToGoalConfig::default()).unwrap();
     let goal_size = binary::encode(&goal).len();
     let chakra_size = chakra::from_nsys(&report).to_text().len();
-    assert!(
-        chakra_size > goal_size,
-        "Chakra {chakra_size} must exceed GOAL {goal_size}"
-    );
+    assert!(chakra_size > goal_size, "Chakra {chakra_size} must exceed GOAL {goal_size}");
 }
 
 #[test]

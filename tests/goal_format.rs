@@ -14,10 +14,8 @@ fn arb_goal() -> impl Strategy<Value = GoalSchedule> {
     // (ranks, per-rank calc specs, messages)
     (2usize..6)
         .prop_flat_map(|nranks| {
-            let calcs = proptest::collection::vec(
-                (0..nranks as u32, 0u64..1_000_000, 0u32..3),
-                0..24,
-            );
+            let calcs =
+                proptest::collection::vec((0..nranks as u32, 0u64..1_000_000, 0u32..3), 0..24);
             let msgs = proptest::collection::vec(
                 (0..nranks as u32, 0..nranks as u32, 1u64..(1 << 20), 0u32..8),
                 0..24,

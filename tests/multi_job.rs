@@ -60,11 +60,8 @@ fn every_strategy_produces_a_runnable_composition() {
 fn composition_preserves_task_counts_plus_anchors() {
     let a = chatty_job(3, 1024);
     let b = quiet_job(2, 10);
-    let merged = compose(
-        &[PlacedJob::new(&a, vec![0, 1, 2]), PlacedJob::new(&b, vec![0, 1])],
-        4,
-    )
-    .unwrap();
+    let merged =
+        compose(&[PlacedJob::new(&a, vec![0, 1, 2]), PlacedJob::new(&b, vec![0, 1])], 4).unwrap();
     // Every original task survives; each tenant sub-DAG gains one dummy
     // anchor per (job, rank) pair.
     let anchors = 3 + 2;
@@ -77,11 +74,8 @@ fn tags_never_cross_job_boundaries() {
     // send/recv pairs use identical application tags. Composition must
     // namespace them (TAG_STRIDE) so messages never cross-match.
     let a = chatty_job(2, 4096);
-    let merged = compose(
-        &[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&a, vec![0, 1])],
-        2,
-    )
-    .unwrap();
+    let merged =
+        compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&a, vec![0, 1])], 2).unwrap();
     check_matching(&merged).unwrap();
     let mut tags: Vec<u32> = Vec::new();
     for r in merged.ranks() {

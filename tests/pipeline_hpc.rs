@@ -53,10 +53,8 @@ fn every_app_traces_roundtrips_lowers_and_runs() {
         assert!(rep.makespan > 0, "{name}");
 
         // Packet-level run.
-        let mut ht = HtsimBackend::new(HtsimConfig::new(
-            TopologyConfig::fat_tree(16, 4),
-            CcAlgo::Mprdma,
-        ));
+        let mut ht =
+            HtsimBackend::new(HtsimConfig::new(TopologyConfig::fat_tree(16, 4), CcAlgo::Mprdma));
         let rep = Simulation::new(&goal).run(&mut ht).unwrap();
         assert_eq!(rep.completed, goal.total_tasks(), "{name}");
     }
@@ -71,10 +69,7 @@ fn strong_scaling_reduces_per_rank_compute() {
         let mut lgs = LgsBackend::new(LogGopsParams::hpc_testbed());
         Simulation::new(&goal).run(&mut lgs).unwrap().makespan
     };
-    assert!(
-        time(&strong) < time(&weak),
-        "strong scaling divides the work across ranks"
-    );
+    assert!(time(&strong) < time(&weak), "strong scaling divides the work across ranks");
 }
 
 #[test]
@@ -87,10 +82,7 @@ fn collective_algorithm_substitution_changes_the_schedule() {
     };
     let ring = tasks_with(AllreduceAlgo::Ring);
     let recdoub = tasks_with(AllreduceAlgo::RecursiveDoubling);
-    assert_ne!(
-        ring, recdoub,
-        "Schedgen must substitute different P2P expansions per algorithm"
-    );
+    assert_ne!(ring, recdoub, "Schedgen must substitute different P2P expansions per algorithm");
 }
 
 #[test]
@@ -101,16 +93,12 @@ fn auto_algorithm_selection_respects_cutoff() {
     let one_allreduce = |bytes: u64| MpiTrace {
         app: "synthetic".to_string(),
         timelines: (0..16)
-            .map(|_| {
-                vec![MpiRecord { op: MpiOp::Allreduce { bytes }, tstart: 0, tend: 1000 }]
-            })
+            .map(|_| vec![MpiRecord { op: MpiOp::Allreduce { bytes }, tstart: 0, tend: 1000 }])
             .collect(),
     };
     let auto = MpiToGoalConfig::default();
-    let explicit_recdoub = MpiToGoalConfig {
-        allreduce: AllreduceAlgo::RecursiveDoubling,
-        ..Default::default()
-    };
+    let explicit_recdoub =
+        MpiToGoalConfig { allreduce: AllreduceAlgo::RecursiveDoubling, ..Default::default() };
     let tasks = |trace: &MpiTrace, cfg: &MpiToGoalConfig| {
         mpi2goal::convert(trace, cfg).unwrap().total_tasks()
     };
@@ -126,9 +114,8 @@ fn auto_algorithm_selection_respects_cutoff() {
 #[test]
 fn larger_clusters_communicate_more() {
     let bytes = |ranks: usize| {
-        let goal =
-            mpi2goal::convert(&mpi::lammps(&small_cfg(ranks)), &MpiToGoalConfig::default())
-                .unwrap();
+        let goal = mpi2goal::convert(&mpi::lammps(&small_cfg(ranks)), &MpiToGoalConfig::default())
+            .unwrap();
         atlahs::goal::ScheduleStats::of(&goal).bytes_sent
     };
     assert!(bytes(64) > bytes(16));

@@ -5,7 +5,7 @@ use atlahs::core::backends::IdealBackend;
 use atlahs::core::Simulation;
 use atlahs::directdrive::{slab_replicas, trace_to_goal, DirectDriveLayout, ServiceParams};
 use atlahs::goal::stats::check_matching;
-use atlahs::goal::{GoalBuilder, TaskKind};
+use atlahs::goal::GoalBuilder;
 use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
 use atlahs::htsim::topology::TopologyConfig;
 use atlahs::htsim::CcAlgo;
@@ -128,10 +128,8 @@ fn storage_goal_survives_ideal_and_packet_backends_identically() {
     let ri = Simulation::new(&goal).run(&mut ideal).unwrap();
 
     let hosts = layout.total_ranks().div_ceil(4) * 4;
-    let mut ht = HtsimBackend::new(HtsimConfig::new(
-        TopologyConfig::fat_tree(hosts, 4),
-        CcAlgo::Mprdma,
-    ));
+    let mut ht =
+        HtsimBackend::new(HtsimConfig::new(TopologyConfig::fat_tree(hosts, 4), CcAlgo::Mprdma));
     let rh = Simulation::new(&goal).run(&mut ht).unwrap();
 
     assert_eq!(ri.completed, rh.completed);
