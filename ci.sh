@@ -7,6 +7,9 @@
 #   3. cargo build --release      — the tier-1 build
 #   4. cargo test -q              — unit + integration + doc tests (tier-1)
 #   5. cargo doc --no-deps        — rustdoc must build warning-free
+#   6. bench smoke                — criterion suite (shim) runs + the
+#      BENCH_engine.json emitter produces parseable output
+#      (docs/PERFORMANCE.md describes the tracked perf trajectory)
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -30,5 +33,15 @@ cargo test -q --workspace
 
 step "cargo doc (no warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+step "bench smoke (criterion shim + BENCH_engine.json emission)"
+cargo bench -p atlahs_bench --bench engine
+smoke_json="target/BENCH_engine_smoke.json"
+cargo run --release -p atlahs_bench --bin bench_engine -- \
+    --quick --out "$smoke_json" > /dev/null
+for key in '"scenarios"' '"fig11_oversub_mprdma"' '"events_per_sec"'; do
+    grep -q "$key" "$smoke_json" \
+        || { echo "bench smoke: $key missing from $smoke_json" >&2; exit 1; }
+done
 
 printf '\nCI gate passed.\n'

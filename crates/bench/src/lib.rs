@@ -5,6 +5,7 @@
 //! plumbing used by all of them:
 //!
 //! * [`args`] — a tiny `--flag value` parser (no CLI dependency),
+//! * [`json`] — a minimal JSON codec for `BENCH_*.json` artifacts,
 //! * [`table`] — aligned text tables matching the paper's row format,
 //! * [`workloads`] — the AI / HPC / storage workload suites at
 //!   configurable scale, and the topologies the paper's experiments use,
@@ -20,6 +21,7 @@
 //! EXPERIMENTS.md.
 
 pub mod args;
+pub mod json;
 pub mod runner;
 pub mod table;
 pub mod workloads;

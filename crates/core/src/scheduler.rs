@@ -7,7 +7,7 @@
 //! `irequires` edges on issue).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use atlahs_goal::{DepKind, GoalSchedule, Rank, Stream, TaskId, TaskKind};
 
@@ -66,8 +66,9 @@ enum TaskState {
     Done,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StreamState {
+    stream: Stream,
     busy: bool,
     ready: BinaryHeap<Reverse<u32>>,
 }
@@ -76,7 +77,24 @@ struct RankState {
     full_remaining: Vec<u32>,
     start_remaining: Vec<u32>,
     state: Vec<TaskState>,
-    streams: BTreeMap<Stream, StreamState>,
+    /// Sorted by stream id; iterated in that (deterministic) order on
+    /// every dispatch, so a flat sorted vector beats a tree map — ranks
+    /// have a handful of streams and this sits on the per-event path.
+    streams: Vec<StreamState>,
+}
+
+impl RankState {
+    #[inline]
+    fn stream_idx(&self, stream: Stream) -> usize {
+        // Most schedules use a single stream per rank: check it first.
+        if self.streams.len() == 1 || self.streams[0].stream == stream {
+            0
+        } else {
+            self.streams
+                .binary_search_by_key(&stream, |ss| ss.stream)
+                .expect("task stream registered at setup")
+        }
+    }
 }
 
 /// A single simulation of one GOAL schedule over one backend.
@@ -98,25 +116,34 @@ impl<'g> Simulation<'g> {
         for sched in self.goal.ranks() {
             let (full, start) = sched.indegrees();
             let n = sched.num_tasks();
+            let mut stream_ids: Vec<Stream> = sched.tasks().iter().map(|t| t.stream).collect();
+            stream_ids.sort_unstable();
+            stream_ids.dedup();
             let mut rs = RankState {
                 full_remaining: full,
                 start_remaining: start,
                 state: vec![TaskState::Waiting; n],
-                streams: BTreeMap::new(),
+                streams: stream_ids
+                    .into_iter()
+                    .map(|stream| StreamState { stream, busy: false, ready: BinaryHeap::new() })
+                    .collect(),
             };
             for (i, t) in sched.tasks().iter().enumerate() {
-                rs.streams.entry(t.stream).or_default();
                 if rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0 {
                     rs.state[i] = TaskState::Ready;
-                    rs.streams.get_mut(&t.stream).unwrap().ready.push(Reverse(i as u32));
+                    let si = rs.stream_idx(t.stream);
+                    rs.streams[si].ready.push(Reverse(i as u32));
                 }
             }
             ranks.push(rs);
         }
 
+        // Reused across dispatch calls: the per-round issue batch.
+        let mut issue_buf: Vec<TaskId> = Vec::new();
+
         // Initial dispatch on every rank.
         for r in 0..ranks.len() {
-            dispatch_rank(self.goal, &mut ranks, r as Rank, backend);
+            dispatch_rank(self.goal, &mut ranks, r as Rank, backend, &mut issue_buf);
         }
 
         let mut completed = 0usize;
@@ -148,15 +175,17 @@ impl<'g> Simulation<'g> {
                         return Err(SimError::SpuriousCompletion { op });
                     }
                     ranks[r].state[ti] = TaskState::RunningFreed;
-                    ranks[r].streams.get_mut(&stream).unwrap().busy = false;
-                    dispatch_rank(self.goal, &mut ranks, op.rank, backend);
+                    let si = ranks[r].stream_idx(stream);
+                    ranks[r].streams[si].busy = false;
+                    dispatch_rank(self.goal, &mut ranks, op.rank, backend, &mut issue_buf);
                 }
                 EventKind::Done => {
                     if st != TaskState::Running && st != TaskState::RunningFreed {
                         return Err(SimError::SpuriousCompletion { op });
                     }
                     if st == TaskState::Running {
-                        ranks[r].streams.get_mut(&stream).unwrap().busy = false;
+                        let si = ranks[r].stream_idx(stream);
+                        ranks[r].streams[si].busy = false;
                     }
                     ranks[r].state[ti] = TaskState::Done;
                     completed += 1;
@@ -172,7 +201,7 @@ impl<'g> Simulation<'g> {
                             maybe_ready(sched, rs, succ);
                         }
                     }
-                    dispatch_rank(self.goal, &mut ranks, op.rank, backend);
+                    dispatch_rank(self.goal, &mut ranks, op.rank, backend, &mut issue_buf);
                 }
             }
         }
@@ -201,35 +230,41 @@ fn maybe_ready(sched: &atlahs_goal::RankSchedule, rs: &mut RankState, id: TaskId
     if rs.state[i] == TaskState::Waiting && rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0
     {
         rs.state[i] = TaskState::Ready;
-        let stream = sched.task(id).stream;
-        rs.streams.get_mut(&stream).unwrap().ready.push(Reverse(id.0));
+        let si = rs.stream_idx(sched.task(id).stream);
+        rs.streams[si].ready.push(Reverse(id.0));
     }
 }
 
 /// Issue every ready task whose stream is idle on `rank`, to fixpoint
 /// (issuing may fire `irequires` edges that ready tasks on other streams).
+///
+/// `issue_buf` is caller-owned scratch (cleared here) so the per-event
+/// dispatch path performs no allocation.
 fn dispatch_rank<B: Backend>(
     goal: &GoalSchedule,
     ranks: &mut [RankState],
     rank: Rank,
     backend: &mut B,
+    issue_buf: &mut Vec<TaskId>,
 ) {
     let sched = goal.rank(rank);
     loop {
-        let mut issued_any = false;
-        // Collect issuable tasks stream by stream (BTreeMap: deterministic).
+        // Collect issuable tasks stream by stream (ascending stream id:
+        // deterministic).
         let rs = &mut ranks[rank as usize];
-        let mut to_issue: Vec<TaskId> = Vec::new();
-        for ss in rs.streams.values_mut() {
+        issue_buf.clear();
+        for ss in rs.streams.iter_mut() {
             if !ss.busy {
                 if let Some(Reverse(id)) = ss.ready.pop() {
                     ss.busy = true;
-                    to_issue.push(TaskId(id));
+                    issue_buf.push(TaskId(id));
                 }
             }
         }
-        for id in to_issue {
-            issued_any = true;
+        if issue_buf.is_empty() {
+            return;
+        }
+        for &id in issue_buf.iter() {
             ranks[rank as usize].state[id.index()] = TaskState::Running;
             let kind = match sched.task(id).kind {
                 TaskKind::Send { bytes, dst, tag } => OpKind::Send { dst, bytes, tag },
@@ -245,9 +280,6 @@ fn dispatch_rank<B: Backend>(
                     maybe_ready(sched, rs, succ);
                 }
             }
-        }
-        if !issued_any {
-            return;
         }
     }
 }

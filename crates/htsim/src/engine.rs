@@ -21,7 +21,8 @@ use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
 use atlahs_goal::{Rank, Tag};
 
 use crate::cc::{CcAlgo, CcState};
-use crate::topology::{Topology, TopologyConfig};
+use crate::eventq::{EventQueue, QueueStats};
+use crate::topology::{PathRef, Topology, TopologyConfig};
 
 /// Wire overhead per packet (headers), bytes.
 const HDR_BYTES: u32 = 64;
@@ -128,6 +129,10 @@ struct Packet {
     /// ECMP selector: the flow's salt, or a per-packet value when
     /// spraying.
     ecmp: u64,
+    /// The packet's full route, resolved once at origination. Forwarding
+    /// hops are then pure arena index arithmetic — no flow-record load,
+    /// no route lookup, even when spraying.
+    path: PathRef,
 }
 
 #[derive(Debug)]
@@ -156,30 +161,6 @@ enum Ev {
     },
 }
 
-struct HeapEv {
-    t: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for HeapEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for HeapEv {}
-impl PartialOrd for HeapEv {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEv {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap via reversal.
-        (other.t, other.seq).cmp(&(self.t, self.seq))
-    }
-}
-
 struct Port {
     rate: f64,
     latency: u64,
@@ -192,29 +173,55 @@ struct Port {
     cap: u64,
     kmin: u64,
     kmax: u64,
+    /// Serialization times for the two wire sizes that dominate traffic
+    /// (full MTU frames and bare headers), precomputed with the exact
+    /// same float formula the general path uses — the per-packet f64
+    /// divide is off the hot path without changing a single timestamp.
+    wire_mtu: u32,
+    tx_mtu: u64,
+    tx_hdr: u64,
 }
 
 /// Dense bitmaps for per-packet sender/receiver state.
-#[derive(Debug, Default)]
-struct Bitmap {
-    words: Vec<u64>,
+///
+/// Flows of ≤64 packets — the overwhelming majority in storage- and
+/// collective-style workloads — keep their bits inline in the flow record
+/// itself: no heap allocation at flow setup and no pointer chase on the
+/// per-packet ACK/receive path.
+#[derive(Debug)]
+enum Bitmap {
+    Small(u64),
+    Large(Box<[u64]>),
 }
 
 impl Bitmap {
     fn new(n: u32) -> Self {
-        Bitmap { words: vec![0; (n as usize).div_ceil(64)] }
+        if n <= 64 {
+            Bitmap::Small(0)
+        } else {
+            Bitmap::Large(vec![0u64; (n as usize).div_ceil(64)].into_boxed_slice())
+        }
     }
     #[inline]
     fn get(&self, i: u32) -> bool {
-        self.words[i as usize / 64] >> (i % 64) & 1 == 1
+        match self {
+            Bitmap::Small(w) => w >> i & 1 == 1,
+            Bitmap::Large(ws) => ws[i as usize / 64] >> (i % 64) & 1 == 1,
+        }
     }
     #[inline]
     fn set(&mut self, i: u32) {
-        self.words[i as usize / 64] |= 1 << (i % 64);
+        match self {
+            Bitmap::Small(w) => *w |= 1 << i,
+            Bitmap::Large(ws) => ws[i as usize / 64] |= 1 << (i % 64),
+        }
     }
     #[inline]
     fn clear(&mut self, i: u32) {
-        self.words[i as usize / 64] &= !(1 << (i % 64));
+        match self {
+            Bitmap::Small(w) => *w &= !(1 << i),
+            Bitmap::Large(ws) => ws[i as usize / 64] &= !(1 << (i % 64)),
+        }
     }
 }
 
@@ -224,8 +231,9 @@ struct Flow {
     dst: u32,
     bytes: u64,
     npkts: u32,
-    path: Vec<u32>,
-    rpath: Vec<u32>,
+    /// Interned forward/reverse routes (resolved via [`Topology::path`]).
+    path: PathRef,
+    rpath: PathRef,
     /// ECMP salt; per-packet spray values derive from it.
     salt: u64,
     /// Current retransmission timeout (backs off exponentially while the
@@ -242,7 +250,7 @@ struct Flow {
     inflight: u64,
     rtx: VecDeque<u32>,
     in_rtx: Bitmap,
-    send_ts: Vec<Time>,
+    send_ts: Box<[Time]>,
     last_activity: Time,
     // receiver state
     rcvd: Bitmap,
@@ -275,9 +283,11 @@ pub struct HtsimBackend {
     topo: Topology,
     ports: Vec<Port>,
     flows: Vec<Flow>,
-    heap: std::collections::BinaryHeap<HeapEv>,
+    queue: EventQueue<Ev>,
     now: Time,
-    seq: u64,
+    /// `ATLAHS_HTSIM_DEBUG` presence, sampled once at construction — the
+    /// env lookup must not sit in the event loop.
+    debug: bool,
     rng: StdRng,
     matcher: Matcher<u32, (OpRef, Time)>,
     pacers: Vec<PullPacer>,
@@ -294,9 +304,9 @@ impl HtsimBackend {
             topo,
             ports: Vec::new(),
             flows: Vec::new(),
-            heap: std::collections::BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: 0,
-            seq: 0,
+            debug: std::env::var_os("ATLAHS_HTSIM_DEBUG").is_some(),
             matcher: Matcher::new(),
             pacers: Vec::new(),
             stats: NetStats::default(),
@@ -308,28 +318,34 @@ impl HtsimBackend {
     }
 
     fn reset(&mut self) {
+        let wire_mtu = self.cfg.mtu + HDR_BYTES;
         self.ports = self
             .topo
             .ports()
             .iter()
-            .map(|s| Port {
-                rate: s.link.bytes_per_ns(),
-                latency: s.link.latency_ns,
-                to_host: s.to_host,
-                is_core: s.is_core,
-                busy: false,
-                queue: VecDeque::new(),
-                qbytes: 0,
-                in_service: None,
-                cap: self.cfg.queue_bytes,
-                kmin: (self.cfg.queue_bytes as f64 * self.cfg.kmin_frac) as u64,
-                kmax: (self.cfg.queue_bytes as f64 * self.cfg.kmax_frac) as u64,
+            .map(|s| {
+                let rate = s.link.bytes_per_ns();
+                Port {
+                    rate,
+                    latency: s.link.latency_ns,
+                    to_host: s.to_host,
+                    is_core: s.is_core,
+                    busy: false,
+                    queue: VecDeque::new(),
+                    qbytes: 0,
+                    in_service: None,
+                    cap: self.cfg.queue_bytes,
+                    kmin: (self.cfg.queue_bytes as f64 * self.cfg.kmin_frac) as u64,
+                    kmax: (self.cfg.queue_bytes as f64 * self.cfg.kmax_frac) as u64,
+                    wire_mtu,
+                    tx_mtu: (wire_mtu as f64 / rate).ceil() as u64,
+                    tx_hdr: (HDR_BYTES as f64 / rate).ceil() as u64,
+                }
             })
             .collect();
         self.flows.clear();
-        self.heap.clear();
+        self.queue.clear();
         self.now = 0;
-        self.seq = 0;
         self.rng = StdRng::seed_from_u64(self.cfg.seed);
         self.matcher = Matcher::new();
         self.pacers = (0..self.topo.num_hosts())
@@ -353,29 +369,29 @@ impl HtsimBackend {
         &self.cfg
     }
 
+    /// Event-queue diagnostics: how pushes split across the O(1) lane,
+    /// the timer wheel, and the overflow heap (perf tooling and tests).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
     fn push(&mut self, t: Time, ev: Ev) {
-        self.heap.push(HeapEv { t, seq: self.seq, ev });
-        self.seq += 1;
+        self.queue.push(t, ev);
     }
 
     // ---- port machinery ------------------------------------------------
 
     fn enqueue(&mut self, port_id: u32, mut pkt: Packet) {
-        let kmin;
-        let kmax;
-        let q;
-        {
-            let port = &self.ports[port_id as usize];
-            kmin = port.kmin;
-            kmax = port.kmax;
-            q = port.qbytes;
-        }
+        // One borrow of the port for the whole admission path (`rng`,
+        // `stats`, and `cfg` are disjoint fields).
+        let port = &mut self.ports[port_id as usize];
         if pkt.kind == PktKind::Data {
+            let q = port.qbytes;
             // ECN marking on instantaneous occupancy.
-            if q >= kmax {
+            if q >= port.kmax {
                 pkt.ecn = true;
-            } else if q > kmin {
-                let p = (q - kmin) as f64 / (kmax - kmin).max(1) as f64;
+            } else if q > port.kmin {
+                let p = (q - port.kmin) as f64 / (port.kmax - port.kmin).max(1) as f64;
                 if self.rng.random::<f64>() < p {
                     pkt.ecn = true;
                 }
@@ -384,24 +400,23 @@ impl HtsimBackend {
                 self.stats.ecn_marks += 1;
             }
             // Admission: trim (NDP) or drop on overflow.
-            if q + pkt.wire as u64 > self.ports[port_id as usize].cap {
+            if q + pkt.wire as u64 > port.cap {
                 if self.cfg.cc == CcAlgo::Ndp {
                     pkt.kind = PktKind::Trimmed;
                     pkt.wire = HDR_BYTES;
                     self.stats.trims += 1;
-                    if self.ports[port_id as usize].is_core {
+                    if port.is_core {
                         self.stats.core_drops += 1;
                     }
                 } else {
                     self.stats.drops += 1;
-                    if self.ports[port_id as usize].is_core {
+                    if port.is_core {
                         self.stats.core_drops += 1;
                     }
                     return;
                 }
             }
         }
-        let port = &mut self.ports[port_id as usize];
         port.qbytes += pkt.wire as u64;
         self.stats.max_queue_bytes = self.stats.max_queue_bytes.max(port.qbytes);
         port.queue.push_back(pkt);
@@ -416,7 +431,13 @@ impl HtsimBackend {
             if let Some(pkt) = port.queue.pop_front() {
                 port.qbytes -= pkt.wire as u64;
                 port.busy = true;
-                let tx = (pkt.wire as f64 / port.rate).ceil() as u64;
+                let tx = if pkt.wire == port.wire_mtu {
+                    port.tx_mtu
+                } else if pkt.wire == HDR_BYTES {
+                    port.tx_hdr
+                } else {
+                    (pkt.wire as f64 / port.rate).ceil() as u64
+                };
                 port.in_service = Some(pkt);
                 (tx, true)
             } else {
@@ -443,25 +464,10 @@ impl HtsimBackend {
             self.host_receive(host, pkt);
             return;
         }
-        // Forward through the switch.
+        // Forward through the switch: the packet carries its interned
+        // route, so this is a single arena load — no flow access.
         pkt.hop += 1;
-        let next = {
-            let f = &self.flows[pkt.flow as usize];
-            if self.cfg.spray {
-                // Per-packet path: recompute from the packet's spray value.
-                let path = match pkt.kind {
-                    PktKind::Data | PktKind::Trimmed => self.topo.route(f.src, f.dst, pkt.ecmp),
-                    _ => self.topo.route(f.dst, f.src, pkt.ecmp),
-                };
-                path[pkt.hop as usize]
-            } else {
-                let path = match pkt.kind {
-                    PktKind::Data | PktKind::Trimmed => &f.path,
-                    _ => &f.rpath,
-                };
-                path[pkt.hop as usize]
-            }
-        };
+        let next = self.topo.path(pkt.path)[pkt.hop as usize];
         self.enqueue(next, pkt);
     }
 
@@ -501,7 +507,7 @@ impl HtsimBackend {
     }
 
     fn send_packet(&mut self, fid: u32, idx: u32) {
-        let (port0, pkt, was_rtx) = {
+        let (pkt, was_rtx) = {
             let mtu = self.cfg.mtu;
             let f = &mut self.flows[fid as usize];
             let payload = f.payload(idx, mtu);
@@ -514,10 +520,12 @@ impl HtsimBackend {
             if was_rtx {
                 f.in_rtx.clear(idx);
             }
-            let ecmp = if self.cfg.spray {
-                f.salt ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            let (ecmp, path) = if self.cfg.spray {
+                let ecmp = f.salt ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                // Resolve the sprayed route once; hops index into it.
+                (ecmp, self.topo.route_ref(f.src, f.dst, ecmp))
             } else {
-                f.salt
+                (f.salt, f.path)
             };
             let pkt = Packet {
                 flow: fid,
@@ -527,19 +535,23 @@ impl HtsimBackend {
                 wire: payload + HDR_BYTES,
                 ecn: false,
                 ecmp,
+                path,
             };
-            (f.path[0], pkt, was_rtx)
+            (pkt, was_rtx)
         };
         self.stats.packets_sent += 1;
         self.stats.retransmissions += u64::from(was_rtx);
+        let port0 = self.topo.path(pkt.path)[0];
         self.enqueue(port0, pkt);
     }
 
     /// Control packets (ACK/NACK/PULL) travel the reverse path, reusing
     /// the triggering packet's ECMP selector (symmetric spraying).
     fn control_packet(&mut self, fid: u32, idx: u32, kind: PktKind, ecn: bool, ecmp: u64) {
-        let port0 = self.flows[fid as usize].rpath[0];
-        let pkt = Packet { flow: fid, idx, hop: 0, kind, wire: HDR_BYTES, ecn, ecmp };
+        let f = &self.flows[fid as usize];
+        let path = if self.cfg.spray { self.topo.route_ref(f.dst, f.src, ecmp) } else { f.rpath };
+        let pkt = Packet { flow: fid, idx, hop: 0, kind, wire: HDR_BYTES, ecn, ecmp, path };
+        let port0 = self.topo.path(path)[0];
         self.enqueue(port0, pkt);
     }
 
@@ -681,6 +693,11 @@ impl HtsimBackend {
             let f = &mut self.flows[fid as usize];
             f.complete = true;
             f.complete_time = Some(self.now);
+            // Cancel the retransmission-timer chain: bumping the
+            // generation lazily invalidates every pending `Timeout` for
+            // this flow, so short-flow-heavy workloads don't drag dead
+            // timers through the event queue.
+            f.timeout_gen = f.timeout_gen.wrapping_add(1);
             (f.op, f.recv_op, f.src, f.dst, f.bytes, f.start)
         };
         self.push(self.now, Ev::Emit { op, done: true });
@@ -695,11 +712,10 @@ impl HtsimBackend {
     fn on_timeout(&mut self, fid: u32, gen: u32) {
         let reschedule = {
             let f = &mut self.flows[fid as usize];
-            if f.complete || gen != f.timeout_gen {
-                // Flow finished, or this chain was superseded by an early
-                // re-arm on backoff recovery: let the stale chain die.
-                None
-            } else if self.now.saturating_sub(f.last_activity) < f.rto {
+            // Staleness (completed flow / superseded chain) is filtered by
+            // the Ev::Timeout dispatch arm; only live timers arrive here.
+            debug_assert!(!f.complete && gen == f.timeout_gen);
+            if self.now.saturating_sub(f.last_activity) < f.rto {
                 Some(f.last_activity + f.rto)
             } else {
                 // Timeout fires: requeue every sent-but-unacked packet.
@@ -744,6 +760,74 @@ impl Backend for HtsimBackend {
     }
 
     fn send(&mut self, op: OpRef, dst: Rank, bytes: u64, tag: Tag) {
+        self.send_inner(op, dst, bytes, tag);
+    }
+
+    fn recv(&mut self, op: OpRef, src: Rank, bytes: u64, tag: Tag) {
+        self.recv_inner(op, src, bytes, tag);
+    }
+
+    fn calc(&mut self, op: OpRef, cost: u64) {
+        self.push(self.now + cost, Ev::Emit { op, done: true });
+    }
+
+    fn next_event(&mut self) -> Option<Completion> {
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now);
+            self.now = t;
+            self.stats.internal_events += 1;
+            if self.debug && self.stats.internal_events % 200_000_000 == 0 {
+                eprintln!(
+                    "[htsim] internal={}M now={}ms queued={} pkts={} drops={} rtx={} timeouts={} flows={}",
+                    self.stats.internal_events / 1_000_000,
+                    self.now / 1_000_000,
+                    self.queue.len(),
+                    self.stats.packets_sent,
+                    self.stats.drops,
+                    self.stats.retransmissions,
+                    self.stats.timeouts,
+                    self.stats.flows,
+                );
+            }
+            match ev {
+                Ev::Emit { op, done } => {
+                    return Some(if done {
+                        Completion::done(op, t)
+                    } else {
+                        Completion::cpu_free(op, t)
+                    });
+                }
+                Ev::TxDone(p) => self.on_tx_done(p),
+                Ev::Arrive { port, pkt } => self.on_arrive(port, pkt),
+                Ev::Timeout { flow, gen } => {
+                    // Lazily cancelled timers (completed flows, superseded
+                    // chains) die here without touching flow state.
+                    let f = &self.flows[flow as usize];
+                    if !f.complete && gen == f.timeout_gen {
+                        self.stats.timeouts += 1;
+                        self.on_timeout(flow, gen);
+                    }
+                }
+                Ev::PullTick { host } => self.on_pull_tick(host),
+                Ev::LocalDone { flow } => {
+                    let (op, recv_op) = {
+                        let f = &mut self.flows[flow as usize];
+                        f.complete_time = Some(self.now);
+                        (f.op, f.recv_op)
+                    };
+                    self.push(self.now, Ev::Emit { op, done: true });
+                    if let Some(r) = recv_op {
+                        self.push(self.now + self.cfg.host_o, Ev::Emit { op: r, done: true });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl HtsimBackend {
+    fn send_inner(&mut self, op: OpRef, dst: Rank, bytes: u64, tag: Tag) {
         let key: MatchKey = (op.rank, dst, tag);
         self.push(self.now + self.cfg.host_o, Ev::Emit { op, done: false });
         let fid = self.flows.len() as u32;
@@ -772,7 +856,7 @@ impl Backend for HtsimBackend {
         self.push(self.now + rto, Ev::Timeout { flow: fid, gen: 0 });
     }
 
-    fn recv(&mut self, op: OpRef, src: Rank, _bytes: u64, tag: Tag) {
+    fn recv_inner(&mut self, op: OpRef, src: Rank, _bytes: u64, tag: Tag) {
         let key: MatchKey = (src, op.rank, tag);
         self.push(self.now, Ev::Emit { op, done: false });
         if let Some(fid) = self.matcher.offer_recv(key, (op, self.now)) {
@@ -788,74 +872,18 @@ impl Backend for HtsimBackend {
         }
     }
 
-    fn calc(&mut self, op: OpRef, cost: u64) {
-        self.push(self.now + cost, Ev::Emit { op, done: true });
-    }
-
-    fn next_event(&mut self) -> Option<Completion> {
-        while let Some(HeapEv { t, ev, .. }) = self.heap.pop() {
-            debug_assert!(t >= self.now);
-            self.now = t;
-            self.stats.internal_events += 1;
-            if self.stats.internal_events % 200_000_000 == 0
-                && std::env::var_os("ATLAHS_HTSIM_DEBUG").is_some()
-            {
-                eprintln!(
-                    "[htsim] internal={}M now={}ms heap={} pkts={} drops={} rtx={} timeouts={} flows={}",
-                    self.stats.internal_events / 1_000_000,
-                    self.now / 1_000_000,
-                    self.heap.len(),
-                    self.stats.packets_sent,
-                    self.stats.drops,
-                    self.stats.retransmissions,
-                    self.stats.timeouts,
-                    self.stats.flows,
-                );
-            }
-            match ev {
-                Ev::Emit { op, done } => {
-                    return Some(if done {
-                        Completion::done(op, t)
-                    } else {
-                        Completion::cpu_free(op, t)
-                    });
-                }
-                Ev::TxDone(p) => self.on_tx_done(p),
-                Ev::Arrive { port, pkt } => self.on_arrive(port, pkt),
-                Ev::Timeout { flow, gen } => {
-                    self.stats.timeouts += 1;
-                    self.on_timeout(flow, gen);
-                }
-                Ev::PullTick { host } => self.on_pull_tick(host),
-                Ev::LocalDone { flow } => {
-                    let (op, recv_op) = {
-                        let f = &mut self.flows[flow as usize];
-                        f.complete_time = Some(self.now);
-                        (f.op, f.recv_op)
-                    };
-                    self.push(self.now, Ev::Emit { op, done: true });
-                    if let Some(r) = recv_op {
-                        self.push(self.now + self.cfg.host_o, Ev::Emit { op: r, done: true });
-                    }
-                }
-            }
-        }
-        None
-    }
-}
-
-impl HtsimBackend {
     fn make_flow(&mut self, _fid: u32, op: OpRef, dst: Rank, bytes: u64, local: bool) -> Flow {
         let bytes = bytes.max(1);
         let mtu = self.cfg.mtu as u64;
         let npkts = bytes.div_ceil(mtu) as u32;
         let (path, rpath, salt, rto, cc) = if local {
-            (Vec::new(), Vec::new(), 0, 0, CcState::new(self.cfg.cc, self.cfg.mtu, 1, 1))
+            (PathRef::EMPTY, PathRef::EMPTY, 0, 0, CcState::new(self.cfg.cc, self.cfg.mtu, 1, 1))
         } else {
             let salt = self.rng.random::<u64>();
-            let path = self.topo.route(op.rank, dst, salt);
-            let rpath = self.topo.route(dst, op.rank, salt);
-            let base_rtt = self.topo.base_rtt(&path, &rpath, self.cfg.mtu);
+            let path = self.topo.route_ref(op.rank, dst, salt);
+            let rpath = self.topo.route_ref(dst, op.rank, salt);
+            let base_rtt =
+                self.topo.base_rtt(self.topo.path(path), self.topo.path(rpath), self.cfg.mtu);
             let host_rate = self.ports[op.rank as usize].rate;
             let bdp = (base_rtt as f64 * host_rate) as u64;
             let rto = if self.cfg.rto_ns > 0 {
@@ -884,7 +912,7 @@ impl HtsimBackend {
             inflight: 0,
             rtx: VecDeque::new(),
             in_rtx: Bitmap::new(npkts),
-            send_ts: vec![0; npkts as usize],
+            send_ts: vec![0; npkts as usize].into_boxed_slice(),
             last_activity: self.now,
             rcvd: Bitmap::new(npkts),
             rcvd_count: 0,

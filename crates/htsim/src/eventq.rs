@@ -1,0 +1,495 @@
+//! The engine's event core: a hierarchical timer wheel with an overflow
+//! heap and an O(1) lane for same-timestamp events.
+//!
+//! The packet engine schedules millions of events whose delays cluster
+//! tightly: serialization times (hundreds of ns), link latencies (500 to
+//! 1500 ns), host overheads (200 ns), and zero-delay completions, with a
+//! thin tail of retransmission timers (tens of µs, exponentially backed
+//! off) and compute releases (up to seconds). A global `BinaryHeap` pays
+//! O(log n) comparisons and half-a-cache-line swaps on every one of them.
+//! This queue makes the dominant cases O(1):
+//!
+//! * **Lane** — events scheduled for *exactly* the current timestamp (the
+//!   same-tick completions, pull-pacer kicks, and emit chains that
+//!   dominate congested runs) go into a FIFO `VecDeque` and pop without
+//!   touching the wheel at all.
+//! * **Level 0** — a 4096-slot wheel at 1 ns per slot covering the
+//!   current 4.1 µs *frame*. One slot holds one exact timestamp, so
+//!   insertion order *is* FIFO order and no sorting ever happens.
+//! * **Level 1** — a 4096-slot wheel at one frame per slot covering the
+//!   current 16.8 ms *superframe*. Slots cascade into level 0 when the
+//!   scan enters their frame.
+//! * **Overflow** — a plain binary heap, keyed `(time, push seq)`, for
+//!   everything beyond the superframe horizon. Its contents migrate into
+//!   the wheel when the scan crosses a superframe boundary, so each event
+//!   pays at most one heap traversal regardless of how far out it was
+//!   scheduled.
+//!
+//! **Ordering contract:** `pop` yields events in exactly the order a
+//! min-heap on `(time, push sequence)` would — ties broken by insertion
+//! order — which is what keeps simulation results bit-identical to the
+//! engine's previous global-heap implementation. The structure relies on
+//! time moving only forward: `push(t, _)` requires `t >= now`, where
+//! `now` is the timestamp of the most recently popped event.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of level-0 slots per frame (and ns per frame).
+const BITS0: u32 = 12;
+/// log2 of level-1 slots per superframe (frames per superframe).
+const BITS1: u32 = 12;
+const SLOTS: usize = 1 << BITS0;
+const MASK0: u64 = (1 << BITS0) - 1;
+const MASK1: u64 = (1 << BITS1) - 1;
+/// Bitmap words per level (4096 slots / 64 bits).
+const WORDS: usize = SLOTS / 64;
+
+struct Overflow<T> {
+    t: u64,
+    seq: u64,
+    ev: T,
+}
+
+impl<T> PartialEq for Overflow<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl<T> Eq for Overflow<T> {}
+impl<T> PartialOrd for Overflow<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Overflow<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap via reversal.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+/// Occupancy bitmap over one wheel level.
+#[derive(Clone)]
+struct Bits([u64; WORDS]);
+
+impl Bits {
+    fn new() -> Bits {
+        Bits([0; WORDS])
+    }
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.0[i >> 6] |= 1 << (i & 63);
+    }
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.0[i >> 6] &= !(1 << (i & 63));
+    }
+    #[inline]
+    fn test(&self, i: usize) -> bool {
+        self.0[i >> 6] >> (i & 63) & 1 == 1
+    }
+    /// First set bit at index `>= from`, if any.
+    fn next(&self, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let mut w = from >> 6;
+        let mut word = self.0[w] & (!0u64 << (from & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.0[w];
+        }
+    }
+}
+
+/// Diagnostic counters (cheap; exposed for tests and perf tooling).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Pushes that landed in the same-timestamp lane (the O(1) fast path).
+    pub lane_pushes: u64,
+    /// Pushes into the level-0 / level-1 wheels.
+    pub wheel_pushes: u64,
+    /// Pushes that overflowed past the superframe horizon into the heap.
+    pub heap_pushes: u64,
+    /// Level-1 slots cascaded into level 0.
+    pub cascades: u64,
+}
+
+/// A discrete-event priority queue ordered by `(time, insertion order)`.
+pub struct EventQueue<T> {
+    /// Timestamp of the most recent `pop` (and of everything in `lane`).
+    now: u64,
+    /// Scan position in ns; always `>= now` and `<=` every queued event.
+    cursor: u64,
+    /// Events at exactly `now`, in insertion order.
+    lane: VecDeque<T>,
+    l0: Box<[Vec<(u64, T)>]>,
+    l1: Box<[Vec<(u64, T)>]>,
+    l0_bits: Bits,
+    l1_bits: Bits,
+    l0_count: usize,
+    l1_count: usize,
+    heap: BinaryHeap<Overflow<T>>,
+    /// Tie-break sequence for heap entries (wheel slots are FIFO by
+    /// construction and need no explicit sequence).
+    seq: u64,
+    len: usize,
+    stats: QueueStats,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new() -> Self {
+        EventQueue {
+            now: 0,
+            cursor: 0,
+            lane: VecDeque::new(),
+            l0: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l1: (0..SLOTS).map(|_| Vec::new()).collect(),
+            l0_bits: Bits::new(),
+            l1_bits: Bits::new(),
+            l0_count: 0,
+            l1_count: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Timestamp of the most recently popped event.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Remove every queued event and rewind time to zero. Slot and lane
+    /// allocations are kept.
+    pub fn clear(&mut self) {
+        self.lane.clear();
+        for v in self.l0.iter_mut().chain(self.l1.iter_mut()) {
+            v.clear();
+        }
+        self.l0_bits = Bits::new();
+        self.l1_bits = Bits::new();
+        self.l0_count = 0;
+        self.l1_count = 0;
+        self.heap.clear();
+        self.now = 0;
+        self.cursor = 0;
+        self.seq = 0;
+        self.len = 0;
+        self.stats = QueueStats::default();
+    }
+
+    /// Schedule `ev` at absolute time `t` (`t >= now()` required).
+    pub fn push(&mut self, t: u64, ev: T) {
+        debug_assert!(t >= self.now, "time runs forward: {t} < {}", self.now);
+        self.len += 1;
+        if t == self.now {
+            self.stats.lane_pushes += 1;
+            self.lane.push_back(ev);
+            return;
+        }
+        let frame = t >> BITS0;
+        let cur_frame = self.cursor >> BITS0;
+        if frame == cur_frame {
+            self.stats.wheel_pushes += 1;
+            let s = (t & MASK0) as usize;
+            self.l0_bits.set(s);
+            self.l0[s].push((t, ev));
+            self.l0_count += 1;
+        } else if frame >> BITS1 == cur_frame >> BITS1 {
+            self.stats.wheel_pushes += 1;
+            let s = (frame & MASK1) as usize;
+            self.l1_bits.set(s);
+            self.l1[s].push((t, ev));
+            self.l1_count += 1;
+        } else {
+            self.stats.heap_pushes += 1;
+            self.heap.push(Overflow { t, seq: self.seq, ev });
+            self.seq += 1;
+        }
+    }
+
+    /// Pop the earliest event, `(time, insertion order)`-ordered.
+    pub fn pop(&mut self) -> Option<(u64, T)> {
+        if let Some(ev) = self.lane.pop_front() {
+            self.len -= 1;
+            return Some((self.now, ev));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            // Next occupied level-0 slot within the current frame.
+            if self.l0_count > 0 {
+                let frame_base = (self.cursor >> BITS0) << BITS0;
+                let from = (self.cursor - frame_base) as usize;
+                if let Some(s) = self.l0_bits.next(from) {
+                    let t = frame_base + s as u64;
+                    self.cursor = t;
+                    self.now = t;
+                    self.l0_bits.clear(s);
+                    let slot = &mut self.l0[s];
+                    self.l0_count -= slot.len();
+                    self.len -= 1;
+                    // Singleton slots (the common case) skip the lane.
+                    if slot.len() == 1 {
+                        let (et, ev) = slot.pop().expect("len checked");
+                        debug_assert_eq!(et, t);
+                        return Some((t, ev));
+                    }
+                    for (et, ev) in slot.drain(..) {
+                        debug_assert_eq!(et, t);
+                        self.lane.push_back(ev);
+                    }
+                    let ev = self.lane.pop_front().expect("occupied slot drained");
+                    return Some((t, ev));
+                }
+                unreachable!("l0_count > 0 but no occupied slot at/after the cursor");
+            }
+            // Frame exhausted: advance to the next frame holding events.
+            let cur_frame = self.cursor >> BITS0;
+            let next_frame = if self.l1_count > 0 {
+                let sf_base = (cur_frame >> BITS1) << BITS1;
+                let from = (cur_frame + 1 - sf_base) as usize;
+                let s = self.l1_bits.next(from).expect("level 1 only holds the current superframe");
+                sf_base + s as u64
+            } else if let Some(top) = self.heap.peek() {
+                // The wheel is empty: jump straight to the heap's head.
+                top.t >> BITS0
+            } else {
+                debug_assert_eq!(self.len, 0);
+                return None;
+            };
+            self.cursor = next_frame << BITS0;
+            // Crossing a superframe boundary: migrate that superframe's
+            // overflow events into the wheel (in `(t, seq)` order, which
+            // keeps slot FIFO order correct).
+            if next_frame >> BITS1 != cur_frame >> BITS1 {
+                let sf = next_frame >> BITS1;
+                while let Some(top) = self.heap.peek() {
+                    if top.t >> (BITS0 + BITS1) != sf {
+                        break;
+                    }
+                    let Overflow { t, ev, .. } = self.heap.pop().expect("peeked");
+                    let frame = t >> BITS0;
+                    if frame == next_frame {
+                        let s = (t & MASK0) as usize;
+                        self.l0_bits.set(s);
+                        self.l0[s].push((t, ev));
+                        self.l0_count += 1;
+                    } else {
+                        let s = (frame & MASK1) as usize;
+                        self.l1_bits.set(s);
+                        self.l1[s].push((t, ev));
+                        self.l1_count += 1;
+                    }
+                }
+            }
+            // Cascade the new frame's level-1 slot into level 0.
+            let s1 = (next_frame & MASK1) as usize;
+            if self.l1_bits.test(s1) {
+                self.stats.cascades += 1;
+                let l0 = &mut self.l0;
+                let l0_bits = &mut self.l0_bits;
+                let slot = &mut self.l1[s1];
+                self.l1_count -= slot.len();
+                self.l0_count += slot.len();
+                for (t, ev) in slot.drain(..) {
+                    debug_assert_eq!(t >> BITS0, next_frame);
+                    let s0 = (t & MASK0) as usize;
+                    l0_bits.set(s0);
+                    l0[s0].push((t, ev));
+                }
+                self.l1_bits.clear(s1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Reference implementation: the engine's previous global heap.
+    struct RefQueue<T> {
+        heap: BinaryHeap<Overflow<T>>,
+        seq: u64,
+    }
+
+    impl<T> RefQueue<T> {
+        fn new() -> Self {
+            RefQueue { heap: BinaryHeap::new(), seq: 0 }
+        }
+        fn push(&mut self, t: u64, ev: T) {
+            self.heap.push(Overflow { t, seq: self.seq, ev });
+            self.seq += 1;
+        }
+        fn pop(&mut self) -> Option<(u64, T)> {
+            self.heap.pop().map(|o| (o.t, o.ev))
+        }
+    }
+
+    #[test]
+    fn empty_pops_none() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_a_timestamp() {
+        let mut q = EventQueue::new();
+        for (t, id) in [(5u64, 0u32), (5, 1), (3, 2), (5, 3), (3, 4)] {
+            q.push(t, id);
+        }
+        let order: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(3, 2), (3, 4), (5, 0), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn lane_takes_zero_delay_events() {
+        let mut q = EventQueue::new();
+        q.push(10, 'a');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        // now == 10: these go through the lane.
+        q.push(10, 'b');
+        q.push(10, 'c');
+        q.push(11, 'd');
+        assert!(q.stats().lane_pushes >= 2);
+        assert_eq!(q.pop(), Some((10, 'b')));
+        assert_eq!(q.pop(), Some((10, 'c')));
+        assert_eq!(q.pop(), Some((11, 'd')));
+    }
+
+    #[test]
+    fn spans_frames_superframes_and_overflow() {
+        let mut q = EventQueue::new();
+        // One event per tier: current frame, later frame in the same
+        // superframe, beyond the superframe horizon (heap), and far out.
+        let times = [100u64, 10_000, 20_000_000, 3_000_000_000];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        assert!(q.stats().heap_pushes >= 2);
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_keep_fifo_ties() {
+        let mut q = EventQueue::new();
+        let far = 100_000_000; // beyond the superframe horizon
+        for id in 0..32u32 {
+            q.push(far, id);
+        }
+        for id in 0..32u32 {
+            assert_eq!(q.pop(), Some((far, id)));
+        }
+    }
+
+    #[test]
+    fn clear_resets_time() {
+        let mut q = EventQueue::new();
+        q.push(1_000, 1u8);
+        q.pop();
+        q.push(2_000, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 0);
+        q.push(5, 3); // would violate time order had clear not rewound
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    /// The contract test: a long random interleaving of pushes and pops
+    /// must match the `(t, seq)` binary-heap reference exactly, across
+    /// delay scales that exercise lane, both wheel levels, overflow
+    /// migration, and empty-wheel jumps.
+    #[test]
+    fn matches_reference_heap_order_under_stress() {
+        let mut rng = StdRng::seed_from_u64(0xA7145);
+        for round in 0..4u64 {
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::new();
+            let mut now = 0u64;
+            let mut id = 0u64;
+            for _ in 0..20_000 {
+                let roll = rng.random::<u64>() % 100;
+                if roll < 55 {
+                    // Push with a delay profile spanning every tier.
+                    let delay = match rng.random::<u64>() % 10 {
+                        0 => 0,
+                        1..=4 => rng.random::<u64>() % 1_000,
+                        5..=6 => rng.random::<u64>() % 100_000,
+                        7..=8 => rng.random::<u64>() % 30_000_000,
+                        _ => rng.random::<u64>() % 5_000_000_000,
+                    };
+                    q.push(now + delay, id);
+                    r.push(now + delay, id);
+                    id += 1;
+                } else {
+                    let a = q.pop();
+                    let b = r.pop();
+                    assert_eq!(a, b, "divergence in round {round} at id {id}");
+                    if let Some((t, _)) = a {
+                        now = t;
+                    }
+                }
+            }
+            // Drain both completely.
+            loop {
+                let a = q.pop();
+                let b = r.pop();
+                assert_eq!(a, b, "drain divergence in round {round}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_far_future_jumps_do_not_scan() {
+        // A handful of events spread over 10 simulated seconds must pop
+        // quickly (the scan jumps via the heap instead of walking every
+        // frame). The time bound is implicit: the test would blow the
+        // suite budget if the jump logic regressed to linear scanning.
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.push(i * 10_000_000, i);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(q.pop(), Some((i * 10_000_000, i)));
+        }
+    }
+}

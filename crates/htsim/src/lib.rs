@@ -29,11 +29,13 @@
 
 pub mod cc;
 pub mod engine;
+pub mod eventq;
 pub mod topology;
 
 pub use cc::{CcAlgo, CcState};
 pub use engine::{FlowRecord, HtsimBackend, HtsimConfig, NetStats};
-pub use topology::{LinkParams, Topology, TopologyConfig};
+pub use eventq::EventQueue;
+pub use topology::{LinkParams, PathRef, Topology, TopologyConfig};
 
 #[cfg(test)]
 mod tests {
@@ -349,6 +351,20 @@ mod tests {
         assert_eq!(r1.makespan, r2.makespan);
         assert_eq!(r1.completed, goal.total_tasks());
         assert_eq!(b1.net_stats().drops, 0, "no drops expected when spread evenly");
+    }
+
+    #[test]
+    fn event_core_stays_on_the_fast_tiers() {
+        // The zero-allocation contract in steady state: packet events
+        // (serialization, propagation, acks) live in the O(1) lane and
+        // the wheel; only far-future timers and compute releases may
+        // overflow into the heap tier.
+        let goal = permutation(16, 4 << 20);
+        let (_, backend) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let qs = backend.queue_stats();
+        let total = qs.lane_pushes + qs.wheel_pushes + qs.heap_pushes;
+        assert!(total > 10_000, "expected a packet-heavy run: {qs:?}");
+        assert!(qs.heap_pushes * 100 <= total, "heap tier must stay <1% of pushes: {qs:?}");
     }
 
     #[test]

@@ -4,6 +4,16 @@
 //! queues). A topology assigns ports to host NICs and switch interfaces and
 //! computes per-flow paths (lists of port ids) with ECMP hashing across
 //! equal-cost core links.
+//!
+//! Routes are **interned**: [`Topology::route_ref`] memoizes each distinct
+//! `(src, dst, ECMP bucket)` path into one shared flat arena and hands out
+//! a [`PathRef`] (offset + length). The engine stores `PathRef`s in flows
+//! and resolves per-hop next ports with pure index arithmetic — no
+//! per-packet or per-hop allocation, which is what makes per-packet
+//! spraying (a route decision on *every hop of every packet*) affordable.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Physical parameters of one link class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +132,55 @@ pub struct PortSpec {
     pub is_core: bool,
 }
 
+/// A route interned in the topology's path arena: `len` port ids starting
+/// at `off` in one shared backing vector. Resolve with [`Topology::path`].
+///
+/// The empty reference (`len == 0`) stands for "no fabric traversal"
+/// (intra-node flows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathRef {
+    off: u32,
+    len: u16,
+}
+
+impl PathRef {
+    /// The empty path (local, non-fabric flows).
+    pub const EMPTY: PathRef = PathRef { off: 0, len: 0 };
+
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Multiplicative hasher for the packed `(src, dst, bucket)` route-cache
+/// key: the key is already a well-mixed single `u64`, so SipHash's
+/// per-lookup cost (this sits on the per-hop spray path) buys nothing.
+#[derive(Debug, Clone, Default)]
+struct RouteKeyHasher(u64);
+
+impl Hasher for RouteKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, n: u64) {
+        let mut x = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+type RouteCache = HashMap<u64, PathRef, BuildHasherDefault<RouteKeyHasher>>;
+
 /// Dragonfly bookkeeping: geometry plus the global-link wiring map.
 #[derive(Debug, Clone)]
 struct DragonflyMap {
@@ -145,6 +204,10 @@ pub struct Topology {
     tors: usize,
     // Dragonfly bookkeeping
     df: Option<DragonflyMap>,
+    /// Flat storage for every interned route (see [`PathRef`]).
+    arena: Vec<u32>,
+    /// `(src, dst, ECMP bucket)` → interned route.
+    cache: RouteCache,
 }
 
 impl Topology {
@@ -168,6 +231,8 @@ impl Topology {
                     uplinks: 0,
                     tors: 1,
                     df: None,
+                    arena: Vec::new(),
+                    cache: RouteCache::default(),
                 }
             }
             TopologyConfig::FatTree2L { hosts, hosts_per_tor, uplinks_per_tor, edge, core } => {
@@ -204,6 +269,8 @@ impl Topology {
                     uplinks: uplinks_per_tor,
                     tors,
                     df: None,
+                    arena: Vec::new(),
+                    cache: RouteCache::default(),
                 }
             }
             TopologyConfig::Dragonfly {
@@ -277,6 +344,8 @@ impl Topology {
                         local_base,
                         links,
                     }),
+                    arena: Vec::new(),
+                    cache: RouteCache::default(),
                 }
             }
         }
@@ -298,26 +367,51 @@ impl Topology {
         host as usize / self.hosts_per_tor
     }
 
-    /// The path (list of port ids) for a flow from `src` to `dst`, using
-    /// `ecmp` to pick among equal-cost core links.
-    pub fn route(&self, src: u32, dst: u32, ecmp: u64) -> Vec<u32> {
+    /// Number of equal-cost routes between `src` and `dst`: every ECMP
+    /// selector collapses to a *bucket* `ecmp % degree`, and all selectors
+    /// in one bucket share one path.
+    fn ecmp_degree(&self, src: u32, dst: u32) -> u64 {
+        match self.config {
+            TopologyConfig::SingleSwitch { .. } => 1,
+            TopologyConfig::FatTree2L { .. } => {
+                if self.tor_of(src) == self.tor_of(dst) {
+                    1
+                } else {
+                    self.uplinks as u64
+                }
+            }
+            TopologyConfig::Dragonfly { .. } => {
+                let df = self.df.as_ref().expect("built dragonfly");
+                let gh = df.routers_per_group * df.hosts_per_router;
+                let (gs, gd) = (src as usize / gh, dst as usize / gh);
+                if gs == gd {
+                    1
+                } else {
+                    df.links[gs][gd].len() as u64
+                }
+            }
+        }
+    }
+
+    /// Append the path for `src → dst` under selector `ecmp` onto `out`.
+    fn compute_route_into(&self, src: u32, dst: u32, ecmp: u64, out: &mut Vec<u32>) {
         assert_ne!(src, dst, "no self-routing: intra-node traffic is a calc");
         match self.config {
             TopologyConfig::SingleSwitch { hosts, .. } => {
-                vec![src, (hosts + dst as usize) as u32]
+                out.extend([src, (hosts + dst as usize) as u32]);
             }
             TopologyConfig::FatTree2L { hosts, .. } => {
                 let h = hosts;
                 let ts = self.tor_of(src);
                 let td = self.tor_of(dst);
                 if ts == td {
-                    vec![src, (h + dst as usize) as u32]
+                    out.extend([src, (h + dst as usize) as u32]);
                 } else {
                     // ECMP over the uplinks (one per core switch).
                     let u = (ecmp % self.uplinks as u64) as usize;
                     let tor_up = 2 * h + ts * self.uplinks + u;
                     let core_down = 2 * h + self.tors * self.uplinks + u * self.tors + td;
-                    vec![src, tor_up as u32, core_down as u32, (h + dst as usize) as u32]
+                    out.extend([src, tor_up as u32, core_down as u32, (h + dst as usize) as u32]);
                 }
             }
             TopologyConfig::Dragonfly { .. } => {
@@ -337,27 +431,62 @@ impl Topology {
                 let gd = group_of(dst);
                 let rs = router_of(src) % r;
                 let rd = router_of(dst) % r;
-                let mut path = vec![src];
+                out.push(src);
                 if gs == gd {
                     if rs != rd {
-                        path.push(local_port(gs, rs, rd));
+                        out.push(local_port(gs, rs, rd));
                     }
                 } else {
                     // Minimal routing, ECMP over the direct global links.
                     let options = &df.links[gs][gd];
                     let (ra, gport, rb) = options[(ecmp % options.len() as u64) as usize];
                     if rs != ra as usize {
-                        path.push(local_port(gs, rs, ra as usize));
+                        out.push(local_port(gs, rs, ra as usize));
                     }
-                    path.push(gport);
+                    out.push(gport);
                     if rb as usize != rd {
-                        path.push(local_port(gd, rb as usize, rd));
+                        out.push(local_port(gd, rb as usize, rd));
                     }
                 }
-                path.push(down);
-                path
+                out.push(down);
             }
         }
+    }
+
+    /// The path (list of port ids) for a flow from `src` to `dst`, using
+    /// `ecmp` to pick among equal-cost core links.
+    ///
+    /// Allocates a fresh vector per call; the engine's hot paths use the
+    /// interning [`Topology::route_ref`] instead.
+    pub fn route(&self, src: u32, dst: u32, ecmp: u64) -> Vec<u32> {
+        let mut out = Vec::with_capacity(5);
+        self.compute_route_into(src, dst, ecmp, &mut out);
+        out
+    }
+
+    /// The interned path for `src → dst` under selector `ecmp`: computed
+    /// at most once per `(src, dst, ECMP bucket)`, then served from the
+    /// arena as a [`PathRef`] — no allocation on cache hits.
+    pub fn route_ref(&mut self, src: u32, dst: u32, ecmp: u64) -> PathRef {
+        let bucket = ecmp % self.ecmp_degree(src, dst);
+        debug_assert!(self.hosts <= 1 << 24 && bucket < 1 << 16, "route key packing");
+        let key = (src as u64) << 40 | (dst as u64) << 16 | bucket;
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let mut arena = std::mem::take(&mut self.arena);
+        let off = arena.len();
+        self.compute_route_into(src, dst, bucket, &mut arena);
+        let r = PathRef { off: off as u32, len: (arena.len() - off) as u16 };
+        self.arena = arena;
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Resolve an interned route to its port ids.
+    #[inline]
+    pub fn path(&self, r: PathRef) -> &[u32] {
+        &self.arena[r.off as usize..r.off as usize + r.len as usize]
     }
 
     /// Base round-trip estimate for a path and its reverse: propagation plus
@@ -447,6 +576,58 @@ mod tests {
     fn self_route_rejected() {
         let t = Topology::build(TopologyConfig::fat_tree(16, 4));
         t.route(3, 3, 0);
+    }
+
+    // ---- Route interning --------------------------------------------
+
+    #[test]
+    fn route_ref_agrees_with_route_everywhere() {
+        // Every (src, dst, ecmp) must resolve to the identical path via
+        // the interned arena and the allocating compatibility API, across
+        // all three topology families.
+        let topos = [
+            Topology::build(TopologyConfig::SingleSwitch { hosts: 6, link: LinkParams::default() }),
+            Topology::build(TopologyConfig::fat_tree(16, 4)),
+            Topology::build(TopologyConfig::fat_tree_oversubscribed(16, 4, 2)),
+            Topology::build(TopologyConfig::dragonfly(3, 4, 2)),
+        ];
+        for mut t in topos {
+            let n = t.num_hosts() as u32;
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst {
+                        continue;
+                    }
+                    for ecmp in [0u64, 1, 7, 0xDEAD_BEEF] {
+                        let owned = t.route(src, dst, ecmp);
+                        let r = t.route_ref(src, dst, ecmp);
+                        assert_eq!(t.path(r), &owned[..], "{src}->{dst} ecmp={ecmp}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_ref_hits_cache_within_a_bucket() {
+        let mut t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        // 4 uplinks: selectors congruent mod 4 share a bucket and must
+        // return the same interned reference without growing the arena.
+        let a = t.route_ref(0, 5, 3);
+        let arena_len = t.path(a).as_ptr();
+        let b = t.route_ref(0, 5, 7);
+        assert_eq!(a, b, "same ECMP bucket must intern once");
+        assert_eq!(t.path(b).as_ptr(), arena_len);
+        let c = t.route_ref(0, 5, 4);
+        assert_ne!(t.path(a), t.path(c), "different bucket, different uplink");
+    }
+
+    #[test]
+    fn empty_pathref_is_empty() {
+        let t = Topology::build(TopologyConfig::fat_tree(16, 4));
+        assert!(PathRef::EMPTY.is_empty());
+        assert_eq!(PathRef::EMPTY.len(), 0);
+        assert_eq!(t.path(PathRef::EMPTY), &[] as &[u32]);
     }
 
     // ---- Dragonfly --------------------------------------------------

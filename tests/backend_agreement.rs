@@ -47,6 +47,13 @@ fn run_htsim(goal: &GoalSchedule, topo: TopologyConfig) -> u64 {
     Simulation::new(goal).run(&mut be).unwrap().makespan
 }
 
+fn run_htsim_spray(goal: &GoalSchedule, topo: TopologyConfig) -> u64 {
+    let mut cfg = HtsimConfig::new(topo, CcAlgo::Mprdma);
+    cfg.spray = true;
+    let mut be = HtsimBackend::new(cfg);
+    Simulation::new(goal).run(&mut be).unwrap().makespan
+}
+
 fn run_testbed(goal: &GoalSchedule, topo: TopologyConfig) -> u64 {
     let mut cfg = TestbedConfig::new(topo);
     cfg.efficiency = 1.0;
@@ -110,6 +117,45 @@ fn lgs_blind_to_oversubscription_htsim_is_not() {
     // the *additional* oversubscription penalty is modest — but it must
     // be strictly worse.
     assert!(over > full, "oversubscription must hurt: {full} -> {over}");
+}
+
+#[test]
+fn spraying_restores_lgs_agreement_on_full_bisection() {
+    // The per-packet-spray data path (route resolved per packet, indexed
+    // per hop). On a *fully provisioned* fat tree, ECMP hash collisions
+    // are the only thing separating htsim from the contention-free LGS
+    // model on a permutation; spraying removes them, so the two backends
+    // must agree — while per-flow ECMP stays measurably slower.
+    let n = 16;
+    let mut b = GoalBuilder::new(n);
+    for r in 0..n as u32 {
+        let dst = (r + 8) % n as u32; // always crosses ToRs (4 hosts/ToR)
+        b.send(r, dst, 4 << 20, r);
+        b.recv(dst, r, 4 << 20, r);
+    }
+    let goal = b.build().unwrap();
+
+    let lgs = run_lgs(&goal, lgs_params_for(100.0));
+    let hashed = run_htsim(&goal, TopologyConfig::fat_tree(16, 4));
+    let sprayed = run_htsim_spray(&goal, TopologyConfig::fat_tree(16, 4));
+
+    let ratio = sprayed as f64 / lgs as f64;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "sprayed permutation on full bisection must track LGS: lgs={lgs} sprayed={sprayed}"
+    );
+    assert!(
+        sprayed < hashed,
+        "spraying must beat colliding per-flow ECMP: sprayed={sprayed} hashed={hashed}"
+    );
+
+    // Spraying cannot conjure bandwidth: through a 4:1 core the sprayed
+    // run must still diverge from LGS's (unchanged) prediction.
+    let over = run_htsim_spray(&goal, TopologyConfig::fat_tree_oversubscribed(16, 4, 4));
+    assert!(
+        over as f64 > lgs as f64 * 2.0,
+        "4:1 core must diverge even when sprayed: lgs={lgs} sprayed_over={over}"
+    );
 }
 
 #[test]

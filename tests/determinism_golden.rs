@@ -1,0 +1,205 @@
+//! Determinism goldens for the packet engine.
+//!
+//! Same seed + same config ⇒ byte-identical results: makespan, the full
+//! [`NetStats`] block, and every [`FlowRecord`]. The golden values below
+//! were captured after the indexed-event-queue / route-arena refactor and
+//! pin the engine's exact event ordering: any change that reorders events,
+//! perturbs the RNG stream, or alters routing will move at least one of
+//! these fingerprints and must be a conscious decision.
+//!
+//! The grid covers the two topology families the paper validates against
+//! (a Clos/fat-tree with an oversubscribed core and a dragonfly), both a
+//! DCTCP-like sender-driven CC and receiver-driven NDP, and both routing
+//! modes (per-flow ECMP and per-packet spraying).
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! ATLAHS_PRINT_GOLDENS=1 cargo test --test determinism_golden -- --nocapture
+//! ```
+
+use atlahs::core::Simulation;
+use atlahs::goal::GoalSchedule;
+use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs::htsim::topology::TopologyConfig;
+use atlahs::htsim::CcAlgo;
+use atlahs_bench::workloads::cross_tor_permutation;
+
+/// Everything a run's observable outcome consists of, flattened to a
+/// comparable tuple: makespan, key NetStats fields, and an FNV-1a hash
+/// over the complete NetStats block plus every flow record in completion
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Golden {
+    makespan: u64,
+    packets: u64,
+    losses: u64,
+    fingerprint: u64,
+}
+
+fn fnv(h: u64, x: u64) -> u64 {
+    let mut h = h;
+    for i in 0..8 {
+        h ^= (x >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn run(topo: TopologyConfig, cc: CcAlgo, spray: bool, goal: &GoalSchedule) -> Golden {
+    let mut cfg = HtsimConfig::new(topo, cc);
+    cfg.spray = spray;
+    cfg.collect_flows = true;
+    cfg.queue_bytes = 256 * 1024; // shallow enough to exercise loss paths
+    let mut be = HtsimBackend::new(cfg);
+    let rep = Simulation::new(goal).run(&mut be).expect("scenario completes");
+    let st = be.net_stats();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in [
+        rep.makespan,
+        st.packets_sent,
+        st.drops,
+        st.trims,
+        st.ecn_marks,
+        st.max_queue_bytes,
+        st.core_drops,
+        st.flows,
+        st.retransmissions,
+        st.internal_events,
+        st.timeouts,
+    ] {
+        h = fnv(h, x);
+    }
+    for r in be.flow_records() {
+        for x in [r.src as u64, r.dst as u64, r.bytes, r.start, r.end] {
+            h = fnv(h, x);
+        }
+    }
+    Golden {
+        makespan: rep.makespan,
+        packets: st.packets_sent,
+        losses: st.drops + st.trims,
+        fingerprint: h,
+    }
+}
+
+fn clos() -> TopologyConfig {
+    TopologyConfig::fat_tree_oversubscribed(32, 8, 4)
+}
+
+fn dragonfly() -> TopologyConfig {
+    // 3 groups × 4 routers × 2 hosts: each group owns 4 globals over 2
+    // peer groups, so cross-group pairs have 2 equal-cost globals and
+    // spraying genuinely diverges from per-flow ECMP.
+    TopologyConfig::dragonfly(3, 4, 2)
+}
+
+fn check(name: &str, topo: TopologyConfig, cc: CcAlgo, spray: bool, n: u32, golden: Golden) {
+    let goal = cross_tor_permutation(n, 256 * 1024);
+    let got = run(topo.clone(), cc, spray, &goal);
+    if std::env::var_os("ATLAHS_PRINT_GOLDENS").is_some() {
+        println!("{name}: {got:?}");
+        return;
+    }
+    assert_eq!(got, golden, "{name}: engine output drifted from the golden run");
+    // Byte-identical reproducibility: an immediate re-run must agree on
+    // every bit of the fingerprint, not just the headline numbers.
+    let again = run(topo, cc, spray, &goal);
+    assert_eq!(got, again, "{name}: two runs with one seed disagree");
+}
+
+#[test]
+fn clos_dctcp_ecmp() {
+    check(
+        "clos_dctcp_ecmp",
+        clos(),
+        CcAlgo::Dctcp,
+        false,
+        32,
+        Golden { makespan: 170070, packets: 2749, losses: 85, fingerprint: 9533739521534378490 },
+    );
+}
+
+#[test]
+fn clos_dctcp_spray() {
+    check(
+        "clos_dctcp_spray",
+        clos(),
+        CcAlgo::Dctcp,
+        true,
+        32,
+        Golden { makespan: 142224, packets: 2668, losses: 36, fingerprint: 17379750916316369363 },
+    );
+}
+
+#[test]
+fn clos_ndp_ecmp() {
+    check(
+        "clos_ndp_ecmp",
+        clos(),
+        CcAlgo::Ndp,
+        false,
+        32,
+        Golden { makespan: 159004, packets: 3700, losses: 879, fingerprint: 13801768378120913788 },
+    );
+}
+
+#[test]
+fn clos_ndp_spray() {
+    check(
+        "clos_ndp_spray",
+        clos(),
+        CcAlgo::Ndp,
+        true,
+        32,
+        Golden { makespan: 185839, packets: 5706, losses: 1982, fingerprint: 4573557411911614248 },
+    );
+}
+
+#[test]
+fn dragonfly_dctcp_ecmp() {
+    check(
+        "dragonfly_dctcp_ecmp",
+        dragonfly(),
+        CcAlgo::Dctcp,
+        false,
+        24,
+        Golden { makespan: 125227, packets: 1633, losses: 12, fingerprint: 13005166264371180354 },
+    );
+}
+
+#[test]
+fn dragonfly_dctcp_spray() {
+    check(
+        "dragonfly_dctcp_spray",
+        dragonfly(),
+        CcAlgo::Dctcp,
+        true,
+        24,
+        Golden { makespan: 53538, packets: 1536, losses: 0, fingerprint: 7838740639894170979 },
+    );
+}
+
+#[test]
+fn dragonfly_ndp_ecmp() {
+    check(
+        "dragonfly_ndp_ecmp",
+        dragonfly(),
+        CcAlgo::Ndp,
+        false,
+        24,
+        Golden { makespan: 90539, packets: 1621, losses: 15, fingerprint: 7366083823433530007 },
+    );
+}
+
+#[test]
+fn dragonfly_ndp_spray() {
+    check(
+        "dragonfly_ndp_spray",
+        dragonfly(),
+        CcAlgo::Ndp,
+        true,
+        24,
+        Golden { makespan: 55346, packets: 1536, losses: 0, fingerprint: 7130154478266168476 },
+    );
+}
