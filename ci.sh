@@ -10,6 +10,9 @@
 #   6. bench smoke                — criterion suite (shim) runs + the
 #      BENCH_engine.json emitter produces parseable output
 #      (docs/PERFORMANCE.md describes the tracked perf trajectory)
+#   7. sweep smoke                — `atlahs sweep --smoke` runs the fixed
+#      24-cell CI grid on 2 threads and must reproduce the checked-in
+#      tests/goldens/sweep_smoke.json byte for byte (docs/SCENARIOS.md)
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -43,5 +46,12 @@ for key in '"scenarios"' '"fig11_oversub_mprdma"' '"events_per_sec"'; do
     grep -q "$key" "$smoke_json" \
         || { echo "bench smoke: $key missing from $smoke_json" >&2; exit 1; }
 done
+
+step "sweep smoke (atlahs sweep --smoke vs golden report)"
+sweep_json="target/sweep_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    sweep --smoke --threads 2 --quiet --out "$sweep_json"
+diff -u tests/goldens/sweep_smoke.json "$sweep_json" \
+    || { echo "sweep smoke: report drifted from tests/goldens/sweep_smoke.json" >&2; exit 1; }
 
 printf '\nCI gate passed.\n'

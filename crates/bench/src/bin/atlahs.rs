@@ -1,0 +1,238 @@
+//! The unified `atlahs` CLI: declarative scenario sweeps over the whole
+//! toolchain (docs/SCENARIOS.md).
+//!
+//! ```text
+//! atlahs sweep [--topos t1,t2] [--workloads w1,w2] [--ccs c1,c2]
+//!              [--placements p1,p2] [--backends b1,b2] [--seed N]
+//!              [--threads N] [--collect-flows]
+//!              [--out report.json] [--csv report.csv] [--md report.md]
+//!              [--quiet] [--smoke]
+//! atlahs list
+//! atlahs help
+//! ```
+//!
+//! `sweep` expands the cartesian grid, runs every cell across OS threads
+//! (each cell a deterministic single-threaded simulation with a derived
+//! seed), prints a summary table, and optionally writes the JSON/CSV/
+//! markdown reports. The JSON report is byte-identical regardless of
+//! `--threads`. `--smoke` runs the fixed CI grid (ci.sh diffs its JSON
+//! against `tests/goldens/sweep_smoke.json`).
+
+use std::time::Instant;
+
+use atlahs_bench::args::Args;
+use atlahs_bench::scenario::{
+    parse_cc, BackendFamily, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::{execute, SweepReport};
+use atlahs_htsim::CcAlgo;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().collect();
+    // Pull the subcommand out so `Args` sees only `--flag value` pairs.
+    let sub =
+        if argv.len() > 1 && !argv[1].starts_with("--") { argv.remove(1) } else { String::new() };
+    let args = Args::from_tokens(argv);
+
+    match sub.as_str() {
+        "sweep" => sweep(&args),
+        "list" => list(),
+        "" | "help" | "-h" => usage(),
+        other => {
+            eprintln!("atlahs: unknown subcommand `{other}`\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    println!(
+        "atlahs — the ATLAHS scenario-sweep CLI\n\n\
+         USAGE:\n  atlahs sweep [axes] [execution] [output]\n  atlahs list\n\n\
+         AXES (comma-separated; see `atlahs list` and docs/SCENARIOS.md):\n\
+         \x20 --topos      topologies   (default ai-fattree:16:1,ai-fattree:16:4)\n\
+         \x20 --workloads  workloads    (default ring:16:262144:1,moe:16:4:262144:2:5000)\n\
+         \x20 --ccs        congestion controls for htsim (default mprdma,ndp)\n\
+         \x20 --placements placements   (default packed)\n\
+         \x20 --backends   backend families (default htsim,lgs)\n\n\
+         EXECUTION:\n\
+         \x20 --seed N         grid seed; every cell derives its own (default 1)\n\
+         \x20 --threads N      worker threads; 0 = all cores (default 0)\n\
+         \x20 --collect-flows  record per-flow MCT statistics on packet cells\n\
+         \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\n\
+         OUTPUT:\n\
+         \x20 --out FILE   write the deterministic JSON report\n\
+         \x20 --csv FILE   write the CSV report\n\
+         \x20 --md FILE    write the markdown report\n\
+         \x20 --quiet      suppress the summary table"
+    );
+}
+
+fn list() {
+    println!(
+        "topologies:\n\
+         \x20 ai-fattree:<nodes>[:<oversub>]        200 Gb/s Alps-class fat tree\n\
+         \x20 hpc-fattree:<procs>:<nodes>           56 Gb/s CSCS-class fat tree\n\
+         \x20 storage-fattree:<hosts>[:<oversub>]   100 Gb/s Direct Drive fabric\n\
+         \x20 dragonfly:<groups>:<routers>:<hosts>  balanced dragonfly\n\
+         \x20 switch:<hosts>                        single crossbar switch\n\
+         workloads:\n\
+         \x20 ring:<ranks>:<bytes>:<laps>\n\
+         \x20 perm:<ranks>:<bytes>:<shift>:<repeat>\n\
+         \x20 uniform:<ranks>:<bytes>:<msgs>\n\
+         \x20 incast:<ranks>:<bytes>:<repeat>\n\
+         \x20 moe:<ranks>:<group>:<bytes>:<layers>:<compute_ns>\n\
+         \x20 pipeline:<stages>:<microbatches>:<bytes>:<compute_ns>\n\
+         \x20 storage-incast:<clients>:<servers>:<bytes>:<reads>\n\
+         \x20 llm:<preset>:<scale>   presets: llama7b-dp16 llama7b-dp128 llama70b\n\
+         \x20                                 mistral8x7b moe8x13b moe8x70b\n\
+         \x20 hpc:<app>:<procs>:<nodes>:<scale>   apps: cloverleaf hpcg lulesh\n\
+         \x20                                           lammps icon openmx\n\
+         \x20 storage:<ops>:<gap_ns>:<compress>\n\
+         ccs:        mprdma swift ndp dctcp\n\
+         placements: packed random roundrobin\n\
+         backends:   htsim htsim-spray lgs ideal"
+    );
+}
+
+fn split_list(s: &str) -> Vec<&str> {
+    s.split(',').map(str::trim).filter(|t| !t.is_empty()).collect()
+}
+
+fn parse_axis<T>(
+    args: &Args,
+    flag: &str,
+    default: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Vec<T> {
+    let raw = args.get_str(flag, default);
+    split_list(&raw)
+        .into_iter()
+        .map(|tok| {
+            parse(tok).unwrap_or_else(|e| {
+                eprintln!("atlahs sweep: --{flag}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// The fixed CI smoke grid: 24 fast cells spanning both packet-level CC
+/// algorithms, spraying, the message-level model, and the ideal bound.
+fn smoke_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec![
+            TopologySpec::SingleSwitch { hosts: 8 },
+            TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        ],
+        workloads: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 128 << 10, laps: 1 },
+            WorkloadSpec::MoeAllToAll {
+                ranks: 8,
+                group: 4,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 2_000,
+            },
+        ],
+        ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![
+            BackendFamily::Htsim,
+            BackendFamily::HtsimSpray,
+            BackendFamily::Lgs,
+            BackendFamily::Ideal,
+        ],
+        seed: 1,
+        collect_flows: true,
+    }
+}
+
+fn sweep(args: &Args) {
+    let grid = if args.flag("smoke") {
+        smoke_grid()
+    } else {
+        ScenarioGrid {
+            topologies: parse_axis(
+                args,
+                "topos",
+                "ai-fattree:16:1,ai-fattree:16:4",
+                TopologySpec::parse,
+            ),
+            workloads: parse_axis(
+                args,
+                "workloads",
+                "ring:16:262144:1,moe:16:4:262144:2:5000",
+                WorkloadSpec::parse,
+            ),
+            ccs: parse_axis(args, "ccs", "mprdma,ndp", parse_cc),
+            placements: parse_axis(args, "placements", "packed", PlacementSpec::parse),
+            backends: parse_axis(args, "backends", "htsim,lgs", BackendFamily::parse),
+            seed: args.seed(),
+            collect_flows: args.flag("collect-flows"),
+        }
+    };
+
+    let (cells, dropped) = grid.expand_counted();
+    for reason in &dropped {
+        eprintln!("atlahs sweep: skipping infeasible combination: {reason}");
+    }
+    if cells.is_empty() {
+        eprintln!("atlahs sweep: the grid expanded to zero feasible cells");
+        std::process::exit(2);
+    }
+    let threads = args.get("threads", 0usize);
+    let quiet = args.flag("quiet");
+
+    if !quiet {
+        println!(
+            "# atlahs sweep — {} cells ({} topologies x {} workloads x {} placements x \
+             {} backend specs), seed {}, threads {}",
+            cells.len(),
+            grid.topologies.len(),
+            grid.workloads.len(),
+            grid.placements.len(),
+            grid.backends.len(),
+            grid.seed,
+            if threads == 0 { "auto".to_string() } else { threads.to_string() },
+        );
+    }
+
+    let t0 = Instant::now();
+    let results = execute(&cells, threads);
+    let elapsed = t0.elapsed();
+    let report = SweepReport { seed: grid.seed, results };
+
+    if !quiet {
+        report.summary_table().print();
+        println!(
+            "\n{} cells in {:.2} s wall ({:.2} s of single-threaded cell time)",
+            report.results.len(),
+            elapsed.as_secs_f64(),
+            report.total_cell_wall().as_secs_f64(),
+        );
+    }
+
+    let write = |path: &str, contents: String, what: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("atlahs sweep: cannot write {what} report to {path}: {e}");
+            std::process::exit(1);
+        });
+        if !quiet {
+            println!("wrote {what} report: {path}");
+        }
+    };
+    let out = args.get_str("out", "");
+    if !out.is_empty() {
+        write(&out, report.to_json().pretty(), "JSON");
+    }
+    let csv = args.get_str("csv", "");
+    if !csv.is_empty() {
+        write(&csv, report.to_csv(), "CSV");
+    }
+    let md = args.get_str("md", "");
+    if !md.is_empty() {
+        write(&md, report.to_markdown(), "markdown");
+    }
+}

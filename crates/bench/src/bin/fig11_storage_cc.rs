@@ -7,17 +7,28 @@
 //! cargo run --release --bin fig11_storage_cc -- [--ops 5000] [--seed 1]
 //! ```
 //!
+//! A thin wrapper over the scenario-sweep engine: the four cells
+//! ({full, 8:1} × {MPRDMA, NDP}) are `atlahs_bench::scenario` cells run
+//! through `atlahs_bench::sweep::execute`. The equivalent standalone
+//! sweep is
+//!
+//! ```text
+//! atlahs sweep --topos storage-fattree:48:1,storage-fattree:48:8 \
+//!              --workloads storage:5000:50:12 --ccs mprdma,ndp \
+//!              --backends htsim --collect-flows
+//! ```
+//!
 //! Expected shape (paper): comparable MCT on the fully provisioned
 //! fabric; under 8:1 oversubscription NDP degrades — mean +14%, p99 +35%,
 //! max +77% over MPRDMA — because receiver-driven control cannot see
 //! congestion in the core.
 
 use atlahs_bench::args::Args;
-use atlahs_bench::runner::{self, DistSummary};
+use atlahs_bench::scenario::{
+    storage_layout, BackendSpec, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::execute;
 use atlahs_bench::table::Table;
-use atlahs_bench::workloads;
-use atlahs_directdrive::{trace_to_goal, DirectDriveLayout, ServiceParams};
-use atlahs_goal::GoalBuilder;
 use atlahs_htsim::CcAlgo;
 
 fn main() {
@@ -26,62 +37,54 @@ fn main() {
     let gap = args.get("gap", 50u64);
     let compress = args.get("compress", 12u64).max(1);
     let seed = args.seed();
+    let threads = args.get("threads", 0usize);
 
     println!(
         "# Fig. 11 — storage MCT under congestion control (ops={ops}, gap={gap}ns, \
          compress={compress}x, seed={seed})\n"
     );
 
-    // The Direct Drive cluster: 16 clients, 4 CCS, 24 BSS (+ MDS/GS/SLB).
-    // Service times are NVMe/RDMA-class so the *fabric* is the bottleneck
-    // (the regime Fig. 11 studies); the conservative defaults of
-    // `ServiceParams` would pace traffic below the core's capacity.
-    let layout = DirectDriveLayout::standard(16, 4, 24);
-    let params = ServiceParams {
-        ccs_lookup_ns: 300,
-        bss_read_base_ns: 1_500,
-        bss_read_per_byte: 0.005,
-        bss_write_base_ns: 2_000,
-        bss_write_per_byte: 0.005,
-        ..ServiceParams::default()
-    };
-    let mut trace = workloads::storage_trace_at_load(ops, gap, seed);
-    // Compress arrival timestamps to reach the fabric-saturating offered
-    // load the paper's 5k-operation burst represents.
-    for r in &mut trace.records {
-        r.ts_ns /= compress;
-    }
-
-    let mut b = GoalBuilder::new(layout.total_ranks());
-    trace_to_goal(&trace, &layout, &params, &mut b);
-    let goal = b.build().expect("storage GOAL must build");
+    let hosts = storage_layout().total_ranks();
+    let workload = WorkloadSpec::Storage { ops, gap_ns: gap, compress };
+    let grid: Vec<(usize, &str, CcAlgo)> = vec![
+        (1, "fully provisioned", CcAlgo::Mprdma),
+        (1, "fully provisioned", CcAlgo::Ndp),
+        (8, "8:1 oversubscribed", CcAlgo::Mprdma),
+        (8, "8:1 oversubscribed", CcAlgo::Ndp),
+    ];
+    let cells: Vec<ScenarioCell> = grid
+        .iter()
+        .map(|&(ratio, _, cc)| ScenarioCell {
+            topology: TopologySpec::StorageFatTree { hosts, oversub: ratio },
+            workload: workload.clone(),
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc, spray: false },
+            seed,
+            collect_flows: true,
+        })
+        .collect();
+    let results = execute(&cells, threads);
 
     let mut table =
         Table::new(["topology", "CC", "mean MCT", "p99 MCT", "max MCT", "flows", "drops/trims"]);
-
-    let mut summaries = Vec::new();
-    for (ratio, tlabel) in [(1usize, "fully provisioned"), (8, "8:1 oversubscribed")] {
-        for cc in [CcAlgo::Mprdma, CcAlgo::Ndp] {
-            let topo = workloads::storage_topology(layout.total_ranks(), ratio);
-            let run = runner::run_htsim(&goal, topo, cc, seed, true);
-            let mct = DistSummary::of(run.flows.iter().map(|f| f.duration()).collect());
-            table.row([
-                tlabel.to_string(),
-                cc.to_string(),
-                format!("{:.1} µs", mct.mean / 1e3),
-                format!("{:.1} µs", mct.p99 as f64 / 1e3),
-                format!("{:.1} µs", mct.max as f64 / 1e3),
-                format!("{}", mct.count),
-                format!("{}", run.stats.drops + run.stats.trims),
-            ]);
-            summaries.push((ratio, cc, mct));
-        }
+    for ((_, tlabel, cc), run) in grid.iter().zip(&results) {
+        let mct = run.mct;
+        let net = run.net.expect("packet-level cell");
+        table.row([
+            tlabel.to_string(),
+            cc.to_string(),
+            format!("{:.1} µs", mct.mean / 1e3),
+            format!("{:.1} µs", mct.p99 as f64 / 1e3),
+            format!("{:.1} µs", mct.max as f64 / 1e3),
+            format!("{}", mct.count),
+            format!("{}", net.drops + net.trims),
+        ]);
     }
     table.print();
 
     // The paper's headline deltas: NDP relative to MPRDMA, oversubscribed.
     let get = |ratio: usize, cc: CcAlgo| {
-        summaries.iter().find(|(r, c, _)| *r == ratio && *c == cc).map(|(_, _, s)| *s).unwrap()
+        grid.iter().position(|&(r, _, c)| r == ratio && c == cc).map(|i| results[i].mct).unwrap()
     };
     let m = get(8, CcAlgo::Mprdma);
     let n = get(8, CcAlgo::Ndp);

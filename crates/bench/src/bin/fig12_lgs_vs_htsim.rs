@@ -7,15 +7,26 @@
 //! cargo run --release --bin fig12_lgs_vs_htsim -- [--scale 0.002] [--seed 1]
 //! ```
 //!
+//! A thin wrapper over the scenario-sweep engine: per oversubscription
+//! ratio one LGS cell and one sprayed-htsim cell, i.e. the grid
+//!
+//! ```text
+//! atlahs sweep --topos ai-fattree:32:1,ai-fattree:32:4 \
+//!              --workloads llm:llama7b-dp128:0.002 --ccs mprdma \
+//!              --backends htsim-spray,lgs
+//! ```
+//!
 //! Expected shape (paper): on the fully provisioned fabric the two
 //! backends agree within ~1%; with 4:1 oversubscription LGS (whose `G`
 //! cannot see the thinner core) diverges by >100% while htsim reports
 //! massive core drops.
 
 use atlahs_bench::args::Args;
-use atlahs_bench::runner;
+use atlahs_bench::scenario::{
+    BackendSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::execute;
 use atlahs_bench::table::{fmt_pct, pct_err, Table};
-use atlahs_bench::workloads;
 use atlahs_htsim::CcAlgo;
 use atlahs_tracers::nccl::presets;
 
@@ -23,19 +34,41 @@ fn main() {
     let args = Args::parse();
     let scale = args.scale(0.002);
     let seed = args.seed();
+    let threads = args.get("threads", 0usize);
 
     println!("# Fig. 12 — LGS vs htsim under oversubscription (scale={scale}, seed={seed})\n");
 
-    let mut cfg = presets::llama7b_dp128(scale);
-    cfg.seed = seed;
-    cfg.iterations = 1;
-    cfg.batch = cfg.batch.min(2 * cfg.dp);
-    let (_report, goal) = workloads::ai_goal(&cfg);
-    let nodes = cfg.nodes() as usize;
-
+    let nodes = presets::llama7b_dp128(scale).nodes() as usize;
+    let workload = WorkloadSpec::Llm {
+        preset: LlmPreset::Llama7bDp128,
+        scale,
+        iterations: 1,
+        cap_batch: true,
+    };
     // LGS is topology-oblivious: same G for both configurations, exactly
-    // the paper's setup (theoretical injection bandwidth is unchanged).
-    let (lgs, _) = runner::run_lgs(&goal, workloads::ai_lgs_params(nodes));
+    // the paper's setup (theoretical injection bandwidth is unchanged),
+    // so one LGS cell on the fully provisioned fabric serves both rows.
+    let ratios: [(usize, &str); 2] = [(1, "no oversubscription"), (4, "4:1 oversubscription")];
+    let mut cells: Vec<ScenarioCell> = vec![ScenarioCell {
+        topology: TopologySpec::AiFatTree { nodes, oversub: 1 },
+        workload: workload.clone(),
+        placement: PlacementSpec::Packed,
+        backend: BackendSpec::Lgs,
+        seed,
+        collect_flows: false,
+    }];
+    for &(ratio, _) in &ratios {
+        cells.push(ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes, oversub: ratio },
+            workload: workload.clone(),
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: true },
+            seed,
+            collect_flows: false,
+        });
+    }
+    let results = execute(&cells, threads);
+    let lgs_makespan = results[0].makespan;
 
     let mut table = Table::new([
         "topology",
@@ -45,16 +78,15 @@ fn main() {
         "total drops",
         "core drops",
     ]);
-    for (ratio, label) in [(1usize, "no oversubscription"), (4, "4:1 oversubscription")] {
-        let topo = workloads::ai_topology_oversubscribed(nodes, ratio);
-        let ht = runner::run_htsim_ai(&goal, topo, CcAlgo::Mprdma, seed);
+    for ((_, label), ht) in ratios.iter().zip(&results[1..]) {
+        let net = ht.net.expect("packet-level cell");
         table.row([
             label.to_string(),
-            format!("{:.3} ms", lgs.makespan as f64 / 1e6),
-            format!("{:.3} ms", ht.report.makespan as f64 / 1e6),
-            fmt_pct(pct_err(ht.report.makespan, lgs.makespan)),
-            format!("{}", ht.stats.drops),
-            format!("{}", ht.stats.core_drops),
+            format!("{:.3} ms", lgs_makespan as f64 / 1e6),
+            format!("{:.3} ms", ht.makespan as f64 / 1e6),
+            fmt_pct(pct_err(ht.makespan, lgs_makespan)),
+            format!("{}", net.drops),
+            format!("{}", net.core_drops),
         ]);
     }
     table.print();

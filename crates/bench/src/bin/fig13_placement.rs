@@ -6,79 +6,78 @@
 //! cargo run --release --bin fig13_placement -- [--scale 0.002] [--seed 1]
 //! ```
 //!
+//! A thin wrapper over the scenario-sweep engine: one multi-job workload
+//! (Llama + LULESH), the placement strategy as the grid axis. The cell
+//! runner performs the allocate → compose → simulate pipeline and reports
+//! per-job finish times, so this binary only formats the table.
+//!
 //! Expected shape (paper): random allocation inflates Llama's runtime
 //! (~+36%) because its DP rings start crossing the oversubscribed core,
 //! while compute-bound LULESH barely moves (~+2%).
 
 use atlahs_bench::args::Args;
-use atlahs_bench::runner;
+use atlahs_bench::scenario::{
+    BackendSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::execute;
 use atlahs_bench::table::Table;
-use atlahs_bench::workloads;
-use atlahs_core::{allocate, PlacementStrategy};
-use atlahs_goal::merge::{compose, PlacedJob};
+use atlahs_bench::workloads::HpcApp;
 use atlahs_htsim::CcAlgo;
-use atlahs_tracers::nccl::presets;
 
 fn main() {
     let args = Args::parse();
     let scale = args.scale(0.002);
     let seed = args.seed();
+    let threads = args.get("threads", 0usize);
 
     println!("# Fig. 13 — job placement (scale={scale}, seed={seed})\n");
 
     // Job A: Llama 7B on 16 GPUs -> 4 nodes (communication-heavy).
-    let mut llama = presets::llama7b_dp16(scale);
-    llama.seed = seed;
-    llama.iterations = 1;
-    let (_, llama_goal) = workloads::ai_goal(&llama);
-
     // Job B: LULESH on 8 ranks (compute-heavy).
-    let case = workloads::HpcCase {
-        app: workloads::HpcApp::Lulesh,
-        procs: 8,
-        nodes: 8,
-        scaling: atlahs_tracers::mpi::Scaling::Weak,
+    let workload = WorkloadSpec::MultiJob {
+        jobs: vec![
+            WorkloadSpec::Llm {
+                preset: LlmPreset::Llama7bDp16,
+                scale,
+                iterations: 1,
+                cap_batch: false,
+            },
+            WorkloadSpec::Hpc { app: HpcApp::Lulesh, procs: 8, nodes: 8, scale: scale.max(0.02) },
+        ],
     };
-    let (_, lulesh_goal) = workloads::hpc_goal(&case, scale.max(0.02), seed);
-
-    let cluster = 16usize; // 4 + 8 jobs on a 16-node cluster, 4:1 oversub
-    let topo = workloads::ai_topology_oversubscribed(cluster, 4);
-    let sizes = [llama_goal.num_ranks(), lulesh_goal.num_ranks()];
+    // 4 + 8 jobs on a 16-node cluster, 4:1 oversubscribed.
+    let placements = [
+        (PlacementSpec::Packed, "Packed Allocation"),
+        (PlacementSpec::Random, "Random Allocation"),
+    ];
+    let cells: Vec<ScenarioCell> = placements
+        .iter()
+        .map(|&(placement, _)| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: workload.clone(),
+            placement,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            seed,
+            collect_flows: false,
+        })
+        .collect();
+    let results = execute(&cells, threads);
 
     let mut table = Table::new(["allocation", "Llama", "LULESH"]);
-    let mut results = Vec::new();
-    for (strategy, label) in [
-        (PlacementStrategy::Packed, "Packed Allocation"),
-        (PlacementStrategy::Random { seed }, "Random Allocation"),
-    ] {
-        let placement = allocate(strategy, cluster, &sizes).expect("cluster fits both jobs");
-        let merged = compose(
-            &[
-                PlacedJob::new(&llama_goal, placement[0].clone()),
-                PlacedJob::new(&lulesh_goal, placement[1].clone()),
-            ],
-            cluster,
-        )
-        .expect("composition must succeed");
-
-        let run = runner::run_htsim(&merged, topo.clone(), CcAlgo::Mprdma, seed, false);
-        // Per-app runtime: the latest finish among the app's own nodes.
-        let finish = |nodes: &[u32]| {
-            nodes.iter().map(|&n| run.report.rank_finish[n as usize]).max().unwrap_or(0)
+    for ((_, label), run) in placements.iter().zip(&results) {
+        let [llama_t, lulesh_t] = run.job_finish[..] else {
+            panic!("expected two co-scheduled jobs, got {:?}", run.job_finish)
         };
-        let llama_t = finish(&placement[0]);
-        let lulesh_t = finish(&placement[1]);
         table.row([
             label.to_string(),
             format!("{:.3} ms", llama_t as f64 / 1e6),
             format!("{:.3} ms", lulesh_t as f64 / 1e6),
         ]);
-        results.push((llama_t, lulesh_t));
     }
     table.print();
 
-    let (lp, up) = results[0];
-    let (lr, ur) = results[1];
+    let (lp, up) = (results[0].job_finish[0], results[0].job_finish[1]);
+    let (lr, ur) = (results[1].job_finish[0], results[1].job_finish[1]);
     println!(
         "\nrandom vs packed: Llama {:+.0}%  LULESH {:+.0}%   (paper: +36% / +2%)",
         (lr as f64 / lp as f64 - 1.0) * 100.0,

@@ -10,7 +10,12 @@
 //! * [`workloads`] — the AI / HPC / storage workload suites at
 //!   configurable scale, and the topologies the paper's experiments use,
 //! * [`runner`] — run one GOAL schedule across backends, with error and
-//!   wall-clock bookkeeping.
+//!   wall-clock bookkeeping,
+//! * [`scenario`] — declarative scenario grids (topology × workload × CC ×
+//!   placement × backend) expanded into deterministic cells,
+//! * [`sweep`] — the parallel sweep executor and JSON/CSV/markdown report
+//!   writers behind the unified `atlahs` CLI (`atlahs sweep`,
+//!   docs/SCENARIOS.md).
 //!
 //! Every binary accepts `--seed <u64>` and `--scale <f64>` (workload
 //! scale; the default keeps packet-level runs tractable on a laptop) and
@@ -23,5 +28,7 @@
 pub mod args;
 pub mod json;
 pub mod runner;
+pub mod scenario;
+pub mod sweep;
 pub mod table;
 pub mod workloads;

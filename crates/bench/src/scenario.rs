@@ -1,0 +1,991 @@
+//! Declarative scenario grids: the cartesian space the paper's evaluation
+//! figures are points in.
+//!
+//! A [`ScenarioGrid`] names a set of topologies, workloads, congestion
+//! controls, placement strategies, and backends; [`ScenarioGrid::expand`]
+//! takes the cartesian product and drops infeasible combinations (workload
+//! larger than the fabric, CC-less backends duplicated per CC), yielding
+//! [`ScenarioCell`]s. Each cell is a fully specified, *single-threaded,
+//! deterministic* simulation: its seed is derived from the grid seed and
+//! the cell's workload label (see [`cell_seed`]; stable under reordering
+//! and subsetting of the grid), so any cell can be re-run in isolation
+//! and must reproduce its sweep result bit for bit, and cells sharing a
+//! workload simulate the same generated instance.
+//!
+//! [`run_cell`] executes one cell; the parallel executor lives in
+//! [`crate::sweep`].
+
+use std::time::Duration;
+
+use atlahs_core::backends::IdealBackend;
+use atlahs_core::{allocate, PlacementStrategy};
+use atlahs_goal::merge::{compose, PlacedJob};
+use atlahs_goal::GoalSchedule;
+use atlahs_htsim::engine::{HtsimBackend, HtsimConfig, NetStats};
+use atlahs_htsim::topology::{LinkParams, TopologyConfig};
+use atlahs_htsim::CcAlgo;
+use atlahs_lgs::{LgsBackend, LogGopsParams};
+use atlahs_schedgen::synthetic;
+use atlahs_tracers::mpi::Scaling;
+use atlahs_tracers::nccl::{presets, LlmConfig};
+
+use crate::runner::{self, DistSummary};
+use crate::workloads::{self, HpcApp, HpcCase};
+
+// ------------------------------------------------------------ topology ----
+
+/// One topology axis value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// The Alps-class AI fabric: 200 Gb/s two-level fat tree with
+    /// `oversub`:1 ToR→core oversubscription (1 = fully provisioned).
+    AiFatTree { nodes: usize, oversub: usize },
+    /// The CSCS-class HPC fabric: 56 Gb/s fully provisioned fat tree.
+    HpcFatTree { procs: usize, nodes: usize },
+    /// The Direct Drive storage fabric: 100 Gb/s fat tree, `oversub`:1.
+    StorageFatTree { hosts: usize, oversub: usize },
+    /// Balanced dragonfly (`groups` × `routers` × `hosts_per_router`).
+    Dragonfly { groups: usize, routers: usize, hosts_per_router: usize },
+    /// All hosts behind one output-queued crossbar.
+    SingleSwitch { hosts: usize },
+}
+
+impl TopologySpec {
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::AiFatTree { nodes, oversub } => format!("ai-fattree:{nodes}:{oversub}"),
+            TopologySpec::HpcFatTree { procs, nodes } => format!("hpc-fattree:{procs}:{nodes}"),
+            TopologySpec::StorageFatTree { hosts, oversub } => {
+                format!("storage-fattree:{hosts}:{oversub}")
+            }
+            TopologySpec::Dragonfly { groups, routers, hosts_per_router } => {
+                format!("dragonfly:{groups}:{routers}:{hosts_per_router}")
+            }
+            TopologySpec::SingleSwitch { hosts } => format!("switch:{hosts}"),
+        }
+    }
+
+    /// Lower to the packet-level topology.
+    pub fn config(&self) -> TopologyConfig {
+        match *self {
+            TopologySpec::AiFatTree { nodes, oversub } => {
+                workloads::ai_topology_oversubscribed(nodes, oversub)
+            }
+            TopologySpec::HpcFatTree { procs, nodes } => workloads::hpc_topology(procs, nodes),
+            TopologySpec::StorageFatTree { hosts, oversub } => {
+                workloads::storage_topology(hosts, oversub)
+            }
+            TopologySpec::Dragonfly { groups, routers, hosts_per_router } => {
+                TopologyConfig::dragonfly(groups, routers, hosts_per_router)
+            }
+            TopologySpec::SingleSwitch { hosts } => {
+                TopologyConfig::SingleSwitch { hosts, link: LinkParams::default() }
+            }
+        }
+    }
+
+    /// Physical node count of the fabric (the cluster size placements
+    /// allocate against).
+    pub fn hosts(&self) -> usize {
+        self.config().num_hosts()
+    }
+
+    /// The edge (host-facing) link class, from which the message-level
+    /// and ideal backends derive their rate/latency parameters.
+    pub fn edge_link(&self) -> LinkParams {
+        match self.config() {
+            TopologyConfig::SingleSwitch { link, .. } => link,
+            TopologyConfig::FatTree2L { edge, .. } => edge,
+            TopologyConfig::Dragonfly { edge, .. } => edge,
+        }
+    }
+
+    /// Parse a CLI token (the inverse of [`TopologySpec::label`]).
+    pub fn parse(tok: &str) -> Result<TopologySpec, String> {
+        let parts: Vec<&str> = tok.split(':').collect();
+        let n = |s: &str| -> Result<usize, String> {
+            s.parse().map_err(|_| format!("bad number `{s}` in topology `{tok}`"))
+        };
+        match parts.as_slice() {
+            ["ai-fattree", nodes] => Ok(TopologySpec::AiFatTree { nodes: n(nodes)?, oversub: 1 }),
+            ["ai-fattree", nodes, ov] => {
+                Ok(TopologySpec::AiFatTree { nodes: n(nodes)?, oversub: n(ov)? })
+            }
+            ["hpc-fattree", procs, nodes] => {
+                Ok(TopologySpec::HpcFatTree { procs: n(procs)?, nodes: n(nodes)? })
+            }
+            ["storage-fattree", hosts] => {
+                Ok(TopologySpec::StorageFatTree { hosts: n(hosts)?, oversub: 1 })
+            }
+            ["storage-fattree", hosts, ov] => {
+                Ok(TopologySpec::StorageFatTree { hosts: n(hosts)?, oversub: n(ov)? })
+            }
+            ["dragonfly", g, r, h] => Ok(TopologySpec::Dragonfly {
+                groups: n(g)?,
+                routers: n(r)?,
+                hosts_per_router: n(h)?,
+            }),
+            ["switch", hosts] => Ok(TopologySpec::SingleSwitch { hosts: n(hosts)? }),
+            _ => Err(format!(
+                "unknown topology `{tok}` (expected ai-fattree:<nodes>[:<oversub>], \
+                 hpc-fattree:<procs>:<nodes>, storage-fattree:<hosts>[:<oversub>], \
+                 dragonfly:<groups>:<routers>:<hosts>, switch:<hosts>)"
+            )),
+        }
+    }
+}
+
+// ------------------------------------------------------------ workload ----
+
+/// The six Fig. 8 LLM training presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlmPreset {
+    Llama7bDp16,
+    Llama7bDp128,
+    Llama70b,
+    Mistral8x7b,
+    Moe8x13b,
+    Moe8x70b,
+}
+
+impl LlmPreset {
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmPreset::Llama7bDp16 => "llama7b-dp16",
+            LlmPreset::Llama7bDp128 => "llama7b-dp128",
+            LlmPreset::Llama70b => "llama70b",
+            LlmPreset::Mistral8x7b => "mistral8x7b",
+            LlmPreset::Moe8x13b => "moe8x13b",
+            LlmPreset::Moe8x70b => "moe8x70b",
+        }
+    }
+
+    pub fn cfg(self, scale: f64) -> LlmConfig {
+        match self {
+            LlmPreset::Llama7bDp16 => presets::llama7b_dp16(scale),
+            LlmPreset::Llama7bDp128 => presets::llama7b_dp128(scale),
+            LlmPreset::Llama70b => presets::llama70b(scale),
+            LlmPreset::Mistral8x7b => presets::mistral8x7b(scale),
+            LlmPreset::Moe8x13b => presets::moe8x13b(scale),
+            LlmPreset::Moe8x70b => presets::moe8x70b(scale),
+        }
+    }
+
+    fn parse(tok: &str) -> Result<LlmPreset, String> {
+        Ok(match tok {
+            "llama7b-dp16" => LlmPreset::Llama7bDp16,
+            "llama7b-dp128" => LlmPreset::Llama7bDp128,
+            "llama70b" => LlmPreset::Llama70b,
+            "mistral8x7b" => LlmPreset::Mistral8x7b,
+            "moe8x13b" => LlmPreset::Moe8x13b,
+            "moe8x70b" => LlmPreset::Moe8x70b,
+            _ => return Err(format!("unknown LLM preset `{tok}`")),
+        })
+    }
+}
+
+/// One workload axis value. Every variant lowers to one (or, for
+/// [`WorkloadSpec::MultiJob`], several) GOAL schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Ring rotation ([`synthetic::ring`]).
+    Ring { ranks: usize, bytes: u64, laps: u32 },
+    /// Half-ring shift permutation ([`synthetic::permutation`]).
+    Permutation { ranks: usize, bytes: u64, shift: usize, repeat: u32 },
+    /// Uniform random traffic ([`synthetic::uniform_random`]).
+    UniformRandom { ranks: usize, bytes: u64, msgs: usize },
+    /// N-to-one incast onto rank 0 ([`synthetic::incast`]; `ranks`
+    /// includes the sink).
+    Incast { ranks: usize, bytes: u64, repeat: u32 },
+    /// MoE expert-parallel all-to-all ([`synthetic::moe_alltoall`]).
+    MoeAllToAll { ranks: usize, group: usize, bytes: u64, layers: u32, compute_ns: u64 },
+    /// Pipeline-parallel LLM training ([`synthetic::pipeline_parallel`]).
+    PipelineLlm { stages: usize, microbatches: u32, bytes: u64, compute_ns: u64 },
+    /// Fan-in storage reads ([`synthetic::storage_incast`]).
+    StorageIncast { clients: usize, servers: usize, bytes: u64, reads: u32 },
+    /// Traced LLM training iteration (Fig. 8 presets; node-level GOAL).
+    Llm { preset: LlmPreset, scale: f64, iterations: u32, cap_batch: bool },
+    /// Traced HPC application skeleton (Fig. 10 apps).
+    Hpc { app: HpcApp, procs: usize, nodes: usize, scale: f64 },
+    /// Direct Drive OLTP storage trace at a controlled offered load
+    /// (the Fig. 11 workload; arrival timestamps divided by `compress`).
+    Storage { ops: usize, gap_ns: u64, compress: u64 },
+    /// Several jobs co-scheduled on one fabric (Fig. 13); the cell's
+    /// placement strategy decides who gets which nodes.
+    MultiJob { jobs: Vec<WorkloadSpec> },
+}
+
+impl WorkloadSpec {
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Ring { ranks, bytes, laps } => format!("ring:{ranks}:{bytes}:{laps}"),
+            WorkloadSpec::Permutation { ranks, bytes, shift, repeat } => {
+                format!("perm:{ranks}:{bytes}:{shift}:{repeat}")
+            }
+            WorkloadSpec::UniformRandom { ranks, bytes, msgs } => {
+                format!("uniform:{ranks}:{bytes}:{msgs}")
+            }
+            WorkloadSpec::Incast { ranks, bytes, repeat } => {
+                format!("incast:{ranks}:{bytes}:{repeat}")
+            }
+            WorkloadSpec::MoeAllToAll { ranks, group, bytes, layers, compute_ns } => {
+                format!("moe:{ranks}:{group}:{bytes}:{layers}:{compute_ns}")
+            }
+            WorkloadSpec::PipelineLlm { stages, microbatches, bytes, compute_ns } => {
+                format!("pipeline:{stages}:{microbatches}:{bytes}:{compute_ns}")
+            }
+            WorkloadSpec::StorageIncast { clients, servers, bytes, reads } => {
+                format!("storage-incast:{clients}:{servers}:{bytes}:{reads}")
+            }
+            WorkloadSpec::Llm { preset, scale, iterations, cap_batch } => {
+                format!("llm:{}:{scale}:{iterations}:{cap_batch}", preset.name())
+            }
+            WorkloadSpec::Hpc { app, procs, nodes, scale } => {
+                format!("hpc:{}:{procs}:{nodes}:{scale}", app.name().to_ascii_lowercase())
+            }
+            WorkloadSpec::Storage { ops, gap_ns, compress } => {
+                format!("storage:{ops}:{gap_ns}:{compress}")
+            }
+            WorkloadSpec::MultiJob { jobs } => {
+                let inner: Vec<String> = jobs.iter().map(|j| j.label()).collect();
+                format!("multi[{}]", inner.join("+"))
+            }
+        }
+    }
+
+    /// Total ranks this workload occupies (sum over jobs).
+    pub fn ranks(&self) -> usize {
+        match self {
+            WorkloadSpec::Ring { ranks, .. }
+            | WorkloadSpec::Permutation { ranks, .. }
+            | WorkloadSpec::UniformRandom { ranks, .. }
+            | WorkloadSpec::Incast { ranks, .. }
+            | WorkloadSpec::MoeAllToAll { ranks, .. } => *ranks,
+            WorkloadSpec::PipelineLlm { stages, .. } => *stages,
+            WorkloadSpec::StorageIncast { clients, servers, .. } => clients + servers,
+            WorkloadSpec::Llm { preset, scale, .. } => preset.cfg(*scale).nodes() as usize,
+            WorkloadSpec::Hpc { procs, .. } => *procs,
+            WorkloadSpec::Storage { .. } => storage_layout().total_ranks(),
+            WorkloadSpec::MultiJob { jobs } => jobs.iter().map(|j| j.ranks()).sum(),
+        }
+    }
+
+    /// Lower to one GOAL schedule per job.
+    pub fn build_jobs(&self, seed: u64) -> Vec<GoalSchedule> {
+        match self {
+            WorkloadSpec::MultiJob { jobs } => {
+                jobs.iter().flat_map(|j| j.build_jobs(seed)).collect()
+            }
+            other => vec![other.build_goal(seed)],
+        }
+    }
+
+    fn build_goal(&self, seed: u64) -> GoalSchedule {
+        match *self {
+            WorkloadSpec::Ring { ranks, bytes, laps } => {
+                synthetic::ring(ranks, bytes, laps).expect("ring is well-formed")
+            }
+            WorkloadSpec::Permutation { ranks, bytes, shift, repeat } => {
+                synthetic::permutation(ranks, bytes, shift, repeat)
+                    .expect("permutation is well-formed")
+            }
+            WorkloadSpec::UniformRandom { ranks, bytes, msgs } => {
+                synthetic::uniform_random(ranks, bytes, msgs, seed)
+                    .expect("uniform traffic is well-formed")
+            }
+            WorkloadSpec::Incast { ranks, bytes, repeat } => {
+                assert!(ranks >= 2, "incast needs a sink and at least one sender");
+                synthetic::incast(ranks - 1, bytes, repeat).expect("incast is well-formed")
+            }
+            WorkloadSpec::MoeAllToAll { ranks, group, bytes, layers, compute_ns } => {
+                synthetic::moe_alltoall(ranks, group, bytes, layers, compute_ns)
+                    .expect("moe all-to-all is well-formed")
+            }
+            WorkloadSpec::PipelineLlm { stages, microbatches, bytes, compute_ns } => {
+                synthetic::pipeline_parallel(stages, microbatches, bytes, compute_ns)
+                    .expect("pipeline is well-formed")
+            }
+            WorkloadSpec::StorageIncast { clients, servers, bytes, reads } => {
+                synthetic::storage_incast(clients, servers, bytes, reads)
+                    .expect("storage incast is well-formed")
+            }
+            WorkloadSpec::Llm { preset, scale, iterations, cap_batch } => {
+                let mut cfg = preset.cfg(scale);
+                cfg.seed = seed;
+                cfg.iterations = iterations;
+                if cap_batch {
+                    cfg.batch = cfg.batch.min(2 * cfg.dp);
+                }
+                let (_, goal) = workloads::ai_goal(&cfg);
+                goal
+            }
+            WorkloadSpec::Hpc { app, procs, nodes, scale } => {
+                let case = HpcCase { app, procs, nodes, scaling: hpc_scaling(app) };
+                let (_, goal) = workloads::hpc_goal(&case, scale, seed);
+                goal
+            }
+            WorkloadSpec::Storage { ops, gap_ns, compress } => {
+                storage_goal(ops, gap_ns, compress, seed)
+            }
+            WorkloadSpec::MultiJob { .. } => unreachable!("handled in build_jobs"),
+        }
+    }
+
+    /// Parse a CLI token (see `docs/SCENARIOS.md` for the grammar).
+    /// Structural constraints (group divides ranks, enough ranks, …) are
+    /// checked here so a bad token fails at the CLI, not inside a worker.
+    pub fn parse(tok: &str) -> Result<WorkloadSpec, String> {
+        let spec = Self::parse_inner(tok)?;
+        spec.check().map_err(|e| format!("workload `{tok}`: {e}"))?;
+        Ok(spec)
+    }
+
+    /// Validate structural constraints the generators assert.
+    fn check(&self) -> Result<(), String> {
+        match *self {
+            WorkloadSpec::Ring { ranks, .. } if ranks < 2 => {
+                Err("a ring needs at least 2 ranks".into())
+            }
+            WorkloadSpec::Permutation { ranks, shift, .. } if ranks < 2 || shift % ranks == 0 => {
+                Err("shift must move data (shift % ranks != 0)".into())
+            }
+            WorkloadSpec::UniformRandom { ranks, .. } if ranks < 2 => {
+                Err("uniform traffic needs at least 2 ranks".into())
+            }
+            WorkloadSpec::Incast { ranks, .. } if ranks < 2 => {
+                Err("incast needs a sink and at least one sender".into())
+            }
+            WorkloadSpec::MoeAllToAll { ranks, group, .. } if group < 2 || ranks % group != 0 => {
+                Err("EP group must be >= 2 and divide the rank count".into())
+            }
+            WorkloadSpec::PipelineLlm { stages, microbatches, .. }
+                if stages < 2 || microbatches < 1 =>
+            {
+                Err("a pipeline needs >= 2 stages and >= 1 microbatch".into())
+            }
+            WorkloadSpec::StorageIncast { clients, servers, .. } if clients < 1 || servers < 1 => {
+                Err("need at least one client and one server".into())
+            }
+            WorkloadSpec::Llm { scale, .. } | WorkloadSpec::Hpc { scale, .. }
+                if !(scale > 0.0 && scale <= 1.0) =>
+            {
+                Err("scale must be in (0, 1]".into())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn parse_inner(tok: &str) -> Result<WorkloadSpec, String> {
+        let parts: Vec<&str> = tok.split(':').collect();
+        fn num<T: std::str::FromStr>(s: &str, tok: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad number `{s}` in workload `{tok}`"))
+        }
+        let n = |s: &str| num::<usize>(s, tok);
+        let b = |s: &str| num::<u64>(s, tok);
+        let r = |s: &str| num::<u32>(s, tok);
+        match parts.as_slice() {
+            ["ring", ranks, bytes, laps] => {
+                Ok(WorkloadSpec::Ring { ranks: n(ranks)?, bytes: b(bytes)?, laps: r(laps)? })
+            }
+            ["perm", ranks, bytes, shift, repeat] => Ok(WorkloadSpec::Permutation {
+                ranks: n(ranks)?,
+                bytes: b(bytes)?,
+                shift: n(shift)?,
+                repeat: r(repeat)?,
+            }),
+            ["uniform", ranks, bytes, msgs] => Ok(WorkloadSpec::UniformRandom {
+                ranks: n(ranks)?,
+                bytes: b(bytes)?,
+                msgs: n(msgs)?,
+            }),
+            ["incast", ranks, bytes, repeat] => {
+                Ok(WorkloadSpec::Incast { ranks: n(ranks)?, bytes: b(bytes)?, repeat: r(repeat)? })
+            }
+            ["moe", ranks, group, bytes, layers, compute] => Ok(WorkloadSpec::MoeAllToAll {
+                ranks: n(ranks)?,
+                group: n(group)?,
+                bytes: b(bytes)?,
+                layers: r(layers)?,
+                compute_ns: b(compute)?,
+            }),
+            ["pipeline", stages, mbs, bytes, compute] => Ok(WorkloadSpec::PipelineLlm {
+                stages: n(stages)?,
+                microbatches: r(mbs)?,
+                bytes: b(bytes)?,
+                compute_ns: b(compute)?,
+            }),
+            ["storage-incast", clients, servers, bytes, reads] => Ok(WorkloadSpec::StorageIncast {
+                clients: n(clients)?,
+                servers: n(servers)?,
+                bytes: b(bytes)?,
+                reads: r(reads)?,
+            }),
+            ["llm", preset, scale] => Ok(WorkloadSpec::Llm {
+                preset: LlmPreset::parse(preset)?,
+                scale: num::<f64>(scale, tok)?,
+                iterations: 1,
+                cap_batch: true,
+            }),
+            ["hpc", app, procs, nodes, scale] => Ok(WorkloadSpec::Hpc {
+                app: parse_hpc_app(app)?,
+                procs: n(procs)?,
+                nodes: n(nodes)?,
+                scale: num::<f64>(scale, tok)?,
+            }),
+            ["storage", ops, gap, compress] => Ok(WorkloadSpec::Storage {
+                ops: n(ops)?,
+                gap_ns: b(gap)?,
+                compress: b(compress)?.max(1),
+            }),
+            _ => Err(format!(
+                "unknown workload `{tok}` (expected ring:<ranks>:<bytes>:<laps>, \
+                 perm:<ranks>:<bytes>:<shift>:<repeat>, uniform:<ranks>:<bytes>:<msgs>, \
+                 incast:<ranks>:<bytes>:<repeat>, moe:<ranks>:<group>:<bytes>:<layers>:<ns>, \
+                 pipeline:<stages>:<mbs>:<bytes>:<ns>, \
+                 storage-incast:<clients>:<servers>:<bytes>:<reads>, llm:<preset>:<scale>, \
+                 hpc:<app>:<procs>:<nodes>:<scale>, storage:<ops>:<gap>:<compress>)"
+            )),
+        }
+    }
+}
+
+fn parse_hpc_app(tok: &str) -> Result<HpcApp, String> {
+    Ok(match tok {
+        "cloverleaf" => HpcApp::CloverLeaf,
+        "hpcg" => HpcApp::Hpcg,
+        "lulesh" => HpcApp::Lulesh,
+        "lammps" => HpcApp::Lammps,
+        "icon" => HpcApp::Icon,
+        "openmx" => HpcApp::OpenMx,
+        _ => return Err(format!("unknown HPC app `{tok}`")),
+    })
+}
+
+fn hpc_scaling(app: HpcApp) -> Scaling {
+    match app {
+        HpcApp::Icon | HpcApp::OpenMx => Scaling::Strong,
+        _ => Scaling::Weak,
+    }
+}
+
+/// The Direct Drive cluster geometry every storage cell uses: 16 clients,
+/// 4 CCS, 24 BSS (the Fig. 11 deployment).
+pub fn storage_layout() -> atlahs_directdrive::DirectDriveLayout {
+    atlahs_directdrive::DirectDriveLayout::standard(16, 4, 24)
+}
+
+/// NVMe/RDMA-class service times (the fabric-bound regime Fig. 11
+/// studies; `ServiceParams::default` would pace traffic below the core).
+pub fn storage_service_params() -> atlahs_directdrive::ServiceParams {
+    atlahs_directdrive::ServiceParams {
+        ccs_lookup_ns: 300,
+        bss_read_base_ns: 1_500,
+        bss_read_per_byte: 0.005,
+        bss_write_base_ns: 2_000,
+        bss_write_per_byte: 0.005,
+        ..atlahs_directdrive::ServiceParams::default()
+    }
+}
+
+fn storage_goal(ops: usize, gap_ns: u64, compress: u64, seed: u64) -> GoalSchedule {
+    let layout = storage_layout();
+    let mut trace = workloads::storage_trace_at_load(ops, gap_ns, seed);
+    // Compress arrival timestamps to reach the fabric-saturating offered
+    // load the paper's 5k-operation burst represents.
+    for rec in &mut trace.records {
+        rec.ts_ns /= compress.max(1);
+    }
+    let mut b = atlahs_goal::GoalBuilder::new(layout.total_ranks());
+    atlahs_directdrive::trace_to_goal(&trace, &layout, &storage_service_params(), &mut b);
+    b.build().expect("storage GOAL must build")
+}
+
+// ----------------------------------------------------------- placement ----
+
+/// Placement axis value: [`PlacementStrategy`] minus the seed (Random
+/// draws its permutation from the cell seed at run time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementSpec {
+    Packed,
+    Random,
+    RoundRobin,
+}
+
+impl PlacementSpec {
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementSpec::Packed => "packed",
+            PlacementSpec::Random => "random",
+            PlacementSpec::RoundRobin => "roundrobin",
+        }
+    }
+
+    pub fn strategy(&self, seed: u64) -> PlacementStrategy {
+        match self {
+            PlacementSpec::Packed => PlacementStrategy::Packed,
+            PlacementSpec::Random => PlacementStrategy::Random { seed },
+            PlacementSpec::RoundRobin => PlacementStrategy::RoundRobin,
+        }
+    }
+
+    pub fn parse(tok: &str) -> Result<PlacementSpec, String> {
+        Ok(match tok {
+            "packed" => PlacementSpec::Packed,
+            "random" => PlacementSpec::Random,
+            "roundrobin" => PlacementSpec::RoundRobin,
+            _ => return Err(format!("unknown placement `{tok}` (packed|random|roundrobin)")),
+        })
+    }
+}
+
+// ------------------------------------------------------------- backend ----
+
+/// Backend family axis value. htsim families are crossed with the grid's
+/// CC axis at expansion time; `lgs`/`ideal` have no CC notion and appear
+/// once per (topology, workload, placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendFamily {
+    /// Packet-level, per-flow ECMP.
+    Htsim,
+    /// Packet-level, per-packet spraying (UEC/Slingshot-class ALB).
+    HtsimSpray,
+    /// Message-level LogGOPS, parameters calibrated from the topology's
+    /// edge link (see [`lgs_params_for`]).
+    Lgs,
+    /// Contention-free fixed-rate reference ([`IdealBackend`]).
+    Ideal,
+}
+
+impl BackendFamily {
+    pub fn parse(tok: &str) -> Result<BackendFamily, String> {
+        Ok(match tok {
+            "htsim" => BackendFamily::Htsim,
+            "htsim-spray" => BackendFamily::HtsimSpray,
+            "lgs" => BackendFamily::Lgs,
+            "ideal" => BackendFamily::Ideal,
+            _ => return Err(format!("unknown backend `{tok}` (htsim|htsim-spray|lgs|ideal)")),
+        })
+    }
+}
+
+/// Fully resolved backend of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    Htsim { cc: CcAlgo, spray: bool },
+    Lgs,
+    Ideal,
+}
+
+impl BackendSpec {
+    pub fn label(&self) -> String {
+        match self {
+            BackendSpec::Htsim { cc, spray } => {
+                let cc = cc.to_string().to_ascii_lowercase();
+                if *spray {
+                    format!("htsim-{cc}-spray")
+                } else {
+                    format!("htsim-{cc}")
+                }
+            }
+            BackendSpec::Lgs => "lgs".to_string(),
+            BackendSpec::Ideal => "ideal".to_string(),
+        }
+    }
+}
+
+/// Parse a CC token.
+pub fn parse_cc(tok: &str) -> Result<CcAlgo, String> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "mprdma" => CcAlgo::Mprdma,
+        "swift" => CcAlgo::Swift,
+        "ndp" => CcAlgo::Ndp,
+        "dctcp" => CcAlgo::Dctcp,
+        _ => return Err(format!("unknown CC `{tok}` (mprdma|swift|ndp|dctcp)")),
+    })
+}
+
+/// LogGOPS parameters calibrated against the testbed emulator for an
+/// arbitrary fabric: [`workloads::lgs_params_for_link`] applied to the
+/// topology's edge link (the same calibration `ai_lgs_params` and
+/// `hpc_lgs_params` use).
+pub fn lgs_params_for(topo: &TopologySpec) -> LogGopsParams {
+    workloads::lgs_params_for_link(topo.edge_link())
+}
+
+// ---------------------------------------------------------------- grid ----
+
+/// A declarative scenario grid: the cartesian product of its axes.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    pub topologies: Vec<TopologySpec>,
+    pub workloads: Vec<WorkloadSpec>,
+    pub ccs: Vec<CcAlgo>,
+    pub placements: Vec<PlacementSpec>,
+    pub backends: Vec<BackendFamily>,
+    /// Grid-level seed; each cell derives its own (see [`cell_seed`]).
+    pub seed: u64,
+    /// Record per-flow completion times on packet-level cells (MCT
+    /// columns in the report).
+    pub collect_flows: bool,
+}
+
+impl ScenarioGrid {
+    /// Expand to concrete cells: the cartesian product, minus infeasible
+    /// combinations (workload wider than the fabric). htsim families are
+    /// crossed with the CC axis; CC-less backends appear once.
+    ///
+    /// Cells come out in a deterministic order (topology-major), but each
+    /// cell's seed depends only on its own workload, so subsetting or
+    /// reordering the grid never changes any cell's result.
+    pub fn expand(&self) -> Vec<ScenarioCell> {
+        self.expand_counted().0
+    }
+
+    /// [`ScenarioGrid::expand`], also returning the (topology, workload)
+    /// pairs dropped as infeasible, so callers can tell the user instead
+    /// of silently shrinking the grid.
+    pub fn expand_counted(&self) -> (Vec<ScenarioCell>, Vec<String>) {
+        let mut cells = Vec::new();
+        let mut dropped = Vec::new();
+        for topo in &self.topologies {
+            let hosts = topo.hosts();
+            for workload in &self.workloads {
+                if workload.ranks() > hosts {
+                    // Infeasible: workload wider than the fabric.
+                    dropped.push(format!(
+                        "{} needs {} ranks but {} has {hosts} hosts",
+                        workload.label(),
+                        workload.ranks(),
+                        topo.label()
+                    ));
+                    continue;
+                }
+                for placement in &self.placements {
+                    for family in &self.backends {
+                        let backends: Vec<BackendSpec> = match family {
+                            BackendFamily::Htsim => self
+                                .ccs
+                                .iter()
+                                .map(|&cc| BackendSpec::Htsim { cc, spray: false })
+                                .collect(),
+                            BackendFamily::HtsimSpray => self
+                                .ccs
+                                .iter()
+                                .map(|&cc| BackendSpec::Htsim { cc, spray: true })
+                                .collect(),
+                            BackendFamily::Lgs => vec![BackendSpec::Lgs],
+                            BackendFamily::Ideal => vec![BackendSpec::Ideal],
+                        };
+                        for backend in backends {
+                            let mut cell = ScenarioCell {
+                                topology: topo.clone(),
+                                workload: workload.clone(),
+                                placement: *placement,
+                                backend,
+                                seed: 0,
+                                collect_flows: self.collect_flows,
+                            };
+                            cell.seed = cell_seed(self.seed, &cell.workload.label());
+                            cells.push(cell);
+                        }
+                    }
+                }
+            }
+        }
+        (cells, dropped)
+    }
+}
+
+/// Derive a cell's seed: an FNV-1a fold of the grid seed and the cell's
+/// *workload label*. The fold makes seeds stable under grid reordering
+/// and subsetting; keying on the workload alone (not the full cell key)
+/// means every cell sharing a workload simulates the *same* generated
+/// instance — so rows differing only in topology, CC, placement, or
+/// backend are directly comparable, exactly as the paper's figures
+/// compare them — and the sweep builds each workload once.
+pub fn cell_seed(grid_seed: u64, key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ grid_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for byte in key.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Avoid the degenerate all-zero seed some PRNGs dislike.
+    h | 1
+}
+
+// ---------------------------------------------------------------- cell ----
+
+/// One fully specified scenario: a deterministic single-threaded
+/// simulation.
+#[derive(Debug, Clone)]
+pub struct ScenarioCell {
+    pub topology: TopologySpec,
+    pub workload: WorkloadSpec,
+    pub placement: PlacementSpec,
+    pub backend: BackendSpec,
+    /// The simulation seed (workload generation, placement permutation,
+    /// packet-level RNG). Grid expansion derives it via [`cell_seed`]
+    /// from the workload label; figure wrappers pin it explicitly.
+    pub seed: u64,
+    /// Record per-flow completion times (packet-level backends only).
+    pub collect_flows: bool,
+}
+
+impl ScenarioCell {
+    /// Canonical cell key: `topology/workload/placement/backend`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.topology.label(),
+            self.workload.label(),
+            self.placement.label(),
+            self.backend.label()
+        )
+    }
+}
+
+/// Everything a cell run produces. Wall-clock is kept for operator
+/// output but excluded from the JSON report, which must be byte-identical
+/// across thread counts and re-runs.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub key: String,
+    pub seed: u64,
+    /// Simulated makespan (ns).
+    pub makespan: u64,
+    /// GOAL tasks completed.
+    pub tasks: usize,
+    /// Message completion time summary (all-zero when flows were not
+    /// collected or the backend is not packet-level).
+    pub mct: DistSummary,
+    /// Packet-level statistics (htsim cells only).
+    pub net: Option<NetStats>,
+    /// Per-job finish time: the latest rank finish among each job's
+    /// nodes, in job order.
+    pub job_finish: Vec<u64>,
+    /// Host wall-clock cost of the cell (not part of the JSON report).
+    pub wall: Duration,
+}
+
+/// Run one cell to completion. Single-threaded and deterministic: the
+/// same cell always produces the same result, bit for bit.
+pub fn run_cell(cell: &ScenarioCell) -> CellResult {
+    run_cell_prepared(cell, &cell.workload.build_jobs(cell.seed))
+}
+
+/// [`run_cell`] with the workload's job schedules already built — the
+/// sweep executor lowers each distinct (workload, seed) pair once and
+/// shares the result across cells. `jobs` must equal
+/// `cell.workload.build_jobs(cell.seed)` (deterministic), so sharing
+/// cannot change any result.
+pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[GoalSchedule]) -> CellResult {
+    let hosts = cell.topology.hosts();
+
+    // A single packed job runs un-remapped (the identity placement), so
+    // single-job cells reproduce the figure binaries exactly; everything
+    // else goes through allocate + compose.
+    let single_packed = jobs.len() == 1 && cell.placement == PlacementSpec::Packed;
+    let (merged, placements) = if single_packed {
+        (None, vec![(0..jobs[0].num_ranks() as u32).collect::<Vec<u32>>()])
+    } else {
+        let sizes: Vec<usize> = jobs.iter().map(|j| j.num_ranks()).collect();
+        let placement = allocate(cell.placement.strategy(cell.seed), hosts, &sizes)
+            .expect("grid expansion only admits workloads that fit the fabric");
+        let placed: Vec<PlacedJob<'_>> = jobs
+            .iter()
+            .zip(placement.iter())
+            .map(|(goal, nodes)| PlacedJob::new(goal, nodes.clone()))
+            .collect();
+        (Some(compose(&placed, hosts).expect("disjoint placements compose")), placement)
+    };
+    let goal = merged.as_ref().unwrap_or(&jobs[0]);
+
+    let (report, mct, net, wall) = match cell.backend {
+        BackendSpec::Htsim { cc, spray } => {
+            let mut cfg = HtsimConfig::new(cell.topology.config(), cc);
+            cfg.seed = cell.seed;
+            cfg.spray = spray;
+            cfg.collect_flows = cell.collect_flows;
+            let mut backend = HtsimBackend::new(cfg);
+            let (report, wall) = runner::run_on(goal, &mut backend);
+            let mct =
+                DistSummary::of(backend.flow_records().iter().map(|f| f.duration()).collect());
+            (report, mct, Some(backend.net_stats()), wall)
+        }
+        BackendSpec::Lgs => {
+            let mut backend = LgsBackend::new(lgs_params_for(&cell.topology));
+            let (report, wall) = runner::run_on(goal, &mut backend);
+            (report, DistSummary::of(Vec::new()), None, wall)
+        }
+        BackendSpec::Ideal => {
+            let link = cell.topology.edge_link();
+            let mut backend = IdealBackend::new(link.bytes_per_ns(), link.latency_ns);
+            let (report, wall) = runner::run_on(goal, &mut backend);
+            (report, DistSummary::of(Vec::new()), None, wall)
+        }
+    };
+
+    let job_finish = placements
+        .iter()
+        .map(|nodes| nodes.iter().map(|&n| report.rank_finish[n as usize]).max().unwrap_or(0))
+        .collect();
+
+    CellResult {
+        key: cell.key(),
+        seed: cell.seed,
+        makespan: report.makespan,
+        tasks: report.completed,
+        mct,
+        net,
+        job_finish,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_labels_roundtrip() {
+        for spec in [
+            TopologySpec::AiFatTree { nodes: 32, oversub: 4 },
+            TopologySpec::HpcFatTree { procs: 128, nodes: 8 },
+            TopologySpec::StorageFatTree { hosts: 48, oversub: 8 },
+            TopologySpec::Dragonfly { groups: 3, routers: 4, hosts_per_router: 2 },
+            TopologySpec::SingleSwitch { hosts: 16 },
+        ] {
+            assert_eq!(TopologySpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(TopologySpec::parse("torus:4:4").is_err());
+    }
+
+    #[test]
+    fn workload_tokens_parse() {
+        for tok in [
+            "ring:16:65536:2",
+            "perm:16:65536:8:1",
+            "uniform:16:4096:100",
+            "incast:9:65536:2",
+            "moe:16:4:65536:2:1000",
+            "pipeline:4:4:1048576:5000",
+            "storage-incast:2:8:131072:2",
+            "llm:llama7b-dp16:0.002",
+            "hpc:lulesh:8:8:0.02",
+            "storage:500:50:12",
+        ] {
+            let w = WorkloadSpec::parse(tok).unwrap_or_else(|e| panic!("{tok}: {e}"));
+            assert!(w.ranks() > 0, "{tok}");
+        }
+        assert!(WorkloadSpec::parse("bogus:1").is_err());
+        // Structurally invalid tokens fail at parse time, not in a worker.
+        assert!(WorkloadSpec::parse("moe:7:4:1024:1:0").is_err());
+        assert!(WorkloadSpec::parse("perm:8:1024:8:1").is_err());
+        assert!(WorkloadSpec::parse("pipeline:1:4:1024:0").is_err());
+        assert!(WorkloadSpec::parse("ring:1:1024:1").is_err());
+        assert!(WorkloadSpec::parse("llm:llama7b-dp16:7.0").is_err());
+    }
+
+    #[test]
+    fn expansion_is_cartesian_minus_infeasible() {
+        let grid = ScenarioGrid {
+            topologies: vec![
+                TopologySpec::SingleSwitch { hosts: 8 },
+                TopologySpec::SingleSwitch { hosts: 32 },
+            ],
+            workloads: vec![
+                WorkloadSpec::Ring { ranks: 8, bytes: 1024, laps: 1 },
+                WorkloadSpec::Ring { ranks: 16, bytes: 1024, laps: 1 }, // only fits the big switch
+            ],
+            ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
+            placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
+            backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+            seed: 1,
+            collect_flows: false,
+        };
+        let (cells, dropped) = grid.expand_counted();
+        // Feasible (topology, workload) pairs: 3. Each × 2 placements ×
+        // (2 htsim CCs + 1 lgs) = 3 × 2 × 3 = 18.
+        assert_eq!(cells.len(), 18);
+        // The 16-rank ring does not fit the 8-host switch — reported,
+        // not silently dropped.
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].contains("ring:16:1024:1"), "{dropped:?}");
+        // Keys are unique.
+        let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 18);
+        // Cells sharing a workload share its seed (same generated
+        // instance across topologies/placements/backends); distinct
+        // workloads get distinct seeds.
+        let seed_of = |label: &str| {
+            let seeds: Vec<u64> =
+                cells.iter().filter(|c| c.workload.label() == label).map(|c| c.seed).collect();
+            assert!(seeds.windows(2).all(|w| w[0] == w[1]), "{label}: {seeds:?}");
+            seeds[0]
+        };
+        assert_ne!(seed_of("ring:8:1024:1"), seed_of("ring:16:1024:1"));
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a = cell_seed(7, "ring:8:1024:1");
+        let b = cell_seed(7, "ring:8:1024:1");
+        let c = cell_seed(7, "ring:16:1024:1");
+        let d = cell_seed(8, "ring:8:1024:1");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_across_backends() {
+        for backend in [
+            BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            BackendSpec::Lgs,
+            BackendSpec::Ideal,
+        ] {
+            let cell = ScenarioCell {
+                topology: TopologySpec::SingleSwitch { hosts: 8 },
+                workload: WorkloadSpec::Ring { ranks: 8, bytes: 64 << 10, laps: 1 },
+                placement: PlacementSpec::Packed,
+                backend,
+                seed: 5,
+                collect_flows: true,
+            };
+            let a = run_cell(&cell);
+            let b = run_cell(&cell);
+            assert_eq!(a.makespan, b.makespan, "{:?}", backend);
+            assert_eq!(a.mct, b.mct);
+            assert_eq!(a.net, b.net);
+            assert!(a.makespan > 0);
+            assert_eq!(a.job_finish.len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_placement_changes_the_packet_level_result() {
+        let mk = |placement| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: WorkloadSpec::Ring { ranks: 8, bytes: 1 << 20, laps: 1 },
+            placement,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            seed: 1,
+            collect_flows: false,
+        };
+        let packed = run_cell(&mk(PlacementSpec::Packed));
+        let random = run_cell(&mk(PlacementSpec::Random));
+        assert_eq!(packed.tasks, random.tasks);
+        // With this seed the random permutation scatters the ring across
+        // both ToRs of the 4:1 fabric, so it pays for the thin core.
+        // (Not a theorem over all seeds — a lucky permutation can beat
+        // packed's intra-ToR port collisions — but deterministic here.)
+        assert!(
+            random.makespan > packed.makespan,
+            "packed {} vs random {}",
+            packed.makespan,
+            random.makespan
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The parallel scenario-sweep executor and its report writers.
+//!
+//! Cells are independent, deterministic, single-threaded simulations
+//! ([`crate::scenario::run_cell`]), so the sweep parallelizes across OS
+//! threads with a shared claim-index queue: every idle worker steals the
+//! next unclaimed cell (`fetch_add` on an atomic cursor), which load
+//! balances a grid whose cell costs span orders of magnitude without any
+//! coordination beyond one atomic. Results land in their cell's slot, so
+//! the report is **independent of the thread count and of completion
+//! order**: `--threads 1` and `--threads N` must produce byte-identical
+//! JSON (the determinism gate `ci.sh` enforces on the smoke grid).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::scenario::{run_cell_prepared, CellResult, ScenarioCell};
+use crate::table::Table;
+
+/// Claim-index parallel map: workers steal the next unclaimed item via
+/// one atomic `fetch_add`; results land in their item's slot, so the
+/// output order is independent of thread count and completion order.
+fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut claimed = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return claimed;
+                        }
+                        claimed.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("sweep worker must not panic") {
+                slots[i] = Some(result);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every item claimed exactly once")).collect()
+}
+
+/// Run every cell, `threads`-wide. 0 means one thread per available core.
+///
+/// Two phases, both over the claim-index pool: first one GOAL lowering
+/// per *distinct* (workload, seed) pair — cells differing only in
+/// topology, CC, placement, or backend share the built schedules instead
+/// of re-tracing the workload per cell — then the simulations themselves.
+/// Sharing cannot change results: job construction is a deterministic
+/// function of exactly that pair.
+pub fn execute(cells: &[ScenarioCell], threads: usize) -> Vec<CellResult> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // Phase 1: deduplicate workload builds.
+    let mut index_of: std::collections::HashMap<(String, u64), usize> =
+        std::collections::HashMap::new();
+    let mut uniq: Vec<&ScenarioCell> = Vec::new();
+    let job_idx: Vec<usize> = cells
+        .iter()
+        .map(|cell| {
+            *index_of.entry((cell.workload.label(), cell.seed)).or_insert_with(|| {
+                uniq.push(cell);
+                uniq.len() - 1
+            })
+        })
+        .collect();
+    let jobs = parallel_map(&uniq, threads, |cell| cell.workload.build_jobs(cell.seed));
+
+    // Phase 2: the simulations.
+    let indices: Vec<usize> = (0..cells.len()).collect();
+    parallel_map(&indices, threads, |&i| run_cell_prepared(&cells[i], &jobs[job_idx[i]]))
+}
+
+/// A finished sweep: the grid seed, the cells, and their results.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub seed: u64,
+    pub results: Vec<CellResult>,
+}
+
+impl SweepReport {
+    /// Total simulated-cell wall-clock (the single-threaded cost; the
+    /// parallel sweep's elapsed time divides this by the effective
+    /// parallelism).
+    pub fn total_cell_wall(&self) -> Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// The deterministic JSON report. Contains only simulation outcomes —
+    /// no wall-clock, no host data — so re-runs and different thread
+    /// counts emit byte-identical documents.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str("atlahs-sweep-v1".into()));
+        // Small (typical, user-chosen) seeds stay plain numbers; seeds
+        // beyond f64's exact-integer window fall back to hex strings so
+        // the recorded grid seed always reproduces the sweep.
+        doc.set(
+            "seed",
+            if self.seed < (1 << 53) {
+                Json::Num(self.seed as f64)
+            } else {
+                Json::Str(format!("{:#018x}", self.seed))
+            },
+        );
+        doc.set("cells", Json::Num(self.results.len() as f64));
+        let mut arr = Vec::with_capacity(self.results.len());
+        for r in &self.results {
+            let mut cell = Json::obj();
+            cell.set("key", Json::Str(r.key.clone()));
+            // Derived cell seeds span the full u64 range, beyond f64's
+            // exact-integer window — emit them as hex strings.
+            cell.set("seed", Json::Str(format!("{:#018x}", r.seed)));
+            cell.set("makespan_ns", Json::Num(r.makespan as f64));
+            cell.set("tasks", Json::Num(r.tasks as f64));
+            if r.mct.count > 0 {
+                let mut mct = Json::obj();
+                mct.set("mean_ns", Json::Num(r.mct.mean));
+                mct.set("p99_ns", Json::Num(r.mct.p99 as f64));
+                mct.set("max_ns", Json::Num(r.mct.max as f64));
+                mct.set("flows", Json::Num(r.mct.count as f64));
+                cell.set("mct", mct);
+            }
+            if let Some(net) = &r.net {
+                let mut n = Json::obj();
+                n.set("packets", Json::Num(net.packets_sent as f64));
+                n.set("drops", Json::Num(net.drops as f64));
+                n.set("trims", Json::Num(net.trims as f64));
+                n.set("core_drops", Json::Num(net.core_drops as f64));
+                n.set("ecn_marks", Json::Num(net.ecn_marks as f64));
+                n.set("retransmissions", Json::Num(net.retransmissions as f64));
+                cell.set("net", n);
+            }
+            if r.job_finish.len() > 1 {
+                cell.set(
+                    "job_finish_ns",
+                    Json::Arr(r.job_finish.iter().map(|&t| Json::Num(t as f64)).collect()),
+                );
+            }
+            arr.push(cell);
+        }
+        doc.set("results", Json::Arr(arr));
+        doc
+    }
+
+    /// CSV: one row per cell, fixed columns, `-` for absent values.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "key,seed,makespan_ns,tasks,mct_mean_ns,mct_p99_ns,mct_max_ns,flows,\
+             packets,drops,trims,core_drops\n",
+        );
+        for r in &self.results {
+            let (mean, p99, max, flows) = if r.mct.count > 0 {
+                (
+                    format!("{:.1}", r.mct.mean),
+                    r.mct.p99.to_string(),
+                    r.mct.max.to_string(),
+                    r.mct.count.to_string(),
+                )
+            } else {
+                ("-".into(), "-".into(), "-".into(), "-".into())
+            };
+            let (packets, drops, trims, core) = match &r.net {
+                Some(n) => (
+                    n.packets_sent.to_string(),
+                    n.drops.to_string(),
+                    n.trims.to_string(),
+                    n.core_drops.to_string(),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{mean},{p99},{max},{flows},{packets},{drops},{trims},{core}\n",
+                r.key, r.seed, r.makespan, r.tasks
+            ));
+        }
+        out
+    }
+
+    /// GitHub-flavored markdown table (one row per cell).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| scenario | makespan | tasks | mean MCT | p99 MCT | drops |\n\
+             |---|---:|---:|---:|---:|---:|\n",
+        );
+        for r in &self.results {
+            let (mean, p99) = if r.mct.count > 0 {
+                (crate::table::fmt_ns(r.mct.mean.round() as u64), crate::table::fmt_ns(r.mct.p99))
+            } else {
+                ("-".into(), "-".into())
+            };
+            let drops = match &r.net {
+                Some(n) => (n.drops + n.trims).to_string(),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {mean} | {p99} | {drops} |\n",
+                r.key,
+                crate::table::fmt_ns(r.makespan),
+                r.tasks,
+            ));
+        }
+        out
+    }
+
+    /// Human-readable summary table for terminal output.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(["scenario", "makespan", "tasks", "mean MCT", "drops", "wall"]);
+        for r in &self.results {
+            let mean = if r.mct.count > 0 {
+                crate::table::fmt_ns(r.mct.mean.round() as u64)
+            } else {
+                "-".into()
+            };
+            let drops = match &r.net {
+                Some(n) => (n.drops + n.trims).to_string(),
+                None => "-".into(),
+            };
+            t.row([
+                r.key.clone(),
+                crate::table::fmt_ns(r.makespan),
+                r.tasks.to_string(),
+                mean,
+                drops,
+                format!("{:.0} ms", r.wall.as_secs_f64() * 1e3),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{BackendFamily, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec};
+    use atlahs_htsim::CcAlgo;
+
+    fn small_grid() -> ScenarioGrid {
+        ScenarioGrid {
+            topologies: vec![
+                TopologySpec::SingleSwitch { hosts: 8 },
+                TopologySpec::AiFatTree { nodes: 8, oversub: 2 },
+            ],
+            workloads: vec![
+                WorkloadSpec::Ring { ranks: 8, bytes: 64 << 10, laps: 1 },
+                WorkloadSpec::Incast { ranks: 5, bytes: 32 << 10, repeat: 1 },
+            ],
+            ccs: vec![CcAlgo::Mprdma],
+            placements: vec![PlacementSpec::Packed],
+            backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+            seed: 9,
+            collect_flows: true,
+        }
+    }
+
+    #[test]
+    fn parallel_report_matches_serial_byte_for_byte() {
+        let cells = small_grid().expand();
+        assert_eq!(cells.len(), 12);
+        let serial = SweepReport { seed: 9, results: execute(&cells, 1) };
+        let parallel = SweepReport { seed: 9, results: execute(&cells, 4) };
+        assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn report_formats_are_consistent() {
+        let cells = small_grid().expand();
+        let report = SweepReport { seed: 9, results: execute(&cells, 2) };
+        let json = report.to_json();
+        assert_eq!(json.get("schema").unwrap().as_str(), Some("atlahs-sweep-v1"));
+        assert_eq!(json.get("results").unwrap().as_arr().unwrap().len(), 12);
+        // The JSON document parses back.
+        let text = json.pretty();
+        assert_eq!(Json::parse(&text).unwrap(), json);
+        // CSV: header + one line per cell.
+        assert_eq!(report.to_csv().lines().count(), 13);
+        // Markdown: header + separator + one row per cell.
+        assert_eq!(report.to_markdown().lines().count(), 14);
+        assert_eq!(report.summary_table().num_rows(), 12);
+    }
+
+    #[test]
+    fn htsim_cells_carry_net_stats_lgs_cells_do_not() {
+        let cells = small_grid().expand();
+        let results = execute(&cells, 2);
+        for (cell, result) in cells.iter().zip(&results) {
+            match cell.backend {
+                crate::scenario::BackendSpec::Htsim { .. } => {
+                    assert!(result.net.is_some(), "{}", result.key)
+                }
+                _ => assert!(result.net.is_none(), "{}", result.key),
+            }
+            assert!(result.makespan > 0, "{}", result.key);
+        }
+    }
+}

@@ -218,21 +218,29 @@ pub fn hpc_topology(procs: usize, nodes: usize) -> TopologyConfig {
     }
 }
 
-/// LogGOPS parameters *calibrated against the testbed emulator*, the way
-/// the paper fits them to the physical cluster with Netgauge (§5.3): `L`
-/// is the cross-ToR path latency, `o` the host overhead, `G` the inverse
-/// of the effective (efficiency-derated) link bandwidth.
-pub fn hpc_lgs_params() -> atlahs_lgs::LogGopsParams {
+/// LogGOPS parameters *calibrated against the testbed emulator* for a
+/// fabric built from `link`, the way the paper fits them to the physical
+/// cluster with Netgauge (§5.3): `L` is the 4-hop cross-ToR path latency
+/// (host→ToR→core→ToR→host), `o` the host overhead, `G` the inverse of
+/// the effective (efficiency-derated) link bandwidth. The single source
+/// of the calibration constants — the HPC/AI helpers below and the
+/// scenario-sweep engine all delegate here.
+pub fn lgs_params_for_link(link: LinkParams) -> atlahs_lgs::LogGopsParams {
     let testbed_efficiency = 0.92; // TestbedConfig::new default
     let host_o = 250; // TestbedConfig::new default
     atlahs_lgs::LogGopsParams {
-        l: 4 * HPC_LINK.latency_ns, // host->ToR->core->ToR->host
+        l: 4 * link.latency_ns,
         o: host_o,
         g: 0,
-        big_g: 1.0 / (HPC_LINK.bytes_per_ns() * testbed_efficiency),
+        big_g: 1.0 / (link.bytes_per_ns() * testbed_efficiency),
         big_o: 0.0,
         s: 0,
     }
+}
+
+/// LogGOPS parameters calibrated against the testbed on the HPC fabric.
+pub fn hpc_lgs_params() -> atlahs_lgs::LogGopsParams {
+    lgs_params_for_link(HPC_LINK)
 }
 
 /// LogGOPS parameters calibrated against the testbed on the AI fabric.
@@ -242,14 +250,7 @@ pub fn ai_lgs_params(nodes: usize) -> atlahs_lgs::LogGopsParams {
         TopologyConfig::SingleSwitch { link, .. } => link,
         TopologyConfig::Dragonfly { edge, .. } => edge,
     };
-    atlahs_lgs::LogGopsParams {
-        l: 4 * link.latency_ns,
-        o: 250,
-        g: 0,
-        big_g: 1.0 / (link.bytes_per_ns() * 0.92),
-        big_o: 0.0,
-        s: 0,
-    }
+    lgs_params_for_link(link)
 }
 
 // ---------------------------------------------------------- Synthetic ----

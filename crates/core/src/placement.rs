@@ -129,4 +129,62 @@ mod tests {
         let p = allocate(PlacementStrategy::Packed, 5, &[3, 2]).unwrap();
         assert_eq!(p[1], vec![3, 4]);
     }
+
+    #[test]
+    fn exact_fit_every_strategy_uses_the_whole_cluster() {
+        for strategy in [
+            PlacementStrategy::Packed,
+            PlacementStrategy::Random { seed: 3 },
+            PlacementStrategy::RoundRobin,
+        ] {
+            let p = allocate(strategy, 6, &[4, 2]).unwrap();
+            let mut all: Vec<Rank> = p.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..6).collect::<Vec<_>>(), "{strategy:?}");
+            assert_eq!(p[0].len(), 4, "{strategy:?}");
+            assert_eq!(p[1].len(), 2, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_job_list_allocates_nothing() {
+        for strategy in [
+            PlacementStrategy::Packed,
+            PlacementStrategy::Random { seed: 1 },
+            PlacementStrategy::RoundRobin,
+        ] {
+            assert_eq!(allocate(strategy, 8, &[]).unwrap(), Vec::<Vec<Rank>>::new());
+            // Degenerate but legal: an empty cluster with no jobs.
+            assert_eq!(allocate(strategy, 0, &[]).unwrap(), Vec::<Vec<Rank>>::new());
+        }
+    }
+
+    #[test]
+    fn zero_size_job_gets_an_empty_placement() {
+        for strategy in [
+            PlacementStrategy::Packed,
+            PlacementStrategy::Random { seed: 5 },
+            PlacementStrategy::RoundRobin,
+        ] {
+            let p = allocate(strategy, 4, &[2, 0, 2]).unwrap();
+            assert_eq!(p.len(), 3, "{strategy:?}");
+            assert!(p[1].is_empty(), "{strategy:?}");
+            // The zero-size job must not eat nodes: its neighbors still
+            // get disjoint placements covering 4 nodes.
+            let mut used: Vec<Rank> = p.iter().flatten().copied().collect();
+            used.sort_unstable();
+            assert_eq!(used, (0..4).collect::<Vec<_>>(), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn random_is_stable_across_cluster_reuse() {
+        // Same seed, same cluster, different job splits: the underlying
+        // permutation is identical, so the flattened node order agrees.
+        let a = allocate(PlacementStrategy::Random { seed: 42 }, 12, &[12]).unwrap();
+        let b = allocate(PlacementStrategy::Random { seed: 42 }, 12, &[6, 6]).unwrap();
+        let flat_a: Vec<Rank> = a.into_iter().flatten().collect();
+        let flat_b: Vec<Rank> = b.into_iter().flatten().collect();
+        assert_eq!(flat_a, flat_b);
+    }
 }

@@ -1,0 +1,107 @@
+//! Property tests: the GOAL text and binary codecs are identities on
+//! arbitrary valid schedules.
+//!
+//! The generator draws random schedules directly from the codec's input
+//! domain — any mix of calc/send/recv tasks on arbitrary streams with
+//! arbitrary tags, plus random *backward* dependency edges (a task may
+//! only require an earlier task, which guarantees acyclicity by
+//! construction). Schedules are not required to have matched send/recv
+//! pairs: the codecs must round-trip unmatched traffic too (a schedule
+//! fragment is still a schedule).
+
+use atlahs_goal::builder::GoalBuilder;
+use atlahs_goal::task::{Task, TaskKind};
+use atlahs_goal::{binary, text, GoalSchedule};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Raw material for one task: (kind selector, bytes/cost, peer draw, tag
+/// draw, stream draw, dependency draws).
+type RawTask = (u8, u64, u32, u32, u32, Vec<u32>);
+
+/// Deterministically assemble a valid schedule from raw draws.
+fn assemble(num_ranks: usize, raw: Vec<RawTask>) -> GoalSchedule {
+    let mut b = GoalBuilder::new(num_ranks);
+    let mut per_rank_count = vec![0u32; num_ranks];
+    for (i, (kind_sel, size, peer_draw, tag_draw, stream_draw, dep_draws)) in
+        raw.into_iter().enumerate()
+    {
+        let rank = (i % num_ranks) as u32;
+        // Tags stay below merge::TAG_STRIDE; streams small (realistic).
+        let tag = tag_draw % (1 << 24);
+        let stream = stream_draw % 3;
+        // Sends/recvs need a distinct peer; degenerate 1-rank schedules
+        // only get calcs.
+        let kind = if num_ranks == 1 {
+            TaskKind::Calc { cost: size }
+        } else {
+            let peer = {
+                let p = peer_draw % (num_ranks as u32 - 1);
+                if p >= rank {
+                    p + 1
+                } else {
+                    p
+                }
+            };
+            match kind_sel % 3 {
+                0 => TaskKind::Calc { cost: size },
+                1 => TaskKind::Send { bytes: size, dst: peer, tag },
+                _ => TaskKind::Recv { bytes: size, src: peer, tag },
+            }
+        };
+        let id = b.add_task(rank, Task { kind, stream });
+        // Backward edges only: acyclic by construction. Alternate edge
+        // kinds so both `requires` and `irequires` round-trip.
+        let earlier = per_rank_count[rank as usize];
+        for (k, draw) in dep_draws.into_iter().enumerate() {
+            if earlier == 0 {
+                break;
+            }
+            let dep = atlahs_goal::task::TaskId(draw % earlier);
+            if k % 2 == 0 {
+                b.requires(rank, id, dep);
+            } else {
+                b.irequires(rank, id, dep);
+            }
+        }
+        per_rank_count[rank as usize] += 1;
+    }
+    b.build().expect("assembled schedule is valid by construction")
+}
+
+fn raw_task() -> impl Strategy<Value = RawTask> {
+    (0u8..255, 0u64..(1 << 40), 0u32..1024, 0u32..(1 << 30), 0u32..64, vec(0u32..1024, 0..3))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn text_codec_is_identity(num_ranks in 1usize..5, raw in vec(raw_task(), 0..40)) {
+        let goal = assemble(num_ranks, raw);
+        let emitted = text::to_text(&goal);
+        let parsed = text::parse(&emitted).expect("emitted text must parse");
+        prop_assert_eq!(&parsed, &goal);
+        // Emission is canonical: a second round trip is a fixed point.
+        prop_assert_eq!(text::to_text(&parsed), emitted);
+    }
+
+    #[test]
+    fn binary_codec_is_identity(num_ranks in 1usize..5, raw in vec(raw_task(), 0..40)) {
+        let goal = assemble(num_ranks, raw);
+        let encoded = binary::encode(&goal);
+        let decoded = binary::decode(&encoded).expect("encoded bytes must decode");
+        prop_assert_eq!(&decoded, &goal);
+        // Encoding is canonical too.
+        prop_assert_eq!(binary::encode(&decoded), encoded);
+    }
+
+    #[test]
+    fn codecs_agree_through_each_other(num_ranks in 2usize..4, raw in vec(raw_task(), 0..24)) {
+        // text -> schedule -> binary -> schedule -> text is still the
+        // same document: the two codecs share one canonical form.
+        let goal = assemble(num_ranks, raw);
+        let via_binary = binary::decode(&binary::encode(&goal)).unwrap();
+        prop_assert_eq!(text::to_text(&via_binary), text::to_text(&goal));
+    }
+}

@@ -1,0 +1,71 @@
+//! Programmatic scenario sweep: build a [`ScenarioGrid`] in code, run it
+//! across all cores, and post-process the results — the library face of
+//! `atlahs sweep` (docs/SCENARIOS.md).
+//!
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+//!
+//! The grid crosses the three new application-shaped synthetic workloads
+//! (MoE all-to-all, pipeline-parallel LLM, storage incast) with a fully
+//! provisioned and a 4:1 oversubscribed fabric, on the packet-level and
+//! message-level backends, and prints where the packet-level model
+//! diverges from LGS's topology-blind prediction.
+
+use atlahs_bench::scenario::{
+    BackendFamily, BackendSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::{execute, SweepReport};
+use atlahs_htsim::CcAlgo;
+
+fn main() {
+    let grid = ScenarioGrid {
+        topologies: vec![
+            TopologySpec::AiFatTree { nodes: 16, oversub: 1 },
+            TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        ],
+        workloads: vec![
+            WorkloadSpec::MoeAllToAll {
+                ranks: 16,
+                group: 8,
+                bytes: 256 << 10,
+                layers: 2,
+                compute_ns: 10_000,
+            },
+            WorkloadSpec::PipelineLlm {
+                stages: 8,
+                microbatches: 4,
+                bytes: 256 << 10,
+                compute_ns: 20_000,
+            },
+            WorkloadSpec::StorageIncast { clients: 4, servers: 12, bytes: 128 << 10, reads: 2 },
+        ],
+        ccs: vec![CcAlgo::Mprdma],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+        seed: 1,
+        collect_flows: true,
+    };
+
+    let cells = grid.expand();
+    println!("expanded {} cells; running on all cores...\n", cells.len());
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0) };
+    report.summary_table().print();
+
+    // Pair each htsim cell with its LGS sibling and report the divergence
+    // the message-level model cannot see (congestion, oversubscription).
+    println!("\npacket-level vs message-level (makespan ratio):");
+    for (cell, result) in cells.iter().zip(&report.results) {
+        if !matches!(cell.backend, BackendSpec::Htsim { .. }) {
+            continue;
+        }
+        let lgs = cells.iter().zip(&report.results).find(|(c, _)| {
+            c.backend == BackendSpec::Lgs
+                && c.topology == cell.topology
+                && c.workload == cell.workload
+        });
+        if let Some((_, lgs)) = lgs {
+            println!("  {:<55} {:>5.2}x", result.key, result.makespan as f64 / lgs.makespan as f64);
+        }
+    }
+}

@@ -94,9 +94,15 @@ fn dragonfly() -> TopologyConfig {
     TopologyConfig::dragonfly(3, 4, 2)
 }
 
-fn check(name: &str, topo: TopologyConfig, cc: CcAlgo, spray: bool, n: u32, golden: Golden) {
-    let goal = cross_tor_permutation(n, 256 * 1024);
-    let got = run(topo.clone(), cc, spray, &goal);
+fn check(
+    name: &str,
+    topo: TopologyConfig,
+    cc: CcAlgo,
+    spray: bool,
+    goal: &GoalSchedule,
+    golden: Golden,
+) {
+    let got = run(topo.clone(), cc, spray, goal);
     if std::env::var_os("ATLAHS_PRINT_GOLDENS").is_some() {
         println!("{name}: {got:?}");
         return;
@@ -104,7 +110,7 @@ fn check(name: &str, topo: TopologyConfig, cc: CcAlgo, spray: bool, n: u32, gold
     assert_eq!(got, golden, "{name}: engine output drifted from the golden run");
     // Byte-identical reproducibility: an immediate re-run must agree on
     // every bit of the fingerprint, not just the headline numbers.
-    let again = run(topo, cc, spray, &goal);
+    let again = run(topo, cc, spray, goal);
     assert_eq!(got, again, "{name}: two runs with one seed disagree");
 }
 
@@ -115,7 +121,7 @@ fn clos_dctcp_ecmp() {
         clos(),
         CcAlgo::Dctcp,
         false,
-        32,
+        &cross_tor_permutation(32, 256 * 1024),
         Golden { makespan: 170070, packets: 2749, losses: 85, fingerprint: 9533739521534378490 },
     );
 }
@@ -127,7 +133,7 @@ fn clos_dctcp_spray() {
         clos(),
         CcAlgo::Dctcp,
         true,
-        32,
+        &cross_tor_permutation(32, 256 * 1024),
         Golden { makespan: 142224, packets: 2668, losses: 36, fingerprint: 17379750916316369363 },
     );
 }
@@ -139,7 +145,7 @@ fn clos_ndp_ecmp() {
         clos(),
         CcAlgo::Ndp,
         false,
-        32,
+        &cross_tor_permutation(32, 256 * 1024),
         Golden { makespan: 159004, packets: 3700, losses: 879, fingerprint: 13801768378120913788 },
     );
 }
@@ -151,7 +157,7 @@ fn clos_ndp_spray() {
         clos(),
         CcAlgo::Ndp,
         true,
-        32,
+        &cross_tor_permutation(32, 256 * 1024),
         Golden { makespan: 185839, packets: 5706, losses: 1982, fingerprint: 4573557411911614248 },
     );
 }
@@ -163,7 +169,7 @@ fn dragonfly_dctcp_ecmp() {
         dragonfly(),
         CcAlgo::Dctcp,
         false,
-        24,
+        &cross_tor_permutation(24, 256 * 1024),
         Golden { makespan: 125227, packets: 1633, losses: 12, fingerprint: 13005166264371180354 },
     );
 }
@@ -175,7 +181,7 @@ fn dragonfly_dctcp_spray() {
         dragonfly(),
         CcAlgo::Dctcp,
         true,
-        24,
+        &cross_tor_permutation(24, 256 * 1024),
         Golden { makespan: 53538, packets: 1536, losses: 0, fingerprint: 7838740639894170979 },
     );
 }
@@ -187,8 +193,87 @@ fn dragonfly_ndp_ecmp() {
         dragonfly(),
         CcAlgo::Ndp,
         false,
-        24,
+        &cross_tor_permutation(24, 256 * 1024),
         Golden { makespan: 90539, packets: 1621, losses: 15, fingerprint: 7366083823433530007 },
+    );
+}
+
+// --- the scenario-sweep synthetic workloads (MoE all-to-all, pipeline-
+// --- parallel LLM, storage incast), fingerprinted on both the packet-
+// --- level and the message-level backend.
+
+/// LGS golden: makespan + FNV over every rank finish time and the
+/// backend's message counters (LGS has no NetStats/FlowRecords).
+fn run_lgs(goal: &GoalSchedule, params: atlahs::lgs::LogGopsParams) -> Golden {
+    let mut be = atlahs::lgs::LgsBackend::new(params);
+    let rep = Simulation::new(goal).run(&mut be).expect("scenario completes");
+    let st = be.stats();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in [rep.makespan, rep.completed as u64, st.messages, st.bytes, st.rendezvous_messages] {
+        h = fnv(h, x);
+    }
+    for &t in &rep.rank_finish {
+        h = fnv(h, t);
+    }
+    Golden { makespan: rep.makespan, packets: st.messages, losses: 0, fingerprint: h }
+}
+
+fn check_lgs(name: &str, goal: &GoalSchedule, golden: Golden) {
+    let params = atlahs::lgs::LogGopsParams::ai_alps();
+    let got = run_lgs(goal, params);
+    if std::env::var_os("ATLAHS_PRINT_GOLDENS").is_some() {
+        println!("{name}: {got:?}");
+        return;
+    }
+    assert_eq!(got, golden, "{name}: LGS output drifted from the golden run");
+    assert_eq!(got, run_lgs(goal, params), "{name}: two runs disagree");
+}
+
+fn check_synthetic(name: &str, goal: &GoalSchedule, htsim_golden: Golden, lgs_golden: Golden) {
+    check(name, clos(), CcAlgo::Dctcp, false, goal, htsim_golden);
+    check_lgs(name, goal, lgs_golden);
+}
+
+fn moe_goal() -> GoalSchedule {
+    atlahs::schedgen::synthetic::moe_alltoall(16, 8, 128 << 10, 2, 10_000).expect("moe builds")
+}
+
+fn pipeline_goal() -> GoalSchedule {
+    atlahs::schedgen::synthetic::pipeline_parallel(8, 4, 256 << 10, 20_000)
+        .expect("pipeline builds")
+}
+
+fn storage_incast_goal() -> GoalSchedule {
+    atlahs::schedgen::synthetic::storage_incast(4, 12, 128 << 10, 2).expect("incast builds")
+}
+
+#[test]
+fn synthetic_moe_alltoall() {
+    check_synthetic(
+        "synthetic_moe_alltoall",
+        &moe_goal(),
+        Golden { makespan: 624344, packets: 22810, losses: 29, fingerprint: 9882847408263673026 },
+        Golden { makespan: 183374, packets: 448, losses: 0, fingerprint: 5609275606591164578 },
+    );
+}
+
+#[test]
+fn synthetic_pipeline_parallel() {
+    check_synthetic(
+        "synthetic_pipeline_parallel",
+        &pipeline_goal(),
+        Golden { makespan: 1141354, packets: 3584, losses: 0, fingerprint: 13655304210608727665 },
+        Golden { makespan: 866674, packets: 56, losses: 0, fingerprint: 8908028073276139227 },
+    );
+}
+
+#[test]
+fn synthetic_storage_incast() {
+    check_synthetic(
+        "synthetic_storage_incast",
+        &storage_incast_goal(),
+        Golden { makespan: 652450, packets: 3661, losses: 301, fingerprint: 1207351324072312170 },
+        Golden { makespan: 52392, packets: 192, losses: 0, fingerprint: 4204762182558412328 },
     );
 }
 
@@ -199,7 +284,7 @@ fn dragonfly_ndp_spray() {
         dragonfly(),
         CcAlgo::Ndp,
         true,
-        24,
+        &cross_tor_permutation(24, 256 * 1024),
         Golden { makespan: 55346, packets: 1536, losses: 0, fingerprint: 7130154478266168476 },
     );
 }
