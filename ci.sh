@@ -7,10 +7,14 @@
 #   3. cargo build --release      — the tier-1 build
 #   4. cargo test -q              — unit + integration + doc tests (tier-1)
 #   5. cargo doc --no-deps        — rustdoc must build warning-free
-#   6. bench smoke                — criterion suite (shim) runs + the
-#      BENCH_engine.json emitter produces parseable output
-#      (docs/PERFORMANCE.md describes the tracked perf trajectory)
-#   7. sweep smoke                — `atlahs sweep --smoke` runs the fixed
+#   6. bench smoke                — criterion suites (shim) run + the
+#      BENCH_engine.json / BENCH_lgs.json emitters produce parseable
+#      output (docs/PERFORMANCE.md describes the tracked perf trajectory;
+#      the checked-in reports are parse-validated by the
+#      atlahs_bench::json unit tests in stage 4)
+#   7. large-trace LGS fingerprint — the ~1M-op pipeline_parallel golden
+#      (release-scale, so it runs here rather than in the debug suite)
+#   8. sweep smoke                — `atlahs sweep --smoke` runs the fixed
 #      24-cell CI grid on 2 threads and must reproduce the checked-in
 #      tests/goldens/sweep_smoke.json byte for byte (docs/SCENARIOS.md)
 #
@@ -46,6 +50,20 @@ for key in '"scenarios"' '"fig11_oversub_mprdma"' '"events_per_sec"'; do
     grep -q "$key" "$smoke_json" \
         || { echo "bench smoke: $key missing from $smoke_json" >&2; exit 1; }
 done
+
+step "bench smoke (lgs criterion suite + BENCH_lgs.json emission)"
+cargo bench -p atlahs_bench --bench lgs
+lgs_smoke_json="target/BENCH_lgs_smoke.json"
+cargo run --release -p atlahs_bench --bin bench_lgs -- \
+    --quick --out "$lgs_smoke_json" > /dev/null
+for key in '"scenarios"' '"pipeline_1m"' '"tasks_per_sec"' '"bytes_per_task"'; do
+    grep -q "$key" "$lgs_smoke_json" \
+        || { echo "lgs bench smoke: $key missing from $lgs_smoke_json" >&2; exit 1; }
+done
+
+step "large-trace LGS fingerprint (~1M-op pipeline_parallel golden)"
+ATLAHS_LARGE_GOLDENS=1 cargo test -q --release --test determinism_golden \
+    lgs_pipeline_parallel_1m
 
 step "sweep smoke (atlahs sweep --smoke vs golden report)"
 sweep_json="target/sweep_smoke.json"

@@ -1,0 +1,225 @@
+//! **BENCH_lgs** — the message-level (LGS) performance trajectory.
+//!
+//! Measures wall-clock cost of the LogGOPS backend plus the core
+//! scheduler on trace-scale GOAL schedules, and emits `BENCH_lgs.json`
+//! (same schema conventions as `BENCH_engine.json`) so the repository
+//! carries a message-level perf baseline across PRs.
+//!
+//! ```text
+//! cargo run --release --bin bench_lgs -- \
+//!     [--reps 3] [--seed 1] [--quick] \
+//!     [--label "my change"] [--baseline old.json] [--out BENCH_lgs.json]
+//! ```
+//!
+//! Scenarios (all single-threaded, deterministic):
+//!
+//! * `pipeline_1m` — a ~1M-op GPipe-style pipeline-parallel LLM trace
+//!   (64 stages × 2700 microbatches), the acceptance scenario for
+//!   message-level perf PRs: deep per-rank dependency chains, one
+//!   matcher key per (stage boundary, microbatch).
+//! * `moe_eager_flood` — 64 ranks in EP groups of 16, 40 MoE layers of
+//!   dispatch+combine all-to-alls under eager (`S = 0`) parameters:
+//!   matcher- and NIC-gap-heavy, wide dependency fan-in.
+//! * `rendezvous_storm` — a 64-rank 1 MiB shift permutation under the
+//!   HPC parameters (`S = 256 kB`), so every message pays the full
+//!   RTS/CTS handshake: five backend events per message.
+//! * `deep_chain` — a two-rank ping-pong chained 120k rounds deep: the
+//!   scheduler's serial dispatch path with a single in-flight event.
+//!
+//! Each scenario reports wall-clock (best of `--reps`), simulated
+//! makespan, completed tasks, LGS message counters, task throughput, and
+//! the bytes-per-task of the GOAL task storage (`task_arena_bytes /
+//! tasks`). With `--baseline old.json` the previous run is embedded under
+//! `"baseline"` and per-scenario `"speedup_vs_baseline"` ratios plus a
+//! `"bytes_per_task_reduction"` summary are computed.
+
+use std::time::{Duration, Instant};
+
+use atlahs_bench::args::Args;
+use atlahs_bench::json::Json;
+use atlahs_bench::table::Table;
+use atlahs_core::Simulation;
+use atlahs_goal::GoalSchedule;
+use atlahs_lgs::{LgsBackend, LgsStats, LogGopsParams};
+use atlahs_schedgen::synthetic;
+
+/// Bytes of task storage held by a schedule (the SoA arena's column
+/// footprints; the pre-SoA baseline measured `size_of::<Task>()` per task
+/// of the former array-of-structs `Vec<Task>`).
+fn arena_bytes(goal: &GoalSchedule) -> u64 {
+    goal.task_arena_bytes()
+}
+
+struct Measurement {
+    name: String,
+    wall: Duration,
+    makespan_ns: u64,
+    tasks: u64,
+    stats: LgsStats,
+    task_arena_bytes: u64,
+}
+
+impl Measurement {
+    fn tasks_per_sec(&self) -> f64 {
+        self.tasks as f64 / self.wall.as_secs_f64()
+    }
+
+    fn bytes_per_task(&self) -> f64 {
+        self.task_arena_bytes as f64 / self.tasks as f64
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("name", Json::Str(self.name.clone()));
+        j.set("backend", Json::Str("lgs".into()));
+        j.set("wall_ms", Json::Num(self.wall.as_secs_f64() * 1e3));
+        j.set("makespan_ns", Json::Num(self.makespan_ns as f64));
+        j.set("tasks", Json::Num(self.tasks as f64));
+        j.set("tasks_per_sec", Json::Num(self.tasks_per_sec()));
+        j.set("messages", Json::Num(self.stats.messages as f64));
+        j.set("rendezvous_messages", Json::Num(self.stats.rendezvous_messages as f64));
+        j.set("task_arena_bytes", Json::Num(self.task_arena_bytes as f64));
+        j.set("bytes_per_task", Json::Num(self.bytes_per_task()));
+        j
+    }
+}
+
+/// Run the schedule `reps` times on a fresh backend; keep the fastest.
+fn measure(name: &str, goal: &GoalSchedule, params: LogGopsParams, reps: usize) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps.max(1) {
+        let mut be = LgsBackend::new(params);
+        let t0 = Instant::now();
+        let rep = Simulation::new(goal).run(&mut be).expect("scenario must complete");
+        let wall = t0.elapsed();
+        let m = Measurement {
+            name: name.into(),
+            wall,
+            makespan_ns: rep.makespan,
+            tasks: rep.completed as u64,
+            stats: be.stats(),
+            task_arena_bytes: arena_bytes(goal),
+        };
+        if best.as_ref().map_or(true, |b| m.wall < b.wall) {
+            best = Some(m);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let reps = args.get("reps", if quick { 1usize } else { 3 });
+    let seed = args.seed();
+    let label = args.get_str("label", "LGS message-level path");
+    let out_path = args.get_str("out", "BENCH_lgs.json");
+
+    // The acceptance scenario: ~1M ops (2 * mb * (3 * stages - 2)).
+    let (stages, microbatches) = if quick { (8usize, 60u32) } else { (64, 2_700) };
+    let moe_layers: u32 = if quick { 4 } else { 40 };
+    let perm_repeat: u32 = if quick { 20 } else { 200 };
+    let chain_rounds: u32 = if quick { 5_000 } else { 120_000 };
+
+    eprintln!("# bench_lgs (reps={reps}, seed={seed}, quick={quick})");
+
+    let mut ms: Vec<Measurement> = Vec::new();
+
+    let pipeline = synthetic::pipeline_parallel(stages, microbatches, 128 << 10, 5_000)
+        .expect("pipeline builds");
+    ms.push(measure("pipeline_1m", &pipeline, LogGopsParams::ai_alps(), reps));
+    drop(pipeline);
+
+    let moe =
+        synthetic::moe_alltoall(64, 16, 32 << 10, moe_layers, 5_000).expect("moe flood builds");
+    ms.push(measure("moe_eager_flood", &moe, LogGopsParams::ai_alps(), reps));
+    drop(moe);
+
+    let perm = synthetic::permutation(64, 1 << 20, 1, perm_repeat).expect("permutation builds");
+    ms.push(measure("rendezvous_storm", &perm, LogGopsParams::hpc_testbed(), reps));
+    drop(perm);
+
+    let chain = synthetic::pingpong_chain(chain_rounds, 4 << 10).expect("chain builds");
+    ms.push(measure("deep_chain", &chain, LogGopsParams::ai_alps(), reps));
+    drop(chain);
+
+    // --- Report ----------------------------------------------------------
+    let mut table = Table::new(["scenario", "wall", "tasks", "Mtask/s", "B/task"]);
+    for m in &ms {
+        table.row([
+            m.name.clone(),
+            format!("{:.1} ms", m.wall.as_secs_f64() * 1e3),
+            m.tasks.to_string(),
+            format!("{:.2}", m.tasks_per_sec() / 1e6),
+            format!("{:.1}", m.bytes_per_task()),
+        ]);
+    }
+    table.print();
+
+    let mut doc = Json::obj();
+    doc.set("schema", Json::Num(1.0));
+    doc.set("tool", Json::Str("bench_lgs".into()));
+    doc.set("label", Json::Str(label));
+    let mut cfg = Json::obj();
+    cfg.set("reps", Json::Num(reps as f64));
+    cfg.set("seed", Json::Num(seed as f64));
+    cfg.set("quick", Json::Bool(quick));
+    doc.set("config", cfg);
+    doc.set("scenarios", Json::Arr(ms.iter().map(Measurement::to_json).collect()));
+
+    if let Some(base_path) = args.flag("baseline").then(|| args.get_str("baseline", "")) {
+        let text = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("--baseline {base_path}: {e}"));
+        let base = Json::parse(&text).unwrap_or_else(|e| panic!("--baseline {base_path}: {e}"));
+        let mut speedup = Json::obj();
+        let mut old_bpt: Option<f64> = None;
+        if let Some(base_scen) = base.get("scenarios").and_then(Json::as_arr) {
+            for m in &ms {
+                let prev = base_scen
+                    .iter()
+                    .find(|s| s.get("name").and_then(Json::as_str) == Some(&m.name));
+                // Scenario identity is name + task count: a `--quick` run
+                // reuses the scenario names at a fraction of the size, and
+                // a name-only match against a full-scale baseline would
+                // report absurd (wrong-workload) speedups.
+                let comparable = prev
+                    .is_some_and(|s| s.get("tasks").and_then(Json::as_f64) == Some(m.tasks as f64));
+                if !comparable {
+                    if prev.is_some() {
+                        eprintln!(
+                            "warning: {}: baseline ran a different task count; skipping speedup",
+                            m.name
+                        );
+                    }
+                    continue;
+                }
+                if let Some(prev_ms) = prev.and_then(|s| s.get("wall_ms")).and_then(Json::as_f64) {
+                    let cur_ms = m.wall.as_secs_f64() * 1e3;
+                    if cur_ms > 0.0 {
+                        let ratio = (prev_ms / cur_ms * 1000.0).round() / 1000.0;
+                        speedup.set(&m.name, Json::Num(ratio));
+                        println!("speedup {:<24} {:.2}x", m.name, prev_ms / cur_ms);
+                    }
+                }
+                if old_bpt.is_none() {
+                    old_bpt = prev.and_then(|s| s.get("bytes_per_task")).and_then(Json::as_f64);
+                }
+            }
+        }
+        doc.set("speedup_vs_baseline", speedup);
+        if let (Some(old), Some(m)) = (old_bpt, ms.first()) {
+            let reduction = 1.0 - m.bytes_per_task() / old;
+            doc.set("bytes_per_task_reduction", Json::Num((reduction * 1000.0).round() / 1000.0));
+            println!(
+                "bytes/task {:.1} -> {:.1} ({:.1}% lower)",
+                old,
+                m.bytes_per_task(),
+                reduction * 100.0
+            );
+        }
+        doc.set("baseline", base);
+    }
+
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -353,6 +353,26 @@ mod tests {
         assert_eq!(j.get("s").unwrap().as_str(), Some("a\nbA\" \\"));
     }
 
+    /// The checked-in perf trajectories must stay parseable by this
+    /// codec (ci.sh's bench smoke steps regenerate quick variants, and
+    /// this test gates the committed documents themselves).
+    #[test]
+    fn checked_in_bench_reports_parse() {
+        for (name, text) in [
+            ("BENCH_engine.json", include_str!("../../../BENCH_engine.json")),
+            ("BENCH_lgs.json", include_str!("../../../BENCH_lgs.json")),
+        ] {
+            let doc = Json::parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let scenarios = doc.get("scenarios").and_then(Json::as_arr);
+            assert!(
+                scenarios.is_some_and(|a| !a.is_empty()),
+                "{name}: missing or empty \"scenarios\""
+            );
+            assert!(doc.get("baseline").is_some(), "{name}: baseline not embedded");
+            assert!(doc.get("speedup_vs_baseline").is_some(), "{name}: no speedup block");
+        }
+    }
+
     #[test]
     fn rejects_trailing_garbage() {
         assert!(Json::parse("{} extra").is_err());

@@ -15,6 +15,7 @@
 //! [`run_cell`] executes one cell; the parallel executor lives in
 //! [`crate::sweep`].
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use atlahs_core::backends::IdealBackend;
@@ -271,12 +272,18 @@ impl WorkloadSpec {
     }
 
     /// Lower to one GOAL schedule per job.
-    pub fn build_jobs(&self, seed: u64) -> Vec<GoalSchedule> {
+    ///
+    /// Schedules come back in `Arc`s so the sweep executor can share one
+    /// task arena per distinct (workload, seed) across every cell of a
+    /// grid — a sweep never holds more than one copy of a workload's
+    /// arena, no matter how many topology/CC/placement/backend cells
+    /// reference it.
+    pub fn build_jobs(&self, seed: u64) -> Vec<Arc<GoalSchedule>> {
         match self {
             WorkloadSpec::MultiJob { jobs } => {
                 jobs.iter().flat_map(|j| j.build_jobs(seed)).collect()
             }
-            other => vec![other.build_goal(seed)],
+            other => vec![Arc::new(other.build_goal(seed))],
         }
     }
 
@@ -763,6 +770,11 @@ pub struct CellResult {
     /// Per-job finish time: the latest rank finish among each job's
     /// nodes, in job order.
     pub job_finish: Vec<u64>,
+    /// Peak task-arena bytes the cell's simulation held: the SoA task
+    /// storage of the schedule handed to the backend (the composed
+    /// multi-job schedule when placement remaps ranks). Deterministic,
+    /// so memory regressions surface in byte-compared sweep reports.
+    pub task_arena_bytes: u64,
     /// Host wall-clock cost of the cell (not part of the JSON report).
     pub wall: Duration,
 }
@@ -775,10 +787,10 @@ pub fn run_cell(cell: &ScenarioCell) -> CellResult {
 
 /// [`run_cell`] with the workload's job schedules already built — the
 /// sweep executor lowers each distinct (workload, seed) pair once and
-/// shares the result across cells. `jobs` must equal
+/// shares the `Arc`ed result across cells. `jobs` must equal
 /// `cell.workload.build_jobs(cell.seed)` (deterministic), so sharing
 /// cannot change any result.
-pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[GoalSchedule]) -> CellResult {
+pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> CellResult {
     let hosts = cell.topology.hosts();
 
     // A single packed job runs un-remapped (the identity placement), so
@@ -798,7 +810,11 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[GoalSchedule]) -> CellResu
             .collect();
         (Some(compose(&placed, hosts).expect("disjoint placements compose")), placement)
     };
-    let goal = merged.as_ref().unwrap_or(&jobs[0]);
+    let goal: &GoalSchedule = match merged.as_ref() {
+        Some(g) => g,
+        None => &jobs[0],
+    };
+    let task_arena_bytes = goal.task_arena_bytes();
 
     let (report, mct, net, wall) = match cell.backend {
         BackendSpec::Htsim { cc, spray } => {
@@ -838,6 +854,7 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[GoalSchedule]) -> CellResu
         mct,
         net,
         job_finish,
+        task_arena_bytes,
         wall,
     }
 }

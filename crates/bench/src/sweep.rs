@@ -134,6 +134,9 @@ impl SweepReport {
             cell.set("seed", Json::Str(format!("{:#018x}", r.seed)));
             cell.set("makespan_ns", Json::Num(r.makespan as f64));
             cell.set("tasks", Json::Num(r.tasks as f64));
+            // Peak task-arena bytes: memory regressions in the GOAL task
+            // storage show up as a diff in byte-compared sweep reports.
+            cell.set("task_arena_bytes", Json::Num(r.task_arena_bytes as f64));
             if r.mct.count > 0 {
                 let mut mct = Json::obj();
                 mct.set("mean_ns", Json::Num(r.mct.mean));

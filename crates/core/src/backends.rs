@@ -8,9 +8,7 @@
 //! overheads). Real backends live in `atlahs-lgs`, `atlahs-htsim`, and
 //! `atlahs-testbed`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use atlahs_eventq::EventQueue;
 use atlahs_goal::{Rank, Tag};
 
 use crate::api::{Backend, Completion, OpRef, Time};
@@ -40,8 +38,9 @@ pub struct IdealBackend {
     /// One-way latency in nanoseconds.
     latency: Time,
     now: Time,
-    seq: u64,
-    events: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    /// Timer-wheel event core shared with the real backends; pops in the
+    /// exact `(time, push order)` order of the previous global heap.
+    events: EventQueue<Ev>,
     matcher: Matcher<Time, OpRef>,
 }
 
@@ -53,15 +52,13 @@ impl IdealBackend {
             bandwidth,
             latency,
             now: 0,
-            seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             matcher: Matcher::new(),
         }
     }
 
     fn push(&mut self, time: Time, ev: Ev) {
-        self.events.push(Reverse((time, self.seq, ev)));
-        self.seq += 1;
+        self.events.push(time, ev);
     }
 
     fn tx_time(&self, bytes: u64) -> Time {
@@ -110,7 +107,7 @@ impl Backend for IdealBackend {
     }
 
     fn next_event(&mut self) -> Option<Completion> {
-        while let Some(Reverse((time, _, ev))) = self.events.pop() {
+        while let Some((time, ev)) = self.events.pop() {
             debug_assert!(time >= self.now, "event queue went backwards");
             self.now = time;
             match ev {

@@ -7,9 +7,9 @@
 //! `irequires` edges on issue).
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use atlahs_goal::{DepKind, GoalSchedule, Rank, Stream, TaskId, TaskKind};
+use atlahs_goal::{DepKind, GoalSchedule, Rank, RankSchedule, Stream, TaskId, TaskKind};
 
 use crate::api::{Backend, EventKind, OpKind, OpRef, Time};
 
@@ -66,16 +66,64 @@ enum TaskState {
     Done,
 }
 
+/// Per-stream queue of ready task ids, popped in ascending-id order.
+///
+/// GOAL generators emit each stream's tasks in issue order, so ids enter
+/// this queue almost always monotonically increasing: those go into a
+/// plain ring buffer and pop O(1) from the front. The rare out-of-order
+/// arrival (a dependency releasing an *earlier* id after a later one is
+/// already queued) spills into a small binary heap, and `pop` takes the
+/// minimum of the two fronts — exactly the `BinaryHeap<Reverse<u32>>`
+/// min-id semantics this queue replaced, so simulation results are
+/// bit-identical, without the O(log n) sift on the dense path.
+#[derive(Debug, Default)]
+struct ReadyQueue {
+    /// Strictly increasing task ids.
+    ring: VecDeque<u32>,
+    /// Out-of-order arrivals (ids smaller than the ring's back).
+    spill: BinaryHeap<Reverse<u32>>,
+}
+
+impl ReadyQueue {
+    #[inline]
+    fn push(&mut self, id: u32) {
+        match self.ring.back() {
+            Some(&back) if id < back => self.spill.push(Reverse(id)),
+            _ => self.ring.push_back(id),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<u32> {
+        match (self.ring.front(), self.spill.peek()) {
+            (Some(&r), Some(&Reverse(s))) if s < r => {
+                self.spill.pop();
+                Some(s)
+            }
+            (Some(_), _) => self.ring.pop_front(),
+            (None, Some(_)) => self.spill.pop().map(|Reverse(s)| s),
+            (None, None) => None,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct StreamState {
     stream: Stream,
     busy: bool,
-    ready: BinaryHeap<Reverse<u32>>,
+    ready: ReadyQueue,
 }
 
+/// One subtracted from a task's packed start-edge (`irequires`) counter.
+const START_ONE: u64 = 1 << 32;
+
 struct RankState {
-    full_remaining: Vec<u32>,
-    start_remaining: Vec<u32>,
+    /// Packed per-task in-degree countdown: `start_remaining << 32 |
+    /// full_remaining`. Edge firing is the scheduler's most
+    /// random-access-heavy path (one decrement + readiness check per
+    /// dependency edge), so keeping both counters in one word halves the
+    /// cache lines it touches, and readiness is a single `== 0`.
+    remaining: Vec<u64>,
     state: Vec<TaskState>,
     /// Sorted by stream id; iterated in that (deterministic) order on
     /// every dispatch, so a flat sorted vector beats a tree map — ranks
@@ -93,6 +141,17 @@ impl RankState {
             self.streams
                 .binary_search_by_key(&stream, |ss| ss.stream)
                 .expect("task stream registered at setup")
+        }
+    }
+
+    /// Stream slot of task `ti`, touching the schedule's stream column
+    /// only when the rank actually multiplexes streams.
+    #[inline]
+    fn stream_idx_of(&self, sched: &RankSchedule, ti: usize) -> usize {
+        if self.streams.len() == 1 {
+            0
+        } else {
+            self.stream_idx(sched.streams()[ti])
         }
     }
 }
@@ -116,23 +175,27 @@ impl<'g> Simulation<'g> {
         for sched in self.goal.ranks() {
             let (full, start) = sched.indegrees();
             let n = sched.num_tasks();
-            let mut stream_ids: Vec<Stream> = sched.tasks().iter().map(|t| t.stream).collect();
+            let stream_col = sched.streams();
+            let mut stream_ids: Vec<Stream> = stream_col.to_vec();
             stream_ids.sort_unstable();
             stream_ids.dedup();
             let mut rs = RankState {
-                full_remaining: full,
-                start_remaining: start,
+                remaining: full
+                    .iter()
+                    .zip(&start)
+                    .map(|(&f, &s)| (s as u64) << 32 | f as u64)
+                    .collect(),
                 state: vec![TaskState::Waiting; n],
                 streams: stream_ids
                     .into_iter()
-                    .map(|stream| StreamState { stream, busy: false, ready: BinaryHeap::new() })
+                    .map(|stream| StreamState { stream, busy: false, ready: ReadyQueue::default() })
                     .collect(),
             };
-            for (i, t) in sched.tasks().iter().enumerate() {
-                if rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0 {
+            for (i, &stream) in stream_col.iter().enumerate() {
+                if rs.remaining[i] == 0 {
                     rs.state[i] = TaskState::Ready;
-                    let si = rs.stream_idx(t.stream);
-                    rs.streams[si].ready.push(Reverse(i as u32));
+                    let si = rs.stream_idx(stream);
+                    rs.streams[si].ready.push(i as u32);
                 }
             }
             ranks.push(rs);
@@ -167,7 +230,7 @@ impl<'g> Simulation<'g> {
                 return Err(SimError::SpuriousCompletion { op });
             }
             let st = ranks[r].state[ti];
-            let stream = self.goal.rank(op.rank).task(op.task).stream;
+            let sched = self.goal.rank(op.rank);
 
             match ev.kind {
                 EventKind::CpuFree => {
@@ -175,7 +238,7 @@ impl<'g> Simulation<'g> {
                         return Err(SimError::SpuriousCompletion { op });
                     }
                     ranks[r].state[ti] = TaskState::RunningFreed;
-                    let si = ranks[r].stream_idx(stream);
+                    let si = ranks[r].stream_idx_of(sched, ti);
                     ranks[r].streams[si].busy = false;
                     dispatch_rank(self.goal, &mut ranks, op.rank, backend, &mut issue_buf);
                 }
@@ -184,7 +247,7 @@ impl<'g> Simulation<'g> {
                         return Err(SimError::SpuriousCompletion { op });
                     }
                     if st == TaskState::Running {
-                        let si = ranks[r].stream_idx(stream);
+                        let si = ranks[r].stream_idx_of(sched, ti);
                         ranks[r].streams[si].busy = false;
                     }
                     ranks[r].state[ti] = TaskState::Done;
@@ -192,12 +255,18 @@ impl<'g> Simulation<'g> {
                     makespan = makespan.max(ev.time);
                     rank_finish[r] = rank_finish[r].max(ev.time);
 
-                    // Fire completion (`requires`) edges.
-                    let sched = self.goal.rank(op.rank);
+                    // Fire completion (`requires`) edges. The packed
+                    // counter would borrow across halves on underflow
+                    // instead of panicking like the old u32 arrays, so
+                    // keep the debug guard explicit.
                     for &(succ, kind) in sched.succs(op.task) {
                         if kind == DepKind::Full {
                             let rs = &mut ranks[r];
-                            rs.full_remaining[succ.index()] -= 1;
+                            debug_assert!(
+                                rs.remaining[succ.index()] as u32 != 0,
+                                "full-edge underflow on {succ:?}"
+                            );
+                            rs.remaining[succ.index()] -= 1;
                             maybe_ready(sched, rs, succ);
                         }
                     }
@@ -225,13 +294,42 @@ impl<'g> Simulation<'g> {
     }
 }
 
-fn maybe_ready(sched: &atlahs_goal::RankSchedule, rs: &mut RankState, id: TaskId) {
+fn maybe_ready(sched: &RankSchedule, rs: &mut RankState, id: TaskId) {
     let i = id.index();
-    if rs.state[i] == TaskState::Waiting && rs.full_remaining[i] == 0 && rs.start_remaining[i] == 0
-    {
+    if rs.remaining[i] == 0 && rs.state[i] == TaskState::Waiting {
         rs.state[i] = TaskState::Ready;
-        let si = rs.stream_idx(sched.task(id).stream);
-        rs.streams[si].ready.push(Reverse(id.0));
+        let si = rs.stream_idx_of(sched, i);
+        rs.streams[si].ready.push(id.0);
+    }
+}
+
+/// Mark `id` running, hand it to the backend, and fire its start
+/// (`irequires`) edges.
+#[inline]
+fn issue_task<B: Backend>(
+    sched: &RankSchedule,
+    ranks: &mut [RankState],
+    rank: Rank,
+    id: TaskId,
+    backend: &mut B,
+) {
+    ranks[rank as usize].state[id.index()] = TaskState::Running;
+    let kind = match sched.task(id).kind {
+        TaskKind::Send { bytes, dst, tag } => OpKind::Send { dst, bytes, tag },
+        TaskKind::Recv { bytes, src, tag } => OpKind::Recv { src, bytes, tag },
+        TaskKind::Calc { cost } => OpKind::Calc { cost },
+    };
+    backend.issue(OpRef::new(rank, id), kind);
+    for &(succ, k) in sched.succs(id) {
+        if k == DepKind::Start {
+            let rs = &mut ranks[rank as usize];
+            debug_assert!(
+                rs.remaining[succ.index()] >> 32 != 0,
+                "start-edge underflow on {succ:?}"
+            );
+            rs.remaining[succ.index()] -= START_ONE;
+            maybe_ready(sched, rs, succ);
+        }
     }
 }
 
@@ -248,6 +346,22 @@ fn dispatch_rank<B: Backend>(
     issue_buf: &mut Vec<TaskId>,
 ) {
     let sched = goal.rank(rank);
+    // Single-stream ranks (the overwhelmingly common shape, and this sits
+    // on the per-event path): at most one task can issue — the stream
+    // goes busy immediately, and `irequires` releases can only ready
+    // tasks on that same busy stream — so skip the batch machinery.
+    if ranks[rank as usize].streams.len() == 1 {
+        let ss = &mut ranks[rank as usize].streams[0];
+        if ss.busy {
+            return;
+        }
+        let Some(id) = ss.ready.pop() else {
+            return;
+        };
+        ss.busy = true;
+        issue_task(sched, ranks, rank, TaskId(id), backend);
+        return;
+    }
     loop {
         // Collect issuable tasks stream by stream (ascending stream id:
         // deterministic).
@@ -255,7 +369,7 @@ fn dispatch_rank<B: Backend>(
         issue_buf.clear();
         for ss in rs.streams.iter_mut() {
             if !ss.busy {
-                if let Some(Reverse(id)) = ss.ready.pop() {
+                if let Some(id) = ss.ready.pop() {
                     ss.busy = true;
                     issue_buf.push(TaskId(id));
                 }
@@ -265,21 +379,7 @@ fn dispatch_rank<B: Backend>(
             return;
         }
         for &id in issue_buf.iter() {
-            ranks[rank as usize].state[id.index()] = TaskState::Running;
-            let kind = match sched.task(id).kind {
-                TaskKind::Send { bytes, dst, tag } => OpKind::Send { dst, bytes, tag },
-                TaskKind::Recv { bytes, src, tag } => OpKind::Recv { src, bytes, tag },
-                TaskKind::Calc { cost } => OpKind::Calc { cost },
-            };
-            backend.issue(OpRef::new(rank, id), kind);
-            // Fire start (`irequires`) edges.
-            for &(succ, k) in sched.succs(id) {
-                if k == DepKind::Start {
-                    let rs = &mut ranks[rank as usize];
-                    rs.start_remaining[succ.index()] -= 1;
-                    maybe_ready(sched, rs, succ);
-                }
-            }
+            issue_task(sched, ranks, rank, id, backend);
         }
     }
 }

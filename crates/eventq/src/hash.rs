@@ -1,0 +1,138 @@
+//! Deterministic multiplicative hashing for hot-path maps.
+//!
+//! The simulation backends key `HashMap`s on small, already-well-mixed
+//! integers: packed `(src, dst, bucket)` route-cache keys in the packet
+//! engine, `(src, dst, tag)` match keys in the two-sided matcher. For
+//! those, SipHash's per-lookup cost (keyed initialization plus a rounds
+//! pipeline, on maps hit once or twice per simulated message) buys
+//! nothing — the keys are attacker-free simulation state. [`FastHasher`]
+//! is a Fibonacci-multiplicative mixer: one multiply and one xor-shift
+//! per written word.
+//!
+//! **Determinism contract:** unlike `RandomState`, a [`FastBuildHasher`]
+//! is a pure function of its seed (default 0), so bucket layouts are
+//! identical across runs, processes, and platforms. Simulation results
+//! must *never* depend on that layout — nothing order-sensitive may
+//! iterate these maps — and `core::matcher` pins exactly that with a
+//! seed-independence test.
+
+use std::hash::{BuildHasher, Hasher};
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// A fast, deterministic hasher for small integer keys.
+///
+/// Not collision-resistant against adversarial input; use only for maps
+/// keyed on simulation state.
+#[derive(Debug, Clone, Default)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, n: u64) {
+        let mut x = (self.0 ^ n).wrapping_mul(PHI);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-wise FNV-1a for odd-sized tails; the integer fast paths
+        // below cover every hot key shape.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A [`BuildHasher`] producing [`FastHasher`]s from an explicit seed.
+///
+/// The default seed is 0; [`FastBuildHasher::with_seed`] exists so tests
+/// can prove that observable behavior is independent of bucket layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastBuildHasher {
+    seed: u64,
+}
+
+impl FastBuildHasher {
+    pub fn with_seed(seed: u64) -> Self {
+        FastBuildHasher { seed }
+    }
+}
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T, seed: u64) -> u64 {
+        FastBuildHasher::with_seed(seed).hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let key = (3u32, 7u32, 11u32);
+        assert_eq!(hash_of(&key, 0), hash_of(&key, 0));
+        assert_eq!(hash_of(&42u64, 9), hash_of(&42u64, 9));
+    }
+
+    #[test]
+    fn seed_changes_the_hash() {
+        assert_ne!(hash_of(&42u64, 0), hash_of(&42u64, 1));
+    }
+
+    #[test]
+    fn nearby_keys_spread() {
+        // Dense small keys must not collide in the low bits hashbrown
+        // uses for bucket selection.
+        let mut low7 = std::collections::HashSet::new();
+        for i in 0..128u64 {
+            low7.insert(hash_of(&i, 0) & 0x7f);
+        }
+        assert!(low7.len() > 80, "only {} distinct low-7-bit patterns", low7.len());
+    }
+
+    #[test]
+    fn tuple_fields_all_matter() {
+        let base = hash_of(&(1u32, 2u32, 3u32), 0);
+        assert_ne!(base, hash_of(&(9u32, 2u32, 3u32), 0));
+        assert_ne!(base, hash_of(&(1u32, 9u32, 3u32), 0));
+        assert_ne!(base, hash_of(&(1u32, 2u32, 9u32), 0));
+    }
+
+    #[test]
+    fn odd_sized_writes_hash_via_bytes() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..], 0), hash_of(&[1u8, 2, 4][..], 0));
+    }
+}

@@ -1,13 +1,19 @@
-//! The engine's event core: a hierarchical timer wheel with an overflow
-//! heap and an O(1) lane for same-timestamp events.
+//! # atlahs-eventq
 //!
-//! The packet engine schedules millions of events whose delays cluster
-//! tightly: serialization times (hundreds of ns), link latencies (500 to
-//! 1500 ns), host overheads (200 ns), and zero-delay completions, with a
-//! thin tail of retransmission timers (tens of µs, exponentially backed
-//! off) and compute releases (up to seconds). A global `BinaryHeap` pays
-//! O(log n) comparisons and half-a-cache-line swaps on every one of them.
-//! This queue makes the dominant cases O(1):
+//! The shared event core of the ATLAHS simulation backends: a
+//! hierarchical timer wheel with an overflow heap and an O(1) lane for
+//! same-timestamp events ([`EventQueue`]), plus the deterministic fast
+//! hashing the hot-path maps use ([`hash`]).
+//!
+//! Both the packet engine (`atlahs_htsim`) and the message-level backends
+//! (`atlahs_lgs`, `atlahs_core::backends::IdealBackend`) schedule millions
+//! of events whose delays cluster tightly: serialization times (hundreds
+//! of ns), link latencies (500 to 1500 ns), host overheads (200 ns), and
+//! zero-delay completions, with a thin tail of retransmission timers
+//! (tens of µs, exponentially backed off) and compute releases (up to
+//! seconds). A global `BinaryHeap` pays O(log n) comparisons and
+//! half-a-cache-line swaps on every one of them. This queue makes the
+//! dominant cases O(1):
 //!
 //! * **Lane** — events scheduled for *exactly* the current timestamp (the
 //!   same-tick completions, pull-pacer kicks, and emit chains that
@@ -28,11 +34,13 @@
 //! **Ordering contract:** `pop` yields events in exactly the order a
 //! min-heap on `(time, push sequence)` would — ties broken by insertion
 //! order — which is what keeps simulation results bit-identical to the
-//! engine's previous global-heap implementation. The structure relies on
-//! time moving only forward: `push(t, _)` requires `t >= now`, where
+//! backends' previous global-heap implementations. The structure relies
+//! on time moving only forward: `push(t, _)` requires `t >= now`, where
 //! `now` is the timestamp of the most recently popped event.
 
 use std::collections::{BinaryHeap, VecDeque};
+
+pub mod hash;
 
 /// log2 of level-0 slots per frame (and ns per frame).
 const BITS0: u32 = 12;
@@ -146,6 +154,18 @@ pub struct EventQueue<T> {
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for EventQueue<T> {
+    /// Summary only: the wheel's 8192 slot vectors are noise in debug
+    /// output, and `T: Debug` must not be required of backends.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("len", &self.len)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
     }
 }
 
@@ -337,7 +357,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    /// Reference implementation: the engine's previous global heap.
+    /// Reference implementation: the backends' previous global heap.
     struct RefQueue<T> {
         heap: BinaryHeap<Overflow<T>>,
         seq: u64,

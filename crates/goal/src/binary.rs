@@ -78,7 +78,7 @@ pub fn encode(goal: &GoalSchedule) -> Vec<u8> {
     for sched in goal.ranks() {
         put_varint(&mut out, sched.num_tasks() as u64);
         for t in sched.tasks() {
-            encode_task(&mut out, t);
+            encode_task(&mut out, &t);
         }
         put_varint(&mut out, sched.num_deps() as u64);
         let mut prev_a = 0u64;

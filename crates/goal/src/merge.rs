@@ -174,19 +174,11 @@ mod tests {
         let placed = place(&job, vec![3, 1], 4).unwrap();
         assert_eq!(placed.num_ranks(), 4);
         // rank 3 sends to rank 1
-        let send = placed
-            .rank(3)
-            .tasks()
-            .iter()
-            .find(|t| matches!(t.kind, TaskKind::Send { .. }))
-            .unwrap();
+        let send =
+            placed.rank(3).tasks().find(|t| matches!(t.kind, TaskKind::Send { .. })).unwrap();
         assert!(matches!(send.kind, TaskKind::Send { dst: 1, bytes: 64, .. }));
-        let recv = placed
-            .rank(1)
-            .tasks()
-            .iter()
-            .find(|t| matches!(t.kind, TaskKind::Recv { .. }))
-            .unwrap();
+        let recv =
+            placed.rank(1).tasks().find(|t| matches!(t.kind, TaskKind::Recv { .. })).unwrap();
         assert!(matches!(recv.kind, TaskKind::Recv { src: 3, bytes: 64, .. }));
         assert!(placed.rank(0).is_empty());
         assert!(placed.rank(2).is_empty());
@@ -206,7 +198,6 @@ mod tests {
         let t = merged
             .rank(2)
             .tasks()
-            .iter()
             .find_map(|t| match t.kind {
                 TaskKind::Send { tag, .. } => Some(tag),
                 _ => None,
@@ -223,7 +214,7 @@ mod tests {
             compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![0, 1])], 2).unwrap();
         // Node 0: dummy+send (job a) + dummy+send (job b).
         assert_eq!(merged.rank(0).num_tasks(), 4);
-        let streams: Vec<u32> = merged.rank(0).tasks().iter().map(|t| t.stream).collect();
+        let streams: Vec<u32> = merged.rank(0).tasks().map(|t| t.stream).collect();
         // Job a occupies stream 0, job b stream 1.
         assert_eq!(streams, vec![0, 0, 1, 1]);
         merged.validate().unwrap();

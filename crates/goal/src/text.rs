@@ -42,7 +42,7 @@ pub fn to_text(goal: &GoalSchedule) -> String {
     let _ = writeln!(out, "num_ranks {}", goal.num_ranks());
     for (r, sched) in goal.ranks().iter().enumerate() {
         let _ = writeln!(out, "rank {r} {{");
-        for (i, t) in sched.tasks().iter().enumerate() {
+        for (i, t) in sched.tasks().enumerate() {
             let _ = write!(out, "l{i}: ");
             match t.kind {
                 TaskKind::Calc { cost } => {

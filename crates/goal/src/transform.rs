@@ -76,7 +76,6 @@ pub fn permute_ranks(goal: &GoalSchedule, mapping: &[Rank]) -> Result<GoalSchedu
         let new = mapping[old];
         let tasks: Vec<Task> = sched
             .tasks()
-            .iter()
             .map(|t| match t.kind {
                 TaskKind::Send { bytes, dst, tag } => Task {
                     kind: TaskKind::Send { bytes, dst: mapping[dst as usize], tag },
@@ -86,7 +85,7 @@ pub fn permute_ranks(goal: &GoalSchedule, mapping: &[Rank]) -> Result<GoalSchedu
                     kind: TaskKind::Recv { bytes, src: mapping[src as usize], tag },
                     stream: t.stream,
                 },
-                _ => *t,
+                _ => t,
             })
             .collect();
         let deps: Vec<_> = sched.dep_edges().collect();
@@ -101,7 +100,7 @@ fn map_tasks(goal: &GoalSchedule, f: impl Fn(&Task) -> Task) -> GoalSchedule {
         .iter()
         .enumerate()
         .map(|(r, sched)| {
-            let tasks: Vec<Task> = sched.tasks().iter().map(&f).collect();
+            let tasks: Vec<Task> = sched.tasks().map(|t| f(&t)).collect();
             let deps: Vec<_> = sched.dep_edges().collect();
             RankSchedule::from_parts(r as Rank, tasks, &deps)
                 .expect("structure unchanged by task mapping")

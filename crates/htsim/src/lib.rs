@@ -29,8 +29,12 @@
 
 pub mod cc;
 pub mod engine;
-pub mod eventq;
 pub mod topology;
+
+/// The event core now lives in the shared `atlahs_eventq` crate (both
+/// the packet-level and the message-level backends schedule through it);
+/// re-exported here so `atlahs_htsim::eventq::EventQueue` keeps working.
+pub use atlahs_eventq as eventq;
 
 pub use cc::{CcAlgo, CcState};
 pub use engine::{FlowRecord, HtsimBackend, HtsimConfig, NetStats};

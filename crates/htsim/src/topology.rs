@@ -13,7 +13,8 @@
 //! spraying (a route decision on *every hop of every packet*) affordable.
 
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+
+use atlahs_eventq::hash::FastBuildHasher;
 
 /// Physical parameters of one link class.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -157,29 +158,13 @@ impl PathRef {
     }
 }
 
-/// Multiplicative hasher for the packed `(src, dst, bucket)` route-cache
-/// key: the key is already a well-mixed single `u64`, so SipHash's
-/// per-lookup cost (this sits on the per-hop spray path) buys nothing.
-#[derive(Debug, Clone, Default)]
-struct RouteKeyHasher(u64);
-
-impl Hasher for RouteKeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    fn write_u64(&mut self, n: u64) {
-        let mut x = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 32;
-        self.0 = x;
-    }
-}
-
-type RouteCache = HashMap<u64, PathRef, BuildHasherDefault<RouteKeyHasher>>;
+/// Route-cache map for the packed `(src, dst, bucket)` key: the key is a
+/// single well-mixed `u64`, so SipHash's per-lookup cost (this sits on
+/// the per-hop spray path) buys nothing. Uses the deterministic
+/// multiplicative hasher shared with the message-level matcher
+/// (`atlahs_eventq::hash`); the bucket layout never influences routing —
+/// path selection is `ecmp % degree`, the map is lookup-only.
+type RouteCache = HashMap<u64, PathRef, FastBuildHasher>;
 
 /// Dragonfly bookkeeping: geometry plus the global-link wiring map.
 #[derive(Debug, Clone)]

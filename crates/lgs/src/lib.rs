@@ -33,11 +33,9 @@
 //! The paper's parameters: AI (Alps): `L=3700, o=200, g=5, G=0.04, O=0, S=0`;
 //! HPC test-bed: `L=3000, o=6000, g=0, G=0.18, O=0, S=256000`.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use atlahs_core::matcher::MatchKey;
 use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
+use atlahs_eventq::EventQueue;
 use atlahs_goal::{Rank, Tag};
 
 /// LogGOPS parameters.
@@ -70,12 +68,22 @@ impl LogGopsParams {
 
     #[inline]
     fn cpu_cost(&self, bytes: u64) -> u64 {
-        self.o + (bytes as f64 * self.big_o).round() as u64
+        // `O = 0` in both of the paper's calibrations: skip the f64
+        // round-trip on that hot path (identical result — 0.0 rounds to 0).
+        if self.big_o == 0.0 {
+            self.o
+        } else {
+            self.o + (bytes as f64 * self.big_o).round() as u64
+        }
     }
 
     #[inline]
     fn nic_cost(&self, bytes: u64) -> u64 {
-        self.g + (bytes as f64 * self.big_g).round() as u64
+        if self.big_g == 0.0 {
+            self.g
+        } else {
+            self.g + (bytes as f64 * self.big_g).round() as u64
+        }
     }
 
     #[inline]
@@ -92,6 +100,15 @@ pub struct LgsStats {
     pub rendezvous_messages: u64,
 }
 
+/// A scheduled backend event.
+///
+/// The [`EventQueue`] orders solely by `(time, push order)`, so the
+/// `PartialOrd`/`Ord` derives below no longer influence simulation
+/// results — but the derived variant order *was* the tie-break of the
+/// previous `BinaryHeap<Reverse<(Time, seq, Ev)>>` implementation and
+/// remains a pinned contract (see `ev_variant_order_is_pinned`): any
+/// fallback or external consumer sorting on `Ev` must observe the same
+/// order, and reordering variants is a results-affecting change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// Emit a `Done` completion for the op.
@@ -113,8 +130,10 @@ enum Ev {
 pub struct LgsBackend {
     params: LogGopsParams,
     now: Time,
-    seq: u64,
-    events: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    /// Timer-wheel event core shared with the packet engine; yields
+    /// events in exactly the `(time, push order)` order the previous
+    /// global `BinaryHeap<Reverse<(Time, seq, Ev)>>` produced.
+    events: EventQueue<Ev>,
     nic_tx_free: Vec<Time>,
     nic_rx_free: Vec<Time>,
     /// Eager: in-flight arrivals (value: time data is available) vs posted recvs.
@@ -129,8 +148,7 @@ impl LgsBackend {
         LgsBackend {
             params,
             now: 0,
-            seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             nic_tx_free: Vec::new(),
             nic_rx_free: Vec::new(),
             eager: Matcher::new(),
@@ -148,8 +166,7 @@ impl LgsBackend {
     }
 
     fn push(&mut self, time: Time, ev: Ev) {
-        self.events.push(Reverse((time, self.seq, ev)));
-        self.seq += 1;
+        self.events.push(time, ev);
     }
 
     /// Occupy the sender NIC starting no earlier than `earliest`; returns
@@ -173,7 +190,6 @@ impl LgsBackend {
 impl Backend for LgsBackend {
     fn simulation_setup(&mut self, num_ranks: usize) {
         self.now = 0;
-        self.seq = 0;
         self.events.clear();
         self.nic_tx_free = vec![0; num_ranks];
         self.nic_rx_free = vec![0; num_ranks];
@@ -227,7 +243,7 @@ impl Backend for LgsBackend {
     }
 
     fn next_event(&mut self) -> Option<Completion> {
-        while let Some(Reverse((time, _, ev))) = self.events.pop() {
+        while let Some((time, ev)) = self.events.pop() {
             debug_assert!(time >= self.now);
             self.now = time;
             match ev {
@@ -279,6 +295,35 @@ mod tests {
         b.send(0, 1, bytes, 0);
         b.recv(1, 0, bytes, 0);
         b.build().unwrap()
+    }
+
+    /// The `Ev` tie-break contract. Event ordering at equal timestamps is
+    /// `(time, push order)` via the shared [`EventQueue`]; the *variant*
+    /// order of `Ev` was the previous heap's final tie-break and is still
+    /// a pinned, documented contract — `#[derive(PartialOrd, Ord)]` makes
+    /// it an artifact of source order, so a well-meaning reorder of the
+    /// enum would silently change any consumer that sorts events. This
+    /// test turns that into a loud failure.
+    #[test]
+    fn ev_variant_order_is_pinned() {
+        let op = OpRef::new(0, atlahs_goal::TaskId(0));
+        let key: MatchKey = (0, 0, 0);
+        let pinned = [
+            Ev::Done(op),
+            Ev::CpuFree(op),
+            Ev::Arrive { key, bytes: 0 },
+            Ev::RtsArrive { key, send_op: op, bytes: 0 },
+            Ev::CtsArrive { send_op: op, recv_op: op, bytes: 0 },
+            Ev::DataArrive { recv_op: op, bytes: 0 },
+        ];
+        // With identical payloads, `<` holds strictly between consecutive
+        // variants iff the declaration order matches this list.
+        for w in pinned.windows(2) {
+            assert!(w[0] < w[1], "Ev variant order drifted: {:?} !< {:?}", w[0], w[1]);
+        }
+        // Within a variant, the payload is the lexicographic fallback.
+        let later = OpRef::new(1, atlahs_goal::TaskId(0));
+        assert!(Ev::Done(op) < Ev::Done(later));
     }
 
     #[test]

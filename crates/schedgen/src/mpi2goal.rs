@@ -348,7 +348,6 @@ mod tests {
         let calcs: Vec<u64> = goal
             .rank(0)
             .tasks()
-            .iter()
             .filter_map(|t| match t.kind {
                 atlahs_goal::TaskKind::Calc { cost } => Some(cost),
                 _ => None,

@@ -257,7 +257,7 @@ pub fn group_gpus(
     for g in 0..ngpus {
         let node = mapping[g];
         let sched = gpu_goal.rank(g as Rank);
-        for (ti, t) in sched.tasks().iter().enumerate() {
+        for (ti, t) in sched.tasks().enumerate() {
             let stream = local[g] * STREAM_STRIDE + t.stream;
             let new_id = match t.kind {
                 TaskKind::Calc { cost } => b.add_task(node, Task::calc(cost).on_stream(stream)),

@@ -267,6 +267,54 @@ fn synthetic_pipeline_parallel() {
     );
 }
 
+// --- large-trace fingerprints: the message-level path at the scale the
+// --- paper replays (millions of GOAL ops through LGS). The smoke-size
+// --- variant always runs; the full ~1M-op trace is release-scale and
+// --- runs when ATLAHS_LARGE_GOLDENS=1 (ci.sh) or in release test
+// --- builds, so the plain debug `cargo test` stays fast.
+
+/// Smoke-size variant of the 1M-op trace below: same generator, same
+/// shape (deep per-rank chains, one matcher key per stage boundary and
+/// microbatch), ~15k ops.
+#[test]
+fn lgs_pipeline_large_smoke() {
+    let goal = atlahs::schedgen::synthetic::pipeline_parallel(16, 160, 64 << 10, 10_000)
+        .expect("pipeline builds");
+    assert_eq!(goal.total_tasks(), 14_720);
+    check_lgs(
+        "lgs_pipeline_large_smoke",
+        &goal,
+        Golden { makespan: 5578980, packets: 4800, losses: 0, fingerprint: 11293447979076942022 },
+    );
+}
+
+/// The ~1M-op pipeline_parallel trace through LGS — the acceptance
+/// workload of the message-level perf work (`bench_lgs` measures the
+/// same schedule). Pinning it here guarantees the hot-path machinery
+/// (timer-wheel event core, pooled matcher, SoA arena, ring-buffer ready
+/// queues) stays bit-identical at trace scale, where rare code paths
+/// (matcher spills, wheel overflow tiers) actually fire.
+#[test]
+fn lgs_pipeline_parallel_1m() {
+    if cfg!(debug_assertions) && std::env::var_os("ATLAHS_LARGE_GOLDENS").is_none() {
+        eprintln!("lgs_pipeline_parallel_1m: skipped (debug build; set ATLAHS_LARGE_GOLDENS=1)");
+        return;
+    }
+    let goal = atlahs::schedgen::synthetic::pipeline_parallel(64, 2_700, 128 << 10, 5_000)
+        .expect("pipeline builds");
+    assert_eq!(goal.total_tasks(), 1_026_000);
+    check_lgs(
+        "lgs_pipeline_parallel_1m",
+        &goal,
+        Golden {
+            makespan: 44782048,
+            packets: 340200,
+            losses: 0,
+            fingerprint: 11592238996050649362,
+        },
+    );
+}
+
 #[test]
 fn synthetic_storage_incast() {
     check_synthetic(
