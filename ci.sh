@@ -17,6 +17,9 @@
 #   8. sweep smoke                — `atlahs sweep --smoke` runs the fixed
 #      24-cell CI grid on 2 threads and must reproduce the checked-in
 #      tests/goldens/sweep_smoke.json byte for byte (docs/SCENARIOS.md)
+#   9. cluster smoke              — `atlahs cluster --smoke` runs the fixed
+#      24-cell dynamic-cluster grid on 2 threads and must reproduce
+#      tests/goldens/cluster_smoke.json byte for byte (docs/SCENARIOS.md)
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -71,5 +74,12 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     sweep --smoke --threads 2 --quiet --out "$sweep_json"
 diff -u tests/goldens/sweep_smoke.json "$sweep_json" \
     || { echo "sweep smoke: report drifted from tests/goldens/sweep_smoke.json" >&2; exit 1; }
+
+step "cluster smoke (atlahs cluster --smoke vs golden report)"
+cluster_json="target/cluster_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    cluster --smoke --threads 2 --quiet --out "$cluster_json"
+diff -u tests/goldens/cluster_smoke.json "$cluster_json" \
+    || { echo "cluster smoke: report drifted from tests/goldens/cluster_smoke.json" >&2; exit 1; }
 
 printf '\nCI gate passed.\n'

@@ -7,6 +7,11 @@
 //!              [--threads N] [--collect-flows]
 //!              [--out report.json] [--csv report.csv] [--md report.md]
 //!              [--quiet] [--smoke]
+//! atlahs cluster [--topo t] [--catalog w1,w2] [--arrivals a1,a2]
+//!                [--queues q1,q2] [--placements p1,p2] [--ccs c1,c2]
+//!                [--backends b1,b2] [--seed N] [--threads N]
+//!                [--out report.json] [--csv report.csv] [--md report.md]
+//!                [--quiet] [--smoke]
 //! atlahs list
 //! atlahs help
 //! ```
@@ -17,10 +22,17 @@
 //! markdown reports. The JSON report is byte-identical regardless of
 //! `--threads`. `--smoke` runs the fixed CI grid (ci.sh diffs its JSON
 //! against `tests/goldens/sweep_smoke.json`).
+//!
+//! `cluster` runs the dynamic multi-tenant engine: a seeded job-arrival
+//! process over a workload catalog, an online allocator with queueing and
+//! backfill, per-job wait/completion/slowdown metrics (docs/SCENARIOS.md).
+//! Same determinism guarantee; `--smoke` runs the fixed CI grid diffed
+//! against `tests/goldens/cluster_smoke.json`.
 
 use std::time::Instant;
 
 use atlahs_bench::args::Args;
+use atlahs_bench::cluster::{run_grid, ArrivalSpec, ClusterGrid, ClusterReport, QueueDiscipline};
 use atlahs_bench::scenario::{
     parse_cc, BackendFamily, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
 };
@@ -36,6 +48,7 @@ fn main() {
 
     match sub.as_str() {
         "sweep" => sweep(&args),
+        "cluster" => cluster(&args),
         "list" => list(),
         "" | "help" | "-h" => usage(),
         other => {
@@ -49,17 +62,27 @@ fn main() {
 fn usage() {
     println!(
         "atlahs — the ATLAHS scenario-sweep CLI\n\n\
-         USAGE:\n  atlahs sweep [axes] [execution] [output]\n  atlahs list\n\n\
-         AXES (comma-separated; see `atlahs list` and docs/SCENARIOS.md):\n\
+         USAGE:\n  atlahs sweep [axes] [execution] [output]\n  \
+         atlahs cluster [axes] [execution] [output]\n  atlahs list\n\n\
+         SWEEP AXES (comma-separated; see `atlahs list` and docs/SCENARIOS.md):\n\
          \x20 --topos      topologies   (default ai-fattree:16:1,ai-fattree:16:4)\n\
          \x20 --workloads  workloads    (default ring:16:262144:1,moe:16:4:262144:2:5000)\n\
          \x20 --ccs        congestion controls for htsim (default mprdma,ndp)\n\
          \x20 --placements placements   (default packed)\n\
          \x20 --backends   backend families (default htsim,lgs)\n\n\
+         CLUSTER AXES (dynamic multi-tenant engine; docs/SCENARIOS.md):\n\
+         \x20 --topo       the shared fabric (default ai-fattree:16:4)\n\
+         \x20 --catalog    workload catalog arrivals draw from\n\
+         \x20              (default ring:4:131072:1,incast:3:65536:1)\n\
+         \x20 --arrivals   poisson:<jobs>:<mean_gap_ns> | trace:<t0>;<t1>;…\n\
+         \x20              (default poisson:12:200000)\n\
+         \x20 --queues     fifo | smallest (default fifo)\n\
+         \x20 --placements / --ccs / --backends as for sweep (default packed /\n\
+         \x20              mprdma / lgs,ideal)\n\n\
          EXECUTION:\n\
          \x20 --seed N         grid seed; every cell derives its own (default 1)\n\
          \x20 --threads N      worker threads; 0 = all cores (default 0)\n\
-         \x20 --collect-flows  record per-flow MCT statistics on packet cells\n\
+         \x20 --collect-flows  record per-flow MCT statistics (sweep only)\n\
          \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\n\
          OUTPUT:\n\
          \x20 --out FILE   write the deterministic JSON report\n\
@@ -92,7 +115,9 @@ fn list() {
          \x20 storage:<ops>:<gap_ns>:<compress>\n\
          ccs:        mprdma swift ndp dctcp\n\
          placements: packed random roundrobin\n\
-         backends:   htsim htsim-spray lgs ideal"
+         backends:   htsim htsim-spray lgs ideal\n\
+         arrivals (cluster): poisson:<jobs>:<mean_gap_ns>  trace:<t0>;<t1>;…\n\
+         queues (cluster):   fifo smallest"
     );
 }
 
@@ -217,6 +242,124 @@ fn sweep(args: &Args) {
     let write = |path: &str, contents: String, what: &str| {
         std::fs::write(path, contents).unwrap_or_else(|e| {
             eprintln!("atlahs sweep: cannot write {what} report to {path}: {e}");
+            std::process::exit(1);
+        });
+        if !quiet {
+            println!("wrote {what} report: {path}");
+        }
+    };
+    let out = args.get_str("out", "");
+    if !out.is_empty() {
+        write(&out, report.to_json().pretty(), "JSON");
+    }
+    let csv = args.get_str("csv", "");
+    if !csv.is_empty() {
+        write(&csv, report.to_csv(), "CSV");
+    }
+    let md = args.get_str("md", "");
+    if !md.is_empty() {
+        write(&md, report.to_markdown(), "markdown");
+    }
+}
+
+/// The fixed cluster CI smoke grid: 24 fast cells crossing both arrival
+/// families, both queue disciplines, and packed/random placement over
+/// the packet-level (MPRDMA), message-level, and ideal backends on a
+/// small oversubscribed fabric.
+fn cluster_smoke_grid() -> ClusterGrid {
+    ClusterGrid {
+        // 16 nodes across two ToRs behind a 4:1 core: random placement
+        // scatters rings across the thin uplinks, so the placement axis
+        // (and the htsim slowdown path) actually moves the goldens.
+        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        catalog: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 256 << 10, laps: 1 },
+            WorkloadSpec::Incast { ranks: 5, bytes: 128 << 10, repeat: 1 },
+        ],
+        arrivals: vec![
+            // Offered load high enough that the queue and the slowdown
+            // paths are actually exercised (mean gap << job duration).
+            ArrivalSpec::Poisson { jobs: 8, mean_gap_ns: 40_000 },
+            ArrivalSpec::Trace { times_ns: vec![0, 0, 0, 30_000, 30_000, 400_000] },
+        ],
+        queues: vec![QueueDiscipline::Fifo, QueueDiscipline::SmallestFirst],
+        placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
+        ccs: vec![CcAlgo::Mprdma],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+        seed: 1,
+    }
+}
+
+fn cluster(args: &Args) {
+    let grid = if args.flag("smoke") {
+        cluster_smoke_grid()
+    } else {
+        let topos = parse_axis(args, "topo", "ai-fattree:16:4", TopologySpec::parse);
+        if topos.len() != 1 {
+            eprintln!("atlahs cluster: --topo takes exactly one fabric");
+            std::process::exit(2);
+        }
+        ClusterGrid {
+            topology: topos.into_iter().next().expect("checked above"),
+            catalog: parse_axis(
+                args,
+                "catalog",
+                "ring:4:131072:1,incast:3:65536:1",
+                WorkloadSpec::parse,
+            ),
+            arrivals: parse_axis(args, "arrivals", "poisson:12:200000", ArrivalSpec::parse),
+            queues: parse_axis(args, "queues", "fifo", QueueDiscipline::parse),
+            placements: parse_axis(args, "placements", "packed", PlacementSpec::parse),
+            ccs: parse_axis(args, "ccs", "mprdma", parse_cc),
+            backends: parse_axis(args, "backends", "lgs,ideal", BackendFamily::parse),
+            seed: args.seed(),
+        }
+    };
+
+    let (cells, dropped) = grid.expand_counted();
+    for reason in &dropped {
+        eprintln!("atlahs cluster: skipping oversized catalog workload: {reason}");
+    }
+    if cells.is_empty() {
+        eprintln!("atlahs cluster: the grid expanded to zero feasible cells");
+        std::process::exit(2);
+    }
+    let threads = args.get("threads", 0usize);
+    let quiet = args.flag("quiet");
+
+    if !quiet {
+        println!(
+            "# atlahs cluster — {} cells ({} arrival specs x {} queues x {} placements x \
+             {} backend families) on {}, seed {}, threads {}",
+            cells.len(),
+            grid.arrivals.len(),
+            grid.queues.len(),
+            grid.placements.len(),
+            grid.backends.len(),
+            grid.topology.label(),
+            grid.seed,
+            if threads == 0 { "auto".to_string() } else { threads.to_string() },
+        );
+    }
+
+    let t0 = Instant::now();
+    let results = run_grid(&cells, threads);
+    let elapsed = t0.elapsed();
+    let report = ClusterReport { seed: grid.seed, results };
+
+    if !quiet {
+        report.summary_table().print();
+        println!(
+            "\n{} cells in {:.2} s wall ({:.2} s of single-threaded cell time)",
+            report.results.len(),
+            elapsed.as_secs_f64(),
+            report.total_cell_wall().as_secs_f64(),
+        );
+    }
+
+    let write = |path: &str, contents: String, what: &str| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("atlahs cluster: cannot write {what} report to {path}: {e}");
             std::process::exit(1);
         });
         if !quiet {

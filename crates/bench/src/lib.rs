@@ -26,6 +26,7 @@
 //! EXPERIMENTS.md.
 
 pub mod args;
+pub mod cluster;
 pub mod json;
 pub mod runner;
 pub mod scenario;

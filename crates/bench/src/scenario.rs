@@ -347,31 +347,39 @@ impl WorkloadSpec {
         Ok(spec)
     }
 
-    /// Validate structural constraints the generators assert.
+    /// Validate structural constraints the generators assert. Zero-work
+    /// repetition counts are rejected too: an empty schedule is useless in
+    /// a sweep and a hard error in the dynamic cluster engine.
     fn check(&self) -> Result<(), String> {
         match *self {
-            WorkloadSpec::Ring { ranks, .. } if ranks < 2 => {
-                Err("a ring needs at least 2 ranks".into())
+            WorkloadSpec::Ring { ranks, laps, .. } if ranks < 2 || laps < 1 => {
+                Err("a ring needs at least 2 ranks and 1 lap".into())
             }
-            WorkloadSpec::Permutation { ranks, shift, .. } if ranks < 2 || shift % ranks == 0 => {
-                Err("shift must move data (shift % ranks != 0)".into())
+            WorkloadSpec::Permutation { ranks, shift, repeat, .. }
+                if ranks < 2 || shift % ranks == 0 || repeat < 1 =>
+            {
+                Err("shift must move data (shift % ranks != 0, repeat >= 1)".into())
             }
-            WorkloadSpec::UniformRandom { ranks, .. } if ranks < 2 => {
-                Err("uniform traffic needs at least 2 ranks".into())
+            WorkloadSpec::UniformRandom { ranks, msgs, .. } if ranks < 2 || msgs < 1 => {
+                Err("uniform traffic needs at least 2 ranks and 1 message".into())
             }
-            WorkloadSpec::Incast { ranks, .. } if ranks < 2 => {
-                Err("incast needs a sink and at least one sender".into())
+            WorkloadSpec::Incast { ranks, repeat, .. } if ranks < 2 || repeat < 1 => {
+                Err("incast needs a sink, at least one sender, and 1 repeat".into())
             }
-            WorkloadSpec::MoeAllToAll { ranks, group, .. } if group < 2 || ranks % group != 0 => {
-                Err("EP group must be >= 2 and divide the rank count".into())
+            WorkloadSpec::MoeAllToAll { ranks, group, layers, .. }
+                if group < 2 || ranks % group != 0 || layers < 1 =>
+            {
+                Err("EP group must be >= 2 and divide the rank count; layers >= 1".into())
             }
             WorkloadSpec::PipelineLlm { stages, microbatches, .. }
                 if stages < 2 || microbatches < 1 =>
             {
                 Err("a pipeline needs >= 2 stages and >= 1 microbatch".into())
             }
-            WorkloadSpec::StorageIncast { clients, servers, .. } if clients < 1 || servers < 1 => {
-                Err("need at least one client and one server".into())
+            WorkloadSpec::StorageIncast { clients, servers, reads, .. }
+                if clients < 1 || servers < 1 || reads < 1 =>
+            {
+                Err("need at least one client, one server, and one read".into())
             }
             WorkloadSpec::Llm { scale, .. } | WorkloadSpec::Hpc { scale, .. }
                 if !(scale > 0.0 && scale <= 1.0) =>
@@ -841,10 +849,7 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
         }
     };
 
-    let job_finish = placements
-        .iter()
-        .map(|nodes| nodes.iter().map(|&n| report.rank_finish[n as usize]).max().unwrap_or(0))
-        .collect();
+    let job_finish = placements.iter().map(|nodes| report.job_finish(nodes)).collect();
 
     CellResult {
         key: cell.key(),
@@ -901,6 +906,13 @@ mod tests {
         assert!(WorkloadSpec::parse("pipeline:1:4:1024:0").is_err());
         assert!(WorkloadSpec::parse("ring:1:1024:1").is_err());
         assert!(WorkloadSpec::parse("llm:llama7b-dp16:7.0").is_err());
+        // Zero-work repetition counts are rejected at parse time: they
+        // lower to empty schedules the cluster engine cannot run.
+        assert!(WorkloadSpec::parse("ring:4:1024:0").is_err());
+        assert!(WorkloadSpec::parse("incast:4:1024:0").is_err());
+        assert!(WorkloadSpec::parse("uniform:4:1024:0").is_err());
+        assert!(WorkloadSpec::parse("moe:8:4:1024:0:10").is_err());
+        assert!(WorkloadSpec::parse("storage-incast:2:2:1024:0").is_err());
     }
 
     #[test]

@@ -20,7 +20,9 @@ use crate::table::Table;
 /// Claim-index parallel map: workers steal the next unclaimed item via
 /// one atomic `fetch_add`; results land in their item's slot, so the
 /// output order is independent of thread count and completion order.
-fn parallel_map<T: Sync, R: Send>(
+/// Shared with the dynamic cluster engine ([`crate::cluster`]), whose
+/// per-epoch simulations parallelize the same way.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     f: impl Fn(&T) -> R + Sync,

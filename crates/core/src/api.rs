@@ -61,7 +61,7 @@ pub enum OpKind {
 }
 
 /// What a backend event signifies for the referenced operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// CPU phase over: the op's compute stream may issue its next task.
     /// The op itself is still outstanding.

@@ -41,5 +41,5 @@ pub mod scheduler;
 
 pub use api::{Backend, Completion, OpKind, OpRef, Time};
 pub use matcher::Matcher;
-pub use placement::{allocate, PlacementStrategy};
+pub use placement::{allocate, FragStats, NodePool, PlacementStrategy};
 pub use scheduler::{SimError, SimReport, Simulation};

@@ -24,6 +24,15 @@ pub struct SimReport {
     pub completed: usize,
 }
 
+impl SimReport {
+    /// The finish time of a job occupying `nodes`: the latest rank finish
+    /// among them (0 for an empty node list). This is the per-job metric
+    /// the multi-job and dynamic cluster reports are built from.
+    pub fn job_finish(&self, nodes: &[Rank]) -> Time {
+        nodes.iter().map(|&n| self.rank_finish[n as usize]).max().unwrap_or(0)
+    }
+}
+
 /// Simulation failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {

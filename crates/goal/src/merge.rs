@@ -17,6 +17,12 @@ use crate::task::{DepKind, Rank, Task, TaskId, TaskKind};
 /// their own tags below this bound to be composable.
 pub const TAG_STRIDE: u32 = 1 << 24;
 
+/// The most jobs one composition can hold: the tag namespace dedicates the
+/// upper byte of the 32-bit tag to the job index (`u32::MAX / TAG_STRIDE + 1`
+/// slots), so job indices beyond 255 would collide with earlier tenants'
+/// tag ranges. [`compose`] rejects larger batches up front.
+pub const MAX_JOBS: usize = (u32::MAX / TAG_STRIDE) as usize + 1;
+
 /// A job to compose: a schedule plus the physical node each of its ranks
 /// is placed on (`nodes[r]` = physical node of job rank `r`).
 #[derive(Debug, Clone)]
@@ -35,11 +41,23 @@ impl<'a> PlacedJob<'a> {
 ///
 /// Jobs whose placements are disjoint produce a plain multi-job schedule;
 /// overlapping placements produce multi-tenant ranks. Tags are offset by
-/// [`TAG_STRIDE`] per job; compute streams of co-located tenants are offset
-/// so they never serialize against each other. Each tenant's sub-DAG on a
-/// shared rank is anchored under a zero-cost dummy root vertex, mirroring the
-/// dummy-vertex merge of the paper.
+/// [`TAG_STRIDE`] per job (at most [`MAX_JOBS`] jobs per composition);
+/// compute streams of co-located tenants are offset so they never serialize
+/// against each other. On nodes that genuinely host two or more tenants,
+/// each tenant's sub-DAG is anchored under a zero-cost dummy root vertex,
+/// mirroring the dummy-vertex merge of the paper; nodes with a single
+/// tenant keep that tenant's schedule verbatim, so a disjoint multi-job
+/// composition is task-for-task identical to placing each job alone.
 pub fn compose(jobs: &[PlacedJob<'_>], total_ranks: usize) -> Result<GoalSchedule, GoalError> {
+    if jobs.len() > MAX_JOBS {
+        return Err(GoalError::Compose {
+            msg: format!(
+                "{} jobs exceed the {MAX_JOBS}-job tag-namespace bound \
+                 (each job owns one TAG_STRIDE slice of the 32-bit tag space)",
+                jobs.len()
+            ),
+        });
+    }
     // Validate placements.
     for (j, job) in jobs.iter().enumerate() {
         if job.nodes.len() != job.goal.num_ranks() {
@@ -71,6 +89,18 @@ pub fn compose(jobs: &[PlacedJob<'_>], total_ranks: usize) -> Result<GoalSchedul
         }
     }
 
+    // How many tenants with actual work land on each node: only nodes
+    // hosting >= 2 of them need dummy-root anchors (a sole tenant's
+    // schedule is kept verbatim, exactly as `place` would emit it).
+    let mut tenants: Vec<u32> = vec![0; total_ranks];
+    for job in jobs {
+        for (r, sched) in job.goal.ranks().iter().enumerate() {
+            if !sched.is_empty() {
+                tenants[job.nodes[r] as usize] += 1;
+            }
+        }
+    }
+
     // Per physical node: accumulated tasks and deps.
     let mut tasks: Vec<Vec<Task>> = vec![Vec::new(); total_ranks];
     let mut deps: Vec<Vec<(TaskId, TaskId, DepKind)>> = vec![Vec::new(); total_ranks];
@@ -78,17 +108,18 @@ pub fn compose(jobs: &[PlacedJob<'_>], total_ranks: usize) -> Result<GoalSchedul
     let mut next_stream: Vec<u32> = vec![0; total_ranks];
 
     for (j, job) in jobs.iter().enumerate() {
-        let tag_base = (j as u32)
-            .checked_mul(TAG_STRIDE)
-            .ok_or_else(|| GoalError::Compose { msg: "too many jobs".into() })?;
+        // In range by the MAX_JOBS check above: j <= 255, so the product
+        // stays within u32 and distinct jobs get disjoint tag slices.
+        let tag_base = (j as u32) * TAG_STRIDE;
         for (r, sched) in job.goal.ranks().iter().enumerate() {
             let node = job.nodes[r] as usize;
             let base = tasks[node].len() as u32;
             let stream_base = next_stream[node];
             let mut max_stream = 0u32;
 
-            // Dummy root anchoring this tenant's sub-DAG on the shared node.
-            let shared = base > 0 || jobs.len() > 1;
+            // Dummy root anchoring this tenant's sub-DAG, only where the
+            // node is genuinely shared and this tenant has work to anchor.
+            let shared = tenants[node] >= 2 && !sched.is_empty();
             let dummy_offset = if shared {
                 tasks[node].push(Task::calc(0).on_stream(stream_base));
                 1u32
@@ -125,7 +156,12 @@ pub fn compose(jobs: &[PlacedJob<'_>], total_ranks: usize) -> Result<GoalSchedul
                     deps[node].push((TaskId(base + 1 + root.0), dummy, DepKind::Full));
                 }
             }
-            next_stream[node] = stream_base + max_stream + 1;
+            // Advance the node's stream namespace by this tenant's true
+            // stream span: a tenant that placed no tasks here consumed no
+            // streams (repeated composition must not leak stream ids).
+            if !sched.is_empty() {
+                next_stream[node] = stream_base + max_stream + 1;
+            }
         }
     }
 
@@ -190,9 +226,19 @@ mod tests {
         let b = ping(2, 20);
         let merged =
             compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&b, vec![2, 3])], 4).unwrap();
-        // Each node holds dummy + 1 task.
+        // Every node hosts exactly one tenant, so no dummy anchors are
+        // inserted: each node holds its tenant's single task, verbatim.
         for r in 0..4 {
-            assert_eq!(merged.rank(r).num_tasks(), 2, "rank {r}");
+            assert_eq!(merged.rank(r).num_tasks(), 1, "rank {r}");
+            assert!(
+                !merged.rank(r).tasks().any(|t| matches!(t.kind, TaskKind::Calc { cost: 0 })),
+                "rank {r}: phantom dummy task in a disjoint composition"
+            );
+        }
+        // Task-for-task identical to placing each job alone.
+        let solo_a = place(&a, vec![0, 1], 4).unwrap();
+        for r in 0..2 {
+            assert_eq!(merged.rank(r).num_tasks(), solo_a.rank(r).num_tasks());
         }
         // Tags are namespaced by job.
         let t = merged
@@ -256,6 +302,67 @@ mod tests {
         let a = ping(2, 10);
         let err = compose(&[PlacedJob::new(&a, vec![1, 1])], 2).unwrap_err();
         assert!(matches!(err, GoalError::Compose { .. }));
+    }
+
+    #[test]
+    fn empty_ranks_do_not_leak_stream_ids() {
+        // Many jobs whose rank 1 is empty all park that rank on node 1.
+        // Before the fix, every empty tenant still advanced node 1's
+        // stream namespace by one, so a final tenant with real work there
+        // started at stream `k` instead of 0.
+        let mut gb = GoalBuilder::new(2);
+        gb.calc(0, 5);
+        let lopsided = gb.build().unwrap(); // rank 0 works, rank 1 is empty
+        let mut jobs: Vec<PlacedJob<'_>> = Vec::new();
+        for _ in 0..50 {
+            jobs.push(PlacedJob::new(&lopsided, vec![0, 1]));
+        }
+        let tail = ping(2, 8); // non-empty on both ranks
+        jobs.push(PlacedJob::new(&tail, vec![2, 1]));
+        let merged = compose(&jobs, 3).unwrap();
+        // Node 1 hosts exactly one tenant with work (the tail job's recv):
+        // no dummy, and its stream must still be 0.
+        assert_eq!(merged.rank(1).num_tasks(), 1);
+        assert_eq!(merged.rank(1).tasks().next().unwrap().stream, 0);
+        // Node 0 hosts 50 working tenants: streams stay dense (0..50).
+        let max_stream = merged.rank(0).tasks().map(|t| t.stream).max().unwrap();
+        assert_eq!(max_stream, 49);
+        merged.validate().unwrap();
+    }
+
+    #[test]
+    fn repeated_composition_keeps_streams_dense() {
+        // The dynamic cluster engine composes afresh every epoch; each
+        // composition must produce the same dense stream range.
+        let a = ping(2, 10);
+        for _ in 0..3 {
+            let merged =
+                compose(&[PlacedJob::new(&a, vec![0, 1]), PlacedJob::new(&a, vec![0, 1])], 2)
+                    .unwrap();
+            let max_stream =
+                merged.ranks().iter().flat_map(|r| r.tasks()).map(|t| t.stream).max().unwrap();
+            assert_eq!(max_stream, 1, "two tenants span exactly streams 0..=1");
+        }
+    }
+
+    #[test]
+    fn job_count_boundary_at_the_tag_namespace_limit() {
+        assert_eq!(MAX_JOBS, 256);
+        let mut gb = GoalBuilder::new(1);
+        gb.calc(0, 1);
+        let tiny = gb.build().unwrap();
+        // Job index 255 (the 256th job) composes: its tag slice is the
+        // last one in the 32-bit namespace.
+        let jobs: Vec<PlacedJob<'_>> =
+            (0..MAX_JOBS).map(|_| PlacedJob::new(&tiny, vec![0])).collect();
+        let merged = compose(&jobs, 1).unwrap();
+        assert_eq!(merged.total_tasks(), MAX_JOBS + MAX_JOBS); // calc + dummy each
+                                                               // Job index 256 (a 257th job) is rejected with the explicit bound.
+        let jobs: Vec<PlacedJob<'_>> =
+            (0..MAX_JOBS + 1).map(|_| PlacedJob::new(&tiny, vec![0])).collect();
+        let err = compose(&jobs, 1).unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains("256-job tag-namespace bound"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Dynamic multi-tenant cluster simulation (docs/SCENARIOS.md): a seeded
+//! Poisson job stream over a shared oversubscribed fabric, with online
+//! allocation, queueing with backfill, and per-job wait / completion /
+//! interference-slowdown metrics — the library face of `atlahs cluster`.
+//!
+//! ```text
+//! cargo run --release --example cluster_dynamics
+//! ```
+//!
+//! The grid sweeps arrival rate × placement on the packet-level backend:
+//! as the offered load rises, queueing delays grow; random placement
+//! scatters ring jobs across the 4:1-oversubscribed core, so co-scheduled
+//! batches show interference slowdown packed placement avoids.
+
+use atlahs_bench::cluster::{run_grid, ArrivalSpec, ClusterGrid, ClusterReport, QueueDiscipline};
+use atlahs_bench::scenario::{BackendFamily, PlacementSpec, TopologySpec, WorkloadSpec};
+use atlahs_htsim::CcAlgo;
+
+fn main() {
+    let grid = ClusterGrid {
+        // 16 nodes, two ToRs, 4:1 oversubscribed core.
+        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        // The catalog arrivals draw from: a communication-heavy ring,
+        // a narrower incast, and a small ring. The narrow entries matter:
+        // when a wide job releases its nodes, several queued narrow jobs
+        // backfill *at the same instant* and run as one co-scheduled
+        // batch — that is where interference slowdown appears.
+        catalog: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 512 << 10, laps: 1 },
+            WorkloadSpec::Incast { ranks: 5, bytes: 256 << 10, repeat: 1 },
+            WorkloadSpec::Ring { ranks: 3, bytes: 256 << 10, laps: 2 },
+        ],
+        // Three regimes: an idle trickle (singleton batches, no waits),
+        // a saturating Poisson stream (queueing dominates), and an
+        // all-at-once burst — the burst is admitted in co-scheduled
+        // batches, which is where interference slowdown appears.
+        arrivals: vec![
+            ArrivalSpec::Poisson { jobs: 12, mean_gap_ns: 400_000 },
+            ArrivalSpec::Poisson { jobs: 16, mean_gap_ns: 8_000 },
+            ArrivalSpec::Trace { times_ns: vec![0; 6] },
+        ],
+        queues: vec![QueueDiscipline::Fifo],
+        placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
+        ccs: vec![CcAlgo::Mprdma],
+        backends: vec![BackendFamily::Htsim],
+        seed: 7,
+    };
+
+    let (cells, dropped) = grid.expand_counted();
+    assert!(dropped.is_empty(), "catalog fits the fabric");
+    let results = run_grid(&cells, 0);
+    let report = ClusterReport { seed: grid.seed, results };
+
+    println!("# dynamic cluster: arrival rate x placement on a 4:1 fabric\n");
+    report.summary_table().print();
+
+    // Queueing: the saturated stream must wait more than the idle one.
+    let mean_wait = |key_part: &str| {
+        report
+            .results
+            .iter()
+            .filter(|r| r.key.contains(key_part))
+            .map(|r| r.mean_wait_ns())
+            .sum::<f64>()
+            / 2.0
+    };
+    let idle = mean_wait("poisson:12:400000");
+    let busy = mean_wait("poisson:16:8000");
+    println!("\nmean wait, low load: {:.1} µs   high load: {:.1} µs", idle / 1e3, busy / 1e3);
+    assert!(busy >= idle, "a 10x offered-load increase cannot shrink queueing");
+
+    // Interference: across the grid, co-scheduled batches must never
+    // beat their solo baselines, and the slowdown metric is exactly 1.0
+    // for every singleton batch.
+    for r in &report.results {
+        for j in &r.jobs {
+            assert!(j.slowdown >= 0.999, "{}: job {} sped up when co-scheduled", r.key, j.id);
+            let batch_size = r.jobs.iter().filter(|k| k.batch == j.batch).count();
+            if batch_size == 1 {
+                assert_eq!(j.duration_ns, j.solo_ns);
+            }
+        }
+    }
+    // The burst cells must contain genuinely co-scheduled batches.
+    for r in report.results.iter().filter(|r| r.key.contains("trace:")) {
+        let multi = r
+            .jobs
+            .iter()
+            .filter(|j| r.jobs.iter().any(|k| k.id != j.id && k.batch == j.batch))
+            .count();
+        assert!(multi >= 2, "{}: the burst should co-schedule jobs", r.key);
+    }
+    let max_slow = report.results.iter().map(|r| r.max_slowdown()).fold(0.0, f64::max);
+    println!("max interference slowdown across the grid: {max_slow:.3}x");
+}

@@ -23,6 +23,7 @@
 use atlahs::core::api::EventKind;
 use atlahs::core::backends::IdealBackend;
 use atlahs::core::{Backend, Completion, OpRef, Simulation, Time};
+use atlahs::goal::merge::{compose, place, PlacedJob};
 use atlahs::goal::{GoalBuilder, GoalSchedule, Rank, Tag, TaskId, TaskKind};
 use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
 use atlahs::htsim::topology::{LinkParams, TopologyConfig};
@@ -265,8 +266,103 @@ fn raw_msg() -> impl Strategy<Value = RawMsg> {
     (0u32..1024, 0u32..1024, 1u64..(256 << 10), 0u8..255, 0u64..50_000)
 }
 
+// ----------------------------------------------------- tenant isolation ----
+
+/// Per-op event times of a trace restricted to the ranks in `nodes`:
+/// `(op, kind) -> time` for completions, `op -> (time, kind, bytes)` for
+/// issues. Sets, not sequences, so unrelated tenants' events interleaving
+/// at equal times cannot produce false mismatches.
+type EventTimes = (
+    std::collections::HashMap<(OpRef, EventKind), Time>,
+    std::collections::HashMap<OpRef, (Time, u8, u64)>,
+);
+
+fn restrict(trace: &RunTrace, nodes: &[Rank]) -> EventTimes {
+    let mine = |r: Rank| nodes.contains(&r);
+    let mut completions = std::collections::HashMap::new();
+    for c in &trace.log {
+        if mine(c.op.rank) {
+            assert!(
+                completions.insert((c.op, c.kind), c.time).is_none(),
+                "duplicate completion for {:?}",
+                c.op
+            );
+        }
+    }
+    let mut issues = std::collections::HashMap::new();
+    for &(op, t, kind, bytes) in &trace.issues {
+        if mine(op.rank) {
+            assert!(issues.insert(op, (t, kind, bytes)).is_none());
+        }
+    }
+    (completions, issues)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tenant isolation: a job composed alongside noise jobs on
+    /// *disjoint* nodes must behave exactly as if it were alone — the
+    /// same send/recv issue stream with the same byte counts, the same
+    /// per-op completion times, and the same per-rank finish times — on
+    /// both the message-level and the ideal backend. (The multi-job
+    /// composition assigns the job the same task ids, streams, and tag
+    /// namespace as a solo placement, and neither backend models
+    /// cross-node contention, so any divergence is a compose bug — e.g.
+    /// the phantom per-rank dummy tasks this pins down.)
+    #[test]
+    fn disjoint_tenants_are_isolated_on_contention_free_backends(
+        n in 2usize..5,
+        msgs in vec(raw_msg(), 1..12),
+        noise_msgs in vec(raw_msg(), 1..12),
+    ) {
+        let job = assemble(n, &msgs);
+        let noise = assemble(3, &noise_msgs);
+        let cluster = n + 3;
+        let job_nodes: Vec<Rank> = (0..n as Rank).collect();
+        let noise_nodes: Vec<Rank> = (n as Rank..cluster as Rank).collect();
+        let solo = place(&job, job_nodes.clone(), cluster).expect("solo placement composes");
+        let multi = compose(
+            &[
+                PlacedJob::new(&job, job_nodes.clone()),
+                PlacedJob::new(&noise, noise_nodes),
+            ],
+            cluster,
+        )
+        .expect("disjoint jobs compose");
+
+        // The job's sub-schedule must be untouched by the composition:
+        // same task count per node (no phantom dummies on disjoint
+        // placements).
+        for &node in &job_nodes {
+            prop_assert_eq!(
+                multi.rank(node).num_tasks(),
+                solo.rank(node).num_tasks(),
+                "node {}: composition altered the tenant's task list",
+                node
+            );
+        }
+
+        for backend in ["lgs", "ideal"] {
+            let (s, m) = match backend {
+                "lgs" => (
+                    run_recorded(&solo, LgsBackend::new(LogGopsParams::ai_alps())),
+                    run_recorded(&multi, LgsBackend::new(LogGopsParams::ai_alps())),
+                ),
+                _ => (run_recorded(&solo, ideal_bound()), run_recorded(&multi, ideal_bound())),
+            };
+            let (s_done, s_issues) = restrict(&s, &job_nodes);
+            let (m_done, m_issues) = restrict(&m, &job_nodes);
+            prop_assert_eq!(
+                &s_issues, &m_issues,
+                "{}: noise tenants changed the job's issue stream", backend
+            );
+            prop_assert_eq!(
+                &s_done, &m_done,
+                "{}: noise tenants changed the job's completion times", backend
+            );
+        }
+    }
 
     #[test]
     fn backends_uphold_their_contract(
