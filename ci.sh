@@ -17,7 +17,12 @@
 #   8. sweep smoke                — `atlahs sweep --smoke` runs the fixed
 #      24-cell CI grid on 2 threads and must reproduce the checked-in
 #      tests/goldens/sweep_smoke.json byte for byte (docs/SCENARIOS.md)
-#   9. cluster smoke              — `atlahs cluster --smoke` runs the fixed
+#   9. fault smoke                — `atlahs sweep --fault-smoke` runs the
+#      fixed 24-cell fault-injection grid (link flaps, degraded links,
+#      stragglers) on 2 threads and must reproduce
+#      tests/goldens/fault_smoke.json byte for byte (docs/SCENARIOS.md,
+#      "Failure & variability axes")
+#  10. cluster smoke              — `atlahs cluster --smoke` runs the fixed
 #      24-cell dynamic-cluster grid on 2 threads and must reproduce
 #      tests/goldens/cluster_smoke.json byte for byte (docs/SCENARIOS.md)
 #
@@ -74,6 +79,13 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     sweep --smoke --threads 2 --quiet --out "$sweep_json"
 diff -u tests/goldens/sweep_smoke.json "$sweep_json" \
     || { echo "sweep smoke: report drifted from tests/goldens/sweep_smoke.json" >&2; exit 1; }
+
+step "fault smoke (atlahs sweep --fault-smoke vs golden report)"
+fault_json="target/fault_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    sweep --fault-smoke --threads 2 --quiet --out "$fault_json"
+diff -u tests/goldens/fault_smoke.json "$fault_json" \
+    || { echo "fault smoke: report drifted from tests/goldens/fault_smoke.json" >&2; exit 1; }
 
 step "cluster smoke (atlahs cluster --smoke vs golden report)"
 cluster_json="target/cluster_smoke.json"

@@ -3,13 +3,14 @@
 //!
 //! ```text
 //! atlahs sweep [--topos t1,t2] [--workloads w1,w2] [--ccs c1,c2]
-//!              [--placements p1,p2] [--backends b1,b2] [--seed N]
-//!              [--threads N] [--collect-flows]
+//!              [--placements p1,p2] [--backends b1,b2] [--faults f1,f2]
+//!              [--seed N] [--threads N] [--collect-flows]
 //!              [--out report.json] [--csv report.csv] [--md report.md]
-//!              [--quiet] [--smoke]
+//!              [--quiet] [--smoke] [--fault-smoke]
 //! atlahs cluster [--topo t] [--catalog w1,w2] [--arrivals a1,a2]
 //!                [--queues q1,q2] [--placements p1,p2] [--ccs c1,c2]
-//!                [--backends b1,b2] [--seed N] [--threads N]
+//!                [--backends b1,b2] [--faults f1,f2] [--seed N]
+//!                [--threads N]
 //!                [--out report.json] [--csv report.csv] [--md report.md]
 //!                [--quiet] [--smoke]
 //! atlahs list
@@ -21,7 +22,9 @@
 //! seed), prints a summary table, and optionally writes the JSON/CSV/
 //! markdown reports. The JSON report is byte-identical regardless of
 //! `--threads`. `--smoke` runs the fixed CI grid (ci.sh diffs its JSON
-//! against `tests/goldens/sweep_smoke.json`).
+//! against `tests/goldens/sweep_smoke.json`); `--fault-smoke` runs the
+//! fixed fault-injection grid (diffed against
+//! `tests/goldens/fault_smoke.json`).
 //!
 //! `cluster` runs the dynamic multi-tenant engine: a seeded job-arrival
 //! process over a workload catalog, an online allocator with queueing and
@@ -32,12 +35,14 @@
 use std::time::Instant;
 
 use atlahs_bench::args::Args;
-use atlahs_bench::cluster::{run_grid, ArrivalSpec, ClusterGrid, ClusterReport, QueueDiscipline};
-use atlahs_bench::scenario::{
-    parse_cc, BackendFamily, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+use atlahs_bench::cluster::{
+    run_grid, ArrivalSpec, ClusterFaultSpec, ClusterGrid, ClusterReport, QueueDiscipline,
 };
+use atlahs_bench::scenario::{
+    parse_cc, BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::smoke;
 use atlahs_bench::sweep::{execute, SweepReport};
-use atlahs_htsim::CcAlgo;
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().collect();
@@ -69,7 +74,8 @@ fn usage() {
          \x20 --workloads  workloads    (default ring:16:262144:1,moe:16:4:262144:2:5000)\n\
          \x20 --ccs        congestion controls for htsim (default mprdma,ndp)\n\
          \x20 --placements placements   (default packed)\n\
-         \x20 --backends   backend families (default htsim,lgs)\n\n\
+         \x20 --backends   backend families (default htsim,lgs)\n\
+         \x20 --faults     fault regimes  (default none; see `atlahs list`)\n\n\
          CLUSTER AXES (dynamic multi-tenant engine; docs/SCENARIOS.md):\n\
          \x20 --topo       the shared fabric (default ai-fattree:16:4)\n\
          \x20 --catalog    workload catalog arrivals draw from\n\
@@ -78,12 +84,14 @@ fn usage() {
          \x20              (default poisson:12:200000)\n\
          \x20 --queues     fifo | smallest (default fifo)\n\
          \x20 --placements / --ccs / --backends as for sweep (default packed /\n\
-         \x20              mprdma / lgs,ideal)\n\n\
+         \x20              mprdma / lgs,ideal)\n\
+         \x20 --faults     jobfail:<pct>:<at_pct>:<retries> | none (default none)\n\n\
          EXECUTION:\n\
          \x20 --seed N         grid seed; every cell derives its own (default 1)\n\
          \x20 --threads N      worker threads; 0 = all cores (default 0)\n\
          \x20 --collect-flows  record per-flow MCT statistics (sweep only)\n\
-         \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\n\
+         \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\
+         \x20 --fault-smoke    run the fixed fault-injection grid (sweep only)\n\n\
          OUTPUT:\n\
          \x20 --out FILE   write the deterministic JSON report\n\
          \x20 --csv FILE   write the CSV report\n\
@@ -116,8 +124,14 @@ fn list() {
          ccs:        mprdma swift ndp dctcp\n\
          placements: packed random roundrobin\n\
          backends:   htsim htsim-spray lgs ideal\n\
+         faults (sweep):\n\
+         \x20 none\n\
+         \x20 linkflap:<links>:<down_ns>:<up_ns>              (htsim only)\n\
+         \x20 degrade:<links>:<bw_pct>:<lat_pct>:<from_ns>:<to_ns>  (htsim only)\n\
+         \x20 straggler:<prob_pct>:<factor_pct>               (lgs only)\n\
          arrivals (cluster): poisson:<jobs>:<mean_gap_ns>  trace:<t0>;<t1>;…\n\
-         queues (cluster):   fifo smallest"
+         queues (cluster):   fifo smallest\n\
+         faults (cluster):   none  jobfail:<pct>:<at_pct>:<retries>"
     );
 }
 
@@ -143,40 +157,11 @@ fn parse_axis<T>(
         .collect()
 }
 
-/// The fixed CI smoke grid: 24 fast cells spanning both packet-level CC
-/// algorithms, spraying, the message-level model, and the ideal bound.
-fn smoke_grid() -> ScenarioGrid {
-    ScenarioGrid {
-        topologies: vec![
-            TopologySpec::SingleSwitch { hosts: 8 },
-            TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
-        ],
-        workloads: vec![
-            WorkloadSpec::Ring { ranks: 8, bytes: 128 << 10, laps: 1 },
-            WorkloadSpec::MoeAllToAll {
-                ranks: 8,
-                group: 4,
-                bytes: 64 << 10,
-                layers: 1,
-                compute_ns: 2_000,
-            },
-        ],
-        ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
-        placements: vec![PlacementSpec::Packed],
-        backends: vec![
-            BackendFamily::Htsim,
-            BackendFamily::HtsimSpray,
-            BackendFamily::Lgs,
-            BackendFamily::Ideal,
-        ],
-        seed: 1,
-        collect_flows: true,
-    }
-}
-
 fn sweep(args: &Args) {
-    let grid = if args.flag("smoke") {
-        smoke_grid()
+    let grid = if args.flag("fault-smoke") {
+        smoke::fault_smoke_grid()
+    } else if args.flag("smoke") {
+        smoke::sweep_smoke_grid()
     } else {
         ScenarioGrid {
             topologies: parse_axis(
@@ -194,6 +179,7 @@ fn sweep(args: &Args) {
             ccs: parse_axis(args, "ccs", "mprdma,ndp", parse_cc),
             placements: parse_axis(args, "placements", "packed", PlacementSpec::parse),
             backends: parse_axis(args, "backends", "htsim,lgs", BackendFamily::parse),
+            faults: parse_axis(args, "faults", "none", FaultSpec::parse),
             seed: args.seed(),
             collect_flows: args.flag("collect-flows"),
         }
@@ -262,37 +248,9 @@ fn sweep(args: &Args) {
     }
 }
 
-/// The fixed cluster CI smoke grid: 24 fast cells crossing both arrival
-/// families, both queue disciplines, and packed/random placement over
-/// the packet-level (MPRDMA), message-level, and ideal backends on a
-/// small oversubscribed fabric.
-fn cluster_smoke_grid() -> ClusterGrid {
-    ClusterGrid {
-        // 16 nodes across two ToRs behind a 4:1 core: random placement
-        // scatters rings across the thin uplinks, so the placement axis
-        // (and the htsim slowdown path) actually moves the goldens.
-        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
-        catalog: vec![
-            WorkloadSpec::Ring { ranks: 8, bytes: 256 << 10, laps: 1 },
-            WorkloadSpec::Incast { ranks: 5, bytes: 128 << 10, repeat: 1 },
-        ],
-        arrivals: vec![
-            // Offered load high enough that the queue and the slowdown
-            // paths are actually exercised (mean gap << job duration).
-            ArrivalSpec::Poisson { jobs: 8, mean_gap_ns: 40_000 },
-            ArrivalSpec::Trace { times_ns: vec![0, 0, 0, 30_000, 30_000, 400_000] },
-        ],
-        queues: vec![QueueDiscipline::Fifo, QueueDiscipline::SmallestFirst],
-        placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
-        ccs: vec![CcAlgo::Mprdma],
-        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
-        seed: 1,
-    }
-}
-
 fn cluster(args: &Args) {
     let grid = if args.flag("smoke") {
-        cluster_smoke_grid()
+        smoke::cluster_smoke_grid()
     } else {
         let topos = parse_axis(args, "topo", "ai-fattree:16:4", TopologySpec::parse);
         if topos.len() != 1 {
@@ -312,6 +270,7 @@ fn cluster(args: &Args) {
             placements: parse_axis(args, "placements", "packed", PlacementSpec::parse),
             ccs: parse_axis(args, "ccs", "mprdma", parse_cc),
             backends: parse_axis(args, "backends", "lgs,ideal", BackendFamily::parse),
+            faults: parse_axis(args, "faults", "none", ClusterFaultSpec::parse),
             seed: args.seed(),
         }
     };

@@ -25,7 +25,7 @@
 
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
-    storage_layout, BackendSpec, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+    storage_layout, BackendSpec, FaultSpec, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
 };
 use atlahs_bench::sweep::execute;
 use atlahs_bench::table::Table;
@@ -59,6 +59,7 @@ fn main() {
             workload: workload.clone(),
             placement: PlacementSpec::Packed,
             backend: BackendSpec::Htsim { cc, spray: false },
+            fault: FaultSpec::None,
             seed,
             collect_flows: true,
         })

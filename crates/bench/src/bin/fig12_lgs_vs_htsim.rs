@@ -23,7 +23,7 @@
 
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
-    BackendSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+    BackendSpec, FaultSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
 };
 use atlahs_bench::sweep::execute;
 use atlahs_bench::table::{fmt_pct, pct_err, Table};
@@ -54,6 +54,7 @@ fn main() {
         workload: workload.clone(),
         placement: PlacementSpec::Packed,
         backend: BackendSpec::Lgs,
+        fault: FaultSpec::None,
         seed,
         collect_flows: false,
     }];
@@ -63,6 +64,7 @@ fn main() {
             workload: workload.clone(),
             placement: PlacementSpec::Packed,
             backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: true },
+            fault: FaultSpec::None,
             seed,
             collect_flows: false,
         });

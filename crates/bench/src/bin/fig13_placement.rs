@@ -17,7 +17,7 @@
 
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
-    BackendSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
+    BackendSpec, FaultSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,
 };
 use atlahs_bench::sweep::execute;
 use atlahs_bench::table::Table;
@@ -57,6 +57,7 @@ fn main() {
             workload: workload.clone(),
             placement,
             backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault: FaultSpec::None,
             seed,
             collect_flows: false,
         })

@@ -187,6 +187,102 @@ pub fn admission_order(
     order
 }
 
+// --------------------------------------------------------------- fault ----
+
+/// Seeded job-level failure injection for the cluster engine.
+///
+/// A failed attempt occupies the job's allocation for a fraction of the
+/// simulated run time, then releases its nodes and re-queues the job
+/// through the ordinary admission scan — so failures interact with
+/// queueing, backfill, and fragmentation exactly like real departures
+/// and re-arrivals. Whether attempt `k` of job `j` fails is a pure FNV
+/// hash of `(fault seed, j, k)`: no RNG stream is consumed, so a
+/// `None` fault spec leaves every other seeded draw untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterFaultSpec {
+    /// No failures: the engine behaves exactly as without a fault axis.
+    None,
+    /// Each attempt fails with probability `pct`% (first `retries`
+    /// attempts only — attempt `retries` always succeeds, bounding every
+    /// job's restart count). A failed attempt holds its nodes for
+    /// `at_pct`% of its simulated duration before releasing them.
+    JobFail { pct: u32, at_pct: u32, retries: u32 },
+}
+
+impl ClusterFaultSpec {
+    pub fn label(&self) -> String {
+        match self {
+            ClusterFaultSpec::None => "none".into(),
+            ClusterFaultSpec::JobFail { pct, at_pct, retries } => {
+                format!("jobfail:{pct}:{at_pct}:{retries}")
+            }
+        }
+    }
+
+    /// Parse a CLI token: `none` or `jobfail:<pct>:<at_pct>:<retries>`
+    /// (docs/SCENARIOS.md).
+    pub fn parse(tok: &str) -> Result<ClusterFaultSpec, String> {
+        if tok == "none" {
+            return Ok(ClusterFaultSpec::None);
+        }
+        let parts: Vec<&str> = tok.split(':').collect();
+        match parts.as_slice() {
+            ["jobfail", pct, at_pct, retries] => {
+                let pct: u32 =
+                    pct.parse().map_err(|_| format!("bad failure pct `{pct}` in fault `{tok}`"))?;
+                let at_pct: u32 = at_pct
+                    .parse()
+                    .map_err(|_| format!("bad at-pct `{at_pct}` in fault `{tok}`"))?;
+                let retries: u32 = retries
+                    .parse()
+                    .map_err(|_| format!("bad retry bound `{retries}` in fault `{tok}`"))?;
+                Ok(ClusterFaultSpec::JobFail {
+                    pct: pct.min(100),
+                    at_pct: at_pct.min(100),
+                    retries,
+                })
+            }
+            _ => Err(format!(
+                "unknown cluster fault `{tok}` (expected none or jobfail:<pct>:<at_pct>:<retries>)"
+            )),
+        }
+    }
+
+    /// Does attempt `attempt` (0-based) of job `job` fail? Deterministic
+    /// in `(seed, job, attempt)`; attempts at or past the retry bound
+    /// always succeed, so every job eventually completes.
+    pub fn fails(&self, seed: u64, job: usize, attempt: u32) -> bool {
+        match *self {
+            ClusterFaultSpec::None => false,
+            ClusterFaultSpec::JobFail { pct, retries, .. } => {
+                if attempt >= retries {
+                    return false;
+                }
+                let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                for b in (job as u64).to_le_bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                for b in attempt.to_le_bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                h % 100 < pct as u64
+            }
+        }
+    }
+
+    /// How long a failed attempt occupies its allocation, given the
+    /// duration the attempt would have run to completion. At least 1 ns,
+    /// so a failed attempt is always a distinct simulation instant.
+    pub fn failed_occupancy_ns(&self, duration_ns: u64) -> u64 {
+        match *self {
+            ClusterFaultSpec::None => 0,
+            ClusterFaultSpec::JobFail { at_pct, .. } => {
+                (duration_ns.saturating_mul(at_pct as u64) / 100).max(1)
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------- spec ----
 
 /// One fully specified dynamic cluster scenario: a deterministic
@@ -200,6 +296,9 @@ pub struct ClusterSpec {
     pub placement: PlacementSpec,
     pub backend: BackendSpec,
     pub queue: QueueDiscipline,
+    /// Job failure/restart injection ([`ClusterFaultSpec::None`] for a
+    /// failure-free cluster).
+    pub fault: ClusterFaultSpec,
     /// Cell seed: drives arrival draws, catalog choice, workload
     /// generation, random placement, and packet-level RNG.
     pub seed: u64,
@@ -207,16 +306,23 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// Canonical cell key:
-    /// `topology/arrivals/queue/placement/backend`.
+    /// `topology/arrivals/queue/placement/backend[/fault]` — the fault
+    /// segment appears only for faulted cells, so fault-free keys (and
+    /// goldens) are byte-identical to a build without the fault axis.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}/{}/{}/{}",
             self.topology.label(),
             self.arrivals.label(),
             self.queue.label(),
             self.placement.label(),
             self.backend.label()
-        )
+        );
+        if self.fault != ClusterFaultSpec::None {
+            key.push('/');
+            key.push_str(&self.fault.label());
+        }
+        key
     }
 }
 
@@ -232,16 +338,25 @@ pub struct JobOutcome {
     /// Nodes the job occupies.
     pub ranks: usize,
     pub arrival_ns: u64,
-    /// Admission instant (allocation + simulation start).
+    /// Admission instant of the *successful* attempt (allocation +
+    /// simulation start).
     pub start_ns: u64,
-    /// Queueing delay: `start_ns - arrival_ns`.
+    /// Total queueing delay across all attempts. Equals
+    /// `start_ns - arrival_ns` for a job that never failed.
     pub wait_ns: u64,
-    /// Simulated run time on its allocation, co-scheduled with its batch.
+    /// Simulated run time on its allocation, co-scheduled with its batch
+    /// (successful attempt only).
     pub duration_ns: u64,
     /// Absolute completion: `start_ns + duration_ns`.
     pub finish_ns: u64,
-    /// Turnaround: `finish_ns - arrival_ns`.
+    /// Turnaround: `finish_ns - arrival_ns` =
+    /// `wait_ns + failed_ns + duration_ns`.
     pub completion_ns: u64,
+    /// Number of failed attempts before the successful one (0 without a
+    /// fault spec).
+    pub restarts: u32,
+    /// Total node-holding time burned by failed attempts.
+    pub failed_ns: u64,
     /// Run time of the same job simulated alone on the same allocation.
     pub solo_ns: u64,
     /// Interference slowdown: `duration_ns / solo_ns` (1.0 for a batch of
@@ -375,6 +490,21 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
     let mut frag_sum = 0.0f64;
     let mut busy_node_ns = 0u64;
 
+    // Per-job failure/restart state. All identically zero (and all
+    // branches on them dead) when `spec.fault` is `None`, so a
+    // failure-free cell runs the exact event sequence it always has.
+    let fault_seed = cell_seed(spec.seed, "cluster-fault");
+    let mut attempts: Vec<u32> = vec![0; arrival_times.len()];
+    let mut failed_acc_ns: Vec<u64> = vec![0; arrival_times.len()];
+    let mut wait_acc_ns: Vec<u64> = vec![0; arrival_times.len()];
+    // When the job last became runnable: arrival, or the end of a failed
+    // attempt after it re-queues.
+    let mut ready_ns: Vec<u64> = arrival_times.clone();
+    // Allocation of the in-flight attempt (released when it leaves the
+    // running set, whether it completed or failed).
+    let mut cur_nodes: Vec<Vec<Rank>> = vec![Vec::new(); arrival_times.len()];
+    let mut cur_failed: Vec<bool> = vec![false; arrival_times.len()];
+
     loop {
         // Next instant anything changes: a completion or an arrival.
         let next_finish = running.peek().map(|&Reverse((t, _))| t);
@@ -387,14 +517,21 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
         };
 
         // Completions first, so freed nodes can be re-allocated to jobs
-        // arriving at the very same instant.
+        // arriving at the very same instant. A failed attempt releases
+        // its nodes exactly like a completion, then re-queues the job —
+        // ahead of any new arrivals at the same instant (it has been
+        // waiting longer).
         while let Some(&Reverse((f, job))) = running.peek() {
             if f > t {
                 break;
             }
             running.pop();
-            let nodes = outcomes[job].as_ref().expect("running job has an outcome").nodes.clone();
-            pool.release(&nodes);
+            pool.release(&cur_nodes[job]);
+            cur_nodes[job].clear();
+            if cur_failed[job] {
+                cur_failed[job] = false;
+                queue.push(job);
+            }
         }
         while arr_ptr < arrival_times.len() && arrival_times[arr_ptr] <= t {
             queue.push(arr_ptr);
@@ -453,6 +590,21 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
             let duration = reports[0].job_finish(nodes);
             let solo = if batch.len() > 1 { reports[1 + i].job_finish(nodes) } else { duration };
             assert!(solo > 0, "a non-empty job must take time");
+            wait_acc_ns[*job] += t - ready_ns[*job];
+            cur_nodes[*job] = nodes.clone();
+            if spec.fault.fails(fault_seed, *job, attempts[*job]) {
+                // Failed attempt: hold the allocation for a fraction of
+                // the run, then release and re-queue (handled when this
+                // entry pops off `running`).
+                let occupied = spec.fault.failed_occupancy_ns(duration);
+                attempts[*job] += 1;
+                failed_acc_ns[*job] += occupied;
+                busy_node_ns += occupied * goal.num_ranks() as u64;
+                ready_ns[*job] = t + occupied;
+                cur_failed[*job] = true;
+                running.push(Reverse((t + occupied, *job)));
+                continue;
+            }
             let w = &spec.catalog[picks[*job]];
             busy_node_ns += duration * goal.num_ranks() as u64;
             running.push(Reverse((t + duration, *job)));
@@ -462,12 +614,14 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
                 ranks: goal.num_ranks(),
                 arrival_ns: arrival_times[*job],
                 start_ns: t,
-                wait_ns: t - arrival_times[*job],
+                wait_ns: wait_acc_ns[*job],
                 duration_ns: duration,
                 finish_ns: t + duration,
                 completion_ns: t + duration - arrival_times[*job],
                 solo_ns: solo,
                 slowdown: duration as f64 / solo as f64,
+                restarts: attempts[*job],
+                failed_ns: failed_acc_ns[*job],
                 nodes: nodes.clone(),
                 batch: batch_idx,
             });
@@ -537,6 +691,9 @@ pub struct ClusterGrid {
     pub placements: Vec<PlacementSpec>,
     pub ccs: Vec<CcAlgo>,
     pub backends: Vec<BackendFamily>,
+    /// Fault axis; an empty list means a single fault-free regime, so
+    /// existing grids expand to exactly the cells they always have.
+    pub faults: Vec<ClusterFaultSpec>,
     pub seed: u64,
 }
 
@@ -585,20 +742,30 @@ impl ClusterGrid {
                             BackendFamily::Lgs => vec![BackendSpec::Lgs],
                             BackendFamily::Ideal => vec![BackendSpec::Ideal],
                         };
+                        let faults: &[ClusterFaultSpec] = if self.faults.is_empty() {
+                            &[ClusterFaultSpec::None]
+                        } else {
+                            &self.faults
+                        };
                         for backend in backends {
-                            cells.push(ClusterSpec {
-                                topology: self.topology.clone(),
-                                catalog: catalog.clone(),
-                                arrivals: arrivals.clone(),
-                                placement: *placement,
-                                backend,
-                                queue: *queue,
-                                // One seed per grid: cells differing only
-                                // in queue/placement/backend simulate the
-                                // same arrival stream and job instances,
-                                // so rows are directly comparable.
-                                seed: cell_seed(self.seed, &arrivals.label()),
-                            });
+                            for fault in faults {
+                                cells.push(ClusterSpec {
+                                    topology: self.topology.clone(),
+                                    catalog: catalog.clone(),
+                                    arrivals: arrivals.clone(),
+                                    placement: *placement,
+                                    backend,
+                                    queue: *queue,
+                                    fault: *fault,
+                                    // One seed per grid: cells differing
+                                    // only in queue/placement/backend/
+                                    // fault simulate the same arrival
+                                    // stream and job instances, so rows
+                                    // are directly comparable (and the
+                                    // fault axis never perturbs seeds).
+                                    seed: cell_seed(self.seed, &arrivals.label()),
+                                });
+                            }
                         }
                     }
                 }
@@ -682,6 +849,13 @@ impl ClusterReport {
                 job.set("completion_ns", Json::Num(j.completion_ns as f64));
                 job.set("solo_ns", Json::Num(j.solo_ns as f64));
                 job.set("slowdown", Json::Num(round4(j.slowdown)));
+                // Restart accounting only for jobs that actually failed:
+                // failure-free reports stay byte-identical to builds
+                // without the fault axis.
+                if j.restarts > 0 {
+                    job.set("restarts", Json::Num(j.restarts as f64));
+                    job.set("failed_ns", Json::Num(j.failed_ns as f64));
+                }
                 job.set("nodes", Json::Arr(j.nodes.iter().map(|&n| Json::Num(n as f64)).collect()));
                 job.set("batch", Json::Num(j.batch as f64));
                 jobs.push(job);
@@ -781,6 +955,7 @@ mod tests {
             placement,
             backend,
             queue: QueueDiscipline::Fifo,
+            fault: ClusterFaultSpec::None,
             seed: 9,
         }
     }
@@ -951,6 +1126,7 @@ mod tests {
             placement: PlacementSpec::Packed,
             backend: BackendSpec::Ideal,
             queue: QueueDiscipline::Fifo,
+            fault: ClusterFaultSpec::None,
             seed: 2,
         };
         let out = run_cluster(&spec, 4);
@@ -977,6 +1153,7 @@ mod tests {
             placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
             ccs: vec![CcAlgo::Mprdma],
             backends: vec![BackendFamily::Htsim, BackendFamily::Ideal],
+            faults: vec![],
             seed: 3,
         };
         let (cells, dropped) = grid.expand_counted();
@@ -1007,6 +1184,7 @@ mod tests {
             placements: vec![PlacementSpec::Packed],
             ccs: vec![],
             backends: vec![BackendFamily::Lgs, BackendFamily::Ideal],
+            faults: vec![],
             seed: 5,
         };
         let (cells, _) = grid.expand_counted();
@@ -1037,6 +1215,7 @@ mod tests {
             placement: PlacementSpec::Random,
             backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
             queue: QueueDiscipline::Fifo,
+            fault: ClusterFaultSpec::None,
             seed: 11,
         };
         let out = run_cluster(&spec, 2);
@@ -1049,5 +1228,182 @@ mod tests {
             assert!(j.slowdown >= 0.999, "job {} slowdown {}", j.id, j.slowdown);
         }
         assert!(out.mean_slowdown() > 1.0, "mean {}", out.mean_slowdown());
+    }
+
+    #[test]
+    fn cluster_fault_specs_roundtrip_and_decide_deterministically() {
+        for tok in ["none", "jobfail:25:50:3", "jobfail:100:0:1"] {
+            let spec = ClusterFaultSpec::parse(tok).unwrap();
+            assert_eq!(spec.label(), tok);
+        }
+        assert!(ClusterFaultSpec::parse("jobfail:x:50:3").is_err());
+        assert!(ClusterFaultSpec::parse("jobfail:10:50").is_err());
+        assert!(ClusterFaultSpec::parse("nodefail:1").is_err());
+        // Percentages clamp instead of erroring (CLI forgiveness).
+        assert_eq!(
+            ClusterFaultSpec::parse("jobfail:150:200:2").unwrap(),
+            ClusterFaultSpec::JobFail { pct: 100, at_pct: 100, retries: 2 }
+        );
+
+        let always = ClusterFaultSpec::JobFail { pct: 100, at_pct: 50, retries: 2 };
+        let never = ClusterFaultSpec::JobFail { pct: 0, at_pct: 50, retries: 2 };
+        for job in 0..8 {
+            assert!(always.fails(7, job, 0) && always.fails(7, job, 1));
+            assert!(!always.fails(7, job, 2), "attempt == retries always succeeds");
+            assert!(!never.fails(7, job, 0));
+            assert!(!ClusterFaultSpec::None.fails(7, job, 0));
+        }
+        // The draw is a pure function of (seed, job, attempt) and actually
+        // depends on each of them at a 50% rate.
+        let half = ClusterFaultSpec::JobFail { pct: 50, at_pct: 50, retries: 1 };
+        let draws: Vec<bool> = (0..64).map(|j| half.fails(1, j, 0)).collect();
+        assert_eq!(draws, (0..64).map(|j| half.fails(1, j, 0)).collect::<Vec<_>>());
+        let hits = draws.iter().filter(|&&b| b).count();
+        assert!(hits > 8 && hits < 56, "50% draw hit {hits}/64 jobs");
+        assert_ne!(draws, (0..64).map(|j| half.fails(2, j, 0)).collect::<Vec<_>>());
+
+        assert_eq!(always.failed_occupancy_ns(1000), 500);
+        assert_eq!(never.failed_occupancy_ns(0), 1, "failed attempts take at least 1 ns");
+        assert_eq!(ClusterFaultSpec::None.failed_occupancy_ns(1000), 0);
+    }
+
+    #[test]
+    fn failed_jobs_release_nodes_restart_and_complete() {
+        // Every job fails its first two attempts (holding nodes for half
+        // the would-be run), then succeeds on the third.
+        let mut spec = small_spec(PlacementSpec::Packed, BackendSpec::Lgs);
+        spec.fault = ClusterFaultSpec::JobFail { pct: 100, at_pct: 50, retries: 2 };
+        let out = run_cluster(&spec, 2);
+        let clean = run_cluster(&small_spec(PlacementSpec::Packed, BackendSpec::Lgs), 2);
+        assert_eq!(out.jobs.len(), 8, "every job still completes");
+        for j in &out.jobs {
+            assert_eq!(j.restarts, 2, "job {}: exactly `retries` failed attempts", j.id);
+            assert!(j.failed_ns > 0);
+            // Total accounting: the successful start is arrival plus all
+            // queueing plus all failed-attempt occupancy.
+            assert_eq!(j.start_ns, j.arrival_ns + j.wait_ns + j.failed_ns);
+            assert_eq!(j.finish_ns, j.start_ns + j.duration_ns);
+            assert_eq!(j.completion_ns, j.wait_ns + j.failed_ns + j.duration_ns);
+            assert_eq!(j.nodes.len(), j.ranks);
+            assert!(j.duration_ns > 0 && j.solo_ns > 0);
+        }
+        // Failed attempts burn cluster time: the faulted run takes longer
+        // and the pool still drains completely (utilization stays sane,
+        // which it cannot if released node accounting leaked).
+        assert!(out.makespan_ns > clean.makespan_ns);
+        assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+        assert!(out.frag.peak_extents >= 1);
+        // Re-runs and thread counts do not change the faulted report.
+        let json =
+            |r: ClusterOutcome| ClusterReport { seed: 9, results: vec![r] }.to_json().pretty();
+        let ja = json(out);
+        assert_eq!(ja, json(run_cluster(&spec, 1)), "faulted cell is thread-count independent");
+        assert!(ja.contains("\"restarts\": 2"), "restart accounting reaches the report");
+        assert!(ja.contains("\"failed_ns\""));
+        assert!(!json(clean).contains("restarts"), "fault-free reports carry no restart fields");
+    }
+
+    #[test]
+    fn zero_probability_faults_match_the_fault_free_engine() {
+        // A fault spec that never fires must leave every job metric
+        // untouched — only the cell key gains a fault segment.
+        let mut spec = small_spec(PlacementSpec::Random, BackendSpec::Lgs);
+        spec.fault = ClusterFaultSpec::JobFail { pct: 0, at_pct: 50, retries: 3 };
+        let faulted = run_cluster(&spec, 2);
+        let clean = run_cluster(&small_spec(PlacementSpec::Random, BackendSpec::Lgs), 2);
+        assert_eq!(faulted.jobs, clean.jobs);
+        assert_eq!(faulted.makespan_ns, clean.makespan_ns);
+        assert_eq!(faulted.peak_queue, clean.peak_queue);
+        assert_eq!(faulted.key, format!("{}/jobfail:0:50:3", clean.key));
+    }
+
+    #[test]
+    fn requeued_jobs_count_in_queue_and_wait_metrics() {
+        // A saturated switch where every job fails once: re-queued jobs
+        // must show up in peak_queue and in accumulated wait.
+        let mk = |fault| {
+            let mut spec = small_spec(PlacementSpec::Packed, BackendSpec::Ideal);
+            spec.catalog = vec![WorkloadSpec::Ring { ranks: 4, bytes: 64 << 10, laps: 2 }];
+            spec.arrivals = ArrivalSpec::Trace { times_ns: vec![0, 0, 0, 0, 0, 0] };
+            spec.fault = fault;
+            spec
+        };
+        let clean = run_cluster(&mk(ClusterFaultSpec::None), 1);
+        let faulted =
+            run_cluster(&mk(ClusterFaultSpec::JobFail { pct: 100, at_pct: 100, retries: 1 }), 1);
+        assert!(faulted.jobs.iter().all(|j| j.restarts == 1));
+        assert!(
+            faulted.peak_queue >= clean.peak_queue,
+            "re-queued jobs deepen the queue: {} < {}",
+            faulted.peak_queue,
+            clean.peak_queue
+        );
+        let wait = |o: &ClusterOutcome| o.jobs.iter().map(|j| j.wait_ns).sum::<u64>();
+        assert!(
+            wait(&faulted) > wait(&clean),
+            "failed attempts push later jobs' queueing delay up"
+        );
+        assert!(faulted.makespan_ns > clean.makespan_ns);
+    }
+
+    #[test]
+    fn restarts_respect_the_tag_namespace_bound() {
+        // The MAX_JOBS burst test, with every job failing once: re-queued
+        // jobs flow through the same capped admission scan, so no batch
+        // may ever exceed the compose bound.
+        let spec = ClusterSpec {
+            topology: TopologySpec::SingleSwitch { hosts: 600 },
+            catalog: vec![WorkloadSpec::Incast { ranks: 2, bytes: 1 << 10, repeat: 1 }],
+            arrivals: ArrivalSpec::Trace { times_ns: vec![0; 300] },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Ideal,
+            queue: QueueDiscipline::Fifo,
+            fault: ClusterFaultSpec::JobFail { pct: 100, at_pct: 25, retries: 1 },
+            seed: 2,
+        };
+        let out = run_cluster(&spec, 4);
+        assert_eq!(out.jobs.len(), 300);
+        assert!(out.jobs.iter().all(|j| j.restarts == 1));
+        let mut per_batch = std::collections::HashMap::new();
+        for j in &out.jobs {
+            *per_batch.entry(j.batch).or_insert(0usize) += 1;
+        }
+        assert!(per_batch.values().all(|&n| n <= MAX_JOBS), "successful-attempt batches capped");
+        assert!(out.batches >= 3, "failures force extra admission batches");
+    }
+
+    #[test]
+    fn grid_fault_axis_multiplies_cells_without_perturbing_seeds() {
+        let base = ClusterGrid {
+            topology: TopologySpec::SingleSwitch { hosts: 8 },
+            catalog: vec![WorkloadSpec::Ring { ranks: 4, bytes: 16 << 10, laps: 1 }],
+            arrivals: vec![ArrivalSpec::Poisson { jobs: 4, mean_gap_ns: 20_000 }],
+            queues: vec![QueueDiscipline::Fifo],
+            placements: vec![PlacementSpec::Packed],
+            ccs: vec![],
+            backends: vec![BackendFamily::Lgs, BackendFamily::Ideal],
+            faults: vec![],
+            seed: 5,
+        };
+        let mut faulted = base.clone();
+        faulted.faults = vec![
+            ClusterFaultSpec::None,
+            ClusterFaultSpec::JobFail { pct: 50, at_pct: 50, retries: 2 },
+        ];
+        let (plain, _) = base.expand_counted();
+        let (cells, _) = faulted.expand_counted();
+        assert_eq!(plain.len(), 2);
+        assert_eq!(cells.len(), 4, "2 backends x 2 fault regimes");
+        for c in &cells {
+            // The fault axis is invisible to cell seeding: every cell
+            // still derives its seed from the arrival label alone.
+            assert_eq!(c.seed, cell_seed(5, &c.arrivals.label()));
+        }
+        let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.iter().filter(|k| k.ends_with("/jobfail:50:50:2")).count(), 2);
+        assert!(
+            plain.iter().all(|c| cells.iter().any(|f| f.key() == c.key())),
+            "fault-free cells keep their exact pre-axis keys"
+        );
     }
 }

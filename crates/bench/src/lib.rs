@@ -30,6 +30,7 @@ pub mod cluster;
 pub mod json;
 pub mod runner;
 pub mod scenario;
+pub mod smoke;
 pub mod sweep;
 pub mod table;
 pub mod workloads;

@@ -23,9 +23,10 @@ use atlahs_core::{allocate, PlacementStrategy};
 use atlahs_goal::merge::{compose, PlacedJob};
 use atlahs_goal::GoalSchedule;
 use atlahs_htsim::engine::{HtsimBackend, HtsimConfig, NetStats};
-use atlahs_htsim::topology::{LinkParams, TopologyConfig};
+use atlahs_htsim::fault::{select_fault_ports, FaultKind, PortFault};
+use atlahs_htsim::topology::{LinkParams, Topology, TopologyConfig};
 use atlahs_htsim::CcAlgo;
-use atlahs_lgs::{LgsBackend, LogGopsParams};
+use atlahs_lgs::{LgsBackend, LogGopsParams, StragglerSpec};
 use atlahs_schedgen::synthetic;
 use atlahs_tracers::mpi::Scaling;
 use atlahs_tracers::nccl::{presets, LlmConfig};
@@ -553,6 +554,151 @@ impl PlacementSpec {
     }
 }
 
+// --------------------------------------------------------------- fault ----
+
+/// Fault/variability axis value.
+///
+/// A fault composes with every other axis but only *bites* on the layer
+/// it models: link faults are packet-level (htsim families), the
+/// straggler model is message-level (LGS), and the ideal reference is
+/// never faulted (it stays the contention- and fault-free lower bound).
+/// Grid expansion pairs each backend only with the faults that apply to
+/// it — plus [`FaultSpec::None`], which is always present and leaves the
+/// cell bit-identical to a grid without a fault axis.
+///
+/// Fault randomness (which links fail, which ranks straggle) is keyed by
+/// `cell_seed(cell.seed, fault_label)` at run time, so the base cell
+/// seed — and therefore every fault-free cell and every generated
+/// workload instance — is untouched by the axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Perfect fabric (the default; label `none`).
+    None,
+    /// `links` seeded fault-candidate ports go down at `down_ns` and come
+    /// back at `up_ns` (packet-level; recovered by retransmission).
+    LinkFlap { links: usize, down_ns: u64, up_ns: u64 },
+    /// `links` seeded ports run at `bw_pct`% bandwidth and `lat_pct`%
+    /// latency between `from_ns` and `to_ns` (packet-level).
+    Degrade { links: usize, bw_pct: u32, lat_pct: u32, from_ns: u64, to_ns: u64 },
+    /// Each rank straggles with probability `prob_pct`%, inflating calc
+    /// costs to `factor_pct`% (message-level; see
+    /// [`atlahs_lgs::StragglerSpec`]).
+    Straggler { prob_pct: u32, factor_pct: u32 },
+}
+
+impl FaultSpec {
+    pub fn label(&self) -> String {
+        match *self {
+            FaultSpec::None => "none".to_string(),
+            FaultSpec::LinkFlap { links, down_ns, up_ns } => {
+                format!("linkflap:{links}:{down_ns}:{up_ns}")
+            }
+            FaultSpec::Degrade { links, bw_pct, lat_pct, from_ns, to_ns } => {
+                format!("degrade:{links}:{bw_pct}:{lat_pct}:{from_ns}:{to_ns}")
+            }
+            FaultSpec::Straggler { prob_pct, factor_pct } => {
+                format!("straggler:{prob_pct}:{factor_pct}")
+            }
+        }
+    }
+
+    /// Whether this fault can affect the given backend at all. Pairs
+    /// where it cannot are skipped at expansion — they would duplicate
+    /// the `none` cell under a misleading key.
+    pub fn applies_to(&self, backend: &BackendSpec) -> bool {
+        match self {
+            FaultSpec::None => true,
+            FaultSpec::LinkFlap { .. } | FaultSpec::Degrade { .. } => {
+                matches!(backend, BackendSpec::Htsim { .. })
+            }
+            FaultSpec::Straggler { .. } => matches!(backend, BackendSpec::Lgs),
+        }
+    }
+
+    /// Parse a CLI token (the inverse of [`FaultSpec::label`]).
+    pub fn parse(tok: &str) -> Result<FaultSpec, String> {
+        let parts: Vec<&str> = tok.split(':').collect();
+        fn num<T: std::str::FromStr>(s: &str, tok: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad number `{s}` in fault `{tok}`"))
+        }
+        match parts.as_slice() {
+            ["none"] => Ok(FaultSpec::None),
+            ["linkflap", links, down, up] => {
+                let (down_ns, up_ns) = (num(down, tok)?, num(up, tok)?);
+                if up_ns <= down_ns {
+                    return Err(format!("fault `{tok}`: the window must close after it opens"));
+                }
+                Ok(FaultSpec::LinkFlap { links: num(links, tok)?, down_ns, up_ns })
+            }
+            ["degrade", links, bw, lat, from, to] => {
+                let (from_ns, to_ns) = (num(from, tok)?, num(to, tok)?);
+                if to_ns <= from_ns {
+                    return Err(format!("fault `{tok}`: the window must close after it opens"));
+                }
+                Ok(FaultSpec::Degrade {
+                    links: num(links, tok)?,
+                    bw_pct: num(bw, tok)?,
+                    lat_pct: num(lat, tok)?,
+                    from_ns,
+                    to_ns,
+                })
+            }
+            ["straggler", prob, factor] => Ok(FaultSpec::Straggler {
+                prob_pct: num::<u32>(prob, tok)?.min(100),
+                factor_pct: num(factor, tok)?,
+            }),
+            _ => Err(format!(
+                "unknown fault `{tok}` (expected none, linkflap:<links>:<down_ns>:<up_ns>, \
+                 degrade:<links>:<bw_pct>:<lat_pct>:<from_ns>:<to_ns>, \
+                 straggler:<prob_pct>:<factor_pct>)"
+            )),
+        }
+    }
+
+    /// Lower a packet-level fault to concrete port windows on `topo`.
+    /// Port choice is seeded by `fault_seed` (derive it with
+    /// [`cell_seed`] from the cell seed and the fault label). Returns an
+    /// empty list for `None`/`Straggler`.
+    pub fn port_faults(&self, topo: &Topology, fault_seed: u64) -> Vec<PortFault> {
+        match *self {
+            FaultSpec::None | FaultSpec::Straggler { .. } => Vec::new(),
+            FaultSpec::LinkFlap { links, down_ns, up_ns } => {
+                select_fault_ports(topo, links, fault_seed)
+                    .into_iter()
+                    .map(|port| PortFault {
+                        port,
+                        start_ns: down_ns,
+                        end_ns: up_ns,
+                        kind: FaultKind::Down,
+                    })
+                    .collect()
+            }
+            FaultSpec::Degrade { links, bw_pct, lat_pct, from_ns, to_ns } => {
+                select_fault_ports(topo, links, fault_seed)
+                    .into_iter()
+                    .map(|port| PortFault {
+                        port,
+                        start_ns: from_ns,
+                        end_ns: to_ns,
+                        kind: FaultKind::Degrade { bw_pct, lat_pct },
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The message-level straggler spec for this fault (`None` when the
+    /// fault is not a straggler).
+    pub fn straggler_spec(&self, fault_seed: u64) -> Option<StragglerSpec> {
+        match *self {
+            FaultSpec::Straggler { prob_pct, factor_pct } => {
+                Some(StragglerSpec { prob_pct, factor_pct, seed: fault_seed })
+            }
+            _ => None,
+        }
+    }
+}
+
 // ------------------------------------------------------------- backend ----
 
 /// Backend family axis value. htsim families are crossed with the grid's
@@ -637,6 +783,10 @@ pub struct ScenarioGrid {
     pub ccs: Vec<CcAlgo>,
     pub placements: Vec<PlacementSpec>,
     pub backends: Vec<BackendFamily>,
+    /// Fault/variability axis. Empty means fault-free (equivalent to
+    /// `[FaultSpec::None]`); non-`None` entries multiply only the
+    /// backends they apply to (see [`FaultSpec::applies_to`]).
+    pub faults: Vec<FaultSpec>,
     /// Grid-level seed; each cell derives its own (see [`cell_seed`]).
     pub seed: u64,
     /// Record per-flow completion times on packet-level cells (MCT
@@ -692,16 +842,28 @@ impl ScenarioGrid {
                             BackendFamily::Ideal => vec![BackendSpec::Ideal],
                         };
                         for backend in backends {
-                            let mut cell = ScenarioCell {
-                                topology: topo.clone(),
-                                workload: workload.clone(),
-                                placement: *placement,
-                                backend,
-                                seed: 0,
-                                collect_flows: self.collect_flows,
+                            // An empty fault axis is a fault-free grid.
+                            let faults: &[FaultSpec] = if self.faults.is_empty() {
+                                &[FaultSpec::None]
+                            } else {
+                                &self.faults
                             };
-                            cell.seed = cell_seed(self.seed, &cell.workload.label());
-                            cells.push(cell);
+                            for fault in faults {
+                                if !fault.applies_to(&backend) {
+                                    continue;
+                                }
+                                let mut cell = ScenarioCell {
+                                    topology: topo.clone(),
+                                    workload: workload.clone(),
+                                    placement: *placement,
+                                    backend,
+                                    fault: *fault,
+                                    seed: 0,
+                                    collect_flows: self.collect_flows,
+                                };
+                                cell.seed = cell_seed(self.seed, &cell.workload.label());
+                                cells.push(cell);
+                            }
                         }
                     }
                 }
@@ -738,24 +900,35 @@ pub struct ScenarioCell {
     pub workload: WorkloadSpec,
     pub placement: PlacementSpec,
     pub backend: BackendSpec,
+    /// Fault/variability regime ([`FaultSpec::None`] = perfect fabric).
+    pub fault: FaultSpec,
     /// The simulation seed (workload generation, placement permutation,
     /// packet-level RNG). Grid expansion derives it via [`cell_seed`]
-    /// from the workload label; figure wrappers pin it explicitly.
+    /// from the workload label; figure wrappers pin it explicitly. Fault
+    /// randomness uses the *derived* `cell_seed(seed, fault_label)`, so
+    /// this seed — and every fault-free result — is independent of the
+    /// fault axis.
     pub seed: u64,
     /// Record per-flow completion times (packet-level backends only).
     pub collect_flows: bool,
 }
 
 impl ScenarioCell {
-    /// Canonical cell key: `topology/workload/placement/backend`.
+    /// Canonical cell key: `topology/workload/placement/backend`, with a
+    /// trailing `/fault` segment only for faulted cells — fault-free keys
+    /// are identical to a grid without the fault axis.
     pub fn key(&self) -> String {
-        format!(
+        let base = format!(
             "{}/{}/{}/{}",
             self.topology.label(),
             self.workload.label(),
             self.placement.label(),
             self.backend.label()
-        )
+        );
+        match self.fault {
+            FaultSpec::None => base,
+            fault => format!("{base}/{}", fault.label()),
+        }
     }
 }
 
@@ -824,12 +997,24 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
     };
     let task_arena_bytes = goal.task_arena_bytes();
 
+    // Fault randomness is keyed off the *derived* seed so the base cell
+    // seed (workload generation, placement, packet RNG) is untouched by
+    // the fault axis. `FaultSpec::None` derives nothing.
+    let fault_seed = match cell.fault {
+        FaultSpec::None => 0,
+        fault => cell_seed(cell.seed, &fault.label()),
+    };
+
     let (report, mct, net, wall) = match cell.backend {
         BackendSpec::Htsim { cc, spray } => {
-            let mut cfg = HtsimConfig::new(cell.topology.config(), cc);
+            let topo_cfg = cell.topology.config();
+            let mut cfg = HtsimConfig::new(topo_cfg.clone(), cc);
             cfg.seed = cell.seed;
             cfg.spray = spray;
             cfg.collect_flows = cell.collect_flows;
+            if !matches!(cell.fault, FaultSpec::None) {
+                cfg.faults = cell.fault.port_faults(&Topology::build(topo_cfg), fault_seed);
+            }
             let mut backend = HtsimBackend::new(cfg);
             let (report, wall) = runner::run_on(goal, &mut backend);
             let mct =
@@ -837,7 +1022,10 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
             (report, mct, Some(backend.net_stats()), wall)
         }
         BackendSpec::Lgs => {
-            let mut backend = LgsBackend::new(lgs_params_for(&cell.topology));
+            let mut backend = match cell.fault.straggler_spec(fault_seed) {
+                Some(spec) => LgsBackend::with_straggler(lgs_params_for(&cell.topology), spec),
+                None => LgsBackend::new(lgs_params_for(&cell.topology)),
+            };
             let (report, wall) = runner::run_on(goal, &mut backend);
             (report, DistSummary::of(Vec::new()), None, wall)
         }
@@ -929,6 +1117,7 @@ mod tests {
             ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
             placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
             backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+            faults: vec![],
             seed: 1,
             collect_flows: false,
         };
@@ -980,6 +1169,7 @@ mod tests {
                 workload: WorkloadSpec::Ring { ranks: 8, bytes: 64 << 10, laps: 1 },
                 placement: PlacementSpec::Packed,
                 backend,
+                fault: FaultSpec::None,
                 seed: 5,
                 collect_flows: true,
             };
@@ -994,12 +1184,110 @@ mod tests {
     }
 
     #[test]
+    fn fault_labels_roundtrip() {
+        for spec in [
+            FaultSpec::None,
+            FaultSpec::LinkFlap { links: 2, down_ns: 10_000, up_ns: 60_000 },
+            FaultSpec::Degrade { links: 1, bw_pct: 25, lat_pct: 400, from_ns: 0, to_ns: 500_000 },
+            FaultSpec::Straggler { prob_pct: 25, factor_pct: 300 },
+        ] {
+            assert_eq!(FaultSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(FaultSpec::parse("meteor:1").is_err());
+        assert!(FaultSpec::parse("linkflap:1:500:100").is_err(), "window must close after open");
+    }
+
+    #[test]
+    fn fault_axis_multiplies_only_applicable_backends() {
+        let grid = ScenarioGrid {
+            topologies: vec![TopologySpec::SingleSwitch { hosts: 8 }],
+            workloads: vec![WorkloadSpec::Ring { ranks: 8, bytes: 1024, laps: 1 }],
+            ccs: vec![CcAlgo::Mprdma],
+            placements: vec![PlacementSpec::Packed],
+            backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+            faults: vec![
+                FaultSpec::None,
+                FaultSpec::LinkFlap { links: 1, down_ns: 1_000, up_ns: 50_000 },
+                FaultSpec::Straggler { prob_pct: 100, factor_pct: 200 },
+            ],
+            seed: 1,
+            collect_flows: false,
+        };
+        let cells = grid.expand();
+        // htsim: none + linkflap; lgs: none + straggler; ideal: none.
+        assert_eq!(cells.len(), 5, "{:?}", cells.iter().map(|c| c.key()).collect::<Vec<_>>());
+        let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        assert!(keys.iter().any(|k| k.ends_with("htsim-mprdma")));
+        assert!(keys.iter().any(|k| k.ends_with("htsim-mprdma/linkflap:1:1000:50000")));
+        assert!(keys.iter().any(|k| k.ends_with("lgs/straggler:100:200")));
+        assert!(keys.iter().any(|k| k == "switch:8/ring:8:1024:1/packed/ideal"));
+        // The fault axis never perturbs the base cell seed.
+        let seeds: std::collections::HashSet<u64> = cells.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 1, "all cells share one workload, hence one seed");
+        assert_eq!(seeds.into_iter().next().unwrap(), cell_seed(1, "ring:8:1024:1"));
+    }
+
+    #[test]
+    fn faulted_cells_differ_from_clean_and_rerun_identically() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: WorkloadSpec::Ring { ranks: 16, bytes: 1 << 20, laps: 1 },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault,
+            seed: 3,
+            collect_flows: false,
+        };
+        let clean = run_cell(&mk(FaultSpec::None));
+        let flap = FaultSpec::LinkFlap { links: 2, down_ns: 5_000, up_ns: 400_000 };
+        let a = run_cell(&mk(flap));
+        let b = run_cell(&mk(flap));
+        assert_eq!(a.makespan, b.makespan, "faulted cells re-run bit-identically");
+        assert_eq!(a.net, b.net);
+        assert!(a.net.unwrap().fault_drops > 0, "the flap must bite: {:?}", a.net);
+        assert!(
+            a.makespan > clean.makespan,
+            "a 395 µs core outage cannot speed the ring up: {} vs {}",
+            a.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn straggler_cell_slows_lgs_only_when_applicable() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::SingleSwitch { hosts: 8 },
+            workload: WorkloadSpec::MoeAllToAll {
+                ranks: 8,
+                group: 4,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 50_000,
+            },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Lgs,
+            fault,
+            seed: 2,
+            collect_flows: false,
+        };
+        let clean = run_cell(&mk(FaultSpec::None));
+        let slow = run_cell(&mk(FaultSpec::Straggler { prob_pct: 100, factor_pct: 400 }));
+        assert!(
+            slow.makespan > clean.makespan + 100_000,
+            "4x calc inflation on a compute-heavy MoE must show: {} vs {}",
+            slow.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
     fn random_placement_changes_the_packet_level_result() {
         let mk = |placement| ScenarioCell {
             topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
             workload: WorkloadSpec::Ring { ranks: 8, bytes: 1 << 20, laps: 1 },
             placement,
             backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault: FaultSpec::None,
             seed: 1,
             collect_flows: false,
         };

@@ -1,0 +1,165 @@
+//! The fixed CI smoke grids (`atlahs sweep --smoke`, `atlahs sweep
+//! --fault-smoke`, `atlahs cluster --smoke`).
+//!
+//! Each grid is a frozen, fast (< a few seconds) cell set whose JSON
+//! report is goldened under `tests/goldens/` and byte-diffed by `ci.sh`:
+//! any change to simulation behavior, report formatting, or seed
+//! derivation shows up as a golden diff. The grids live here — not in
+//! the CLI binary — so integration tests can expand and run the exact
+//! grids CI runs without shelling out.
+
+use atlahs_htsim::CcAlgo;
+
+use crate::cluster::{ArrivalSpec, ClusterGrid, QueueDiscipline};
+use crate::scenario::{
+    BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+};
+
+/// The fixed sweep smoke grid: 24 fast cells spanning both packet-level
+/// CC algorithms, spraying, the message-level model, and the ideal
+/// bound. Goldened as `tests/goldens/sweep_smoke.json`; the fault axis
+/// is deliberately empty so these cells (and their seeds and keys) are
+/// frozen at their pre-fault-axis bytes.
+pub fn sweep_smoke_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec![
+            TopologySpec::SingleSwitch { hosts: 8 },
+            TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        ],
+        workloads: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 128 << 10, laps: 1 },
+            WorkloadSpec::MoeAllToAll {
+                ranks: 8,
+                group: 4,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 2_000,
+            },
+        ],
+        ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![
+            BackendFamily::Htsim,
+            BackendFamily::HtsimSpray,
+            BackendFamily::Lgs,
+            BackendFamily::Ideal,
+        ],
+        faults: vec![],
+        seed: 1,
+        collect_flows: true,
+    }
+}
+
+/// The fixed fault-injection smoke grid: 24 cells exercising every
+/// fault regime against the backends it applies to, goldened as
+/// `tests/goldens/fault_smoke.json`.
+///
+/// Per workload: `none` pairs with both htsim CCs and LGS (3 cells),
+/// `linkflap` and `degrade` with the two htsim CCs (2 each), and
+/// `straggler` with LGS (1) — 8 cells × 3 workloads = 24.
+///
+/// Every workload spans all 16 nodes (both ToRs), so packed placement
+/// still pushes traffic through the core uplinks the link faults
+/// target, and every workload carries per-rank compute, so the
+/// straggler has calc costs to inflate: each faulted cell demonstrably
+/// diverges from its `none` sibling (pinned by the
+/// `fault_smoke_cells_diverge_from_their_clean_siblings` test in
+/// `tests/determinism_golden.rs`).
+pub fn fault_smoke_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec![TopologySpec::AiFatTree { nodes: 16, oversub: 4 }],
+        workloads: vec![
+            WorkloadSpec::MoeAllToAll {
+                ranks: 16,
+                group: 16,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 20_000,
+            },
+            WorkloadSpec::MoeAllToAll {
+                ranks: 16,
+                group: 16,
+                bytes: 32 << 10,
+                layers: 2,
+                compute_ns: 4_000,
+            },
+            WorkloadSpec::PipelineLlm {
+                stages: 16,
+                microbatches: 2,
+                bytes: 64 << 10,
+                compute_ns: 2_000,
+            },
+        ],
+        ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+        faults: vec![
+            FaultSpec::None,
+            FaultSpec::LinkFlap { links: 2, down_ns: 5_000, up_ns: 60_000 },
+            FaultSpec::Degrade { links: 2, bw_pct: 25, lat_pct: 300, from_ns: 0, to_ns: 200_000 },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300 },
+        ],
+        seed: 1,
+        collect_flows: true,
+    }
+}
+
+/// The fixed cluster smoke grid: 24 fast cells crossing both arrival
+/// families, both queue disciplines, and packed/random placement over
+/// the packet-level (MPRDMA), message-level, and ideal backends on a
+/// small oversubscribed fabric. Goldened as
+/// `tests/goldens/cluster_smoke.json`; fault axis empty for the same
+/// frozen-bytes reason as [`sweep_smoke_grid`].
+pub fn cluster_smoke_grid() -> ClusterGrid {
+    ClusterGrid {
+        // 16 nodes across two ToRs behind a 4:1 core: random placement
+        // scatters rings across the thin uplinks, so the placement axis
+        // (and the htsim slowdown path) actually moves the goldens.
+        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        catalog: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 256 << 10, laps: 1 },
+            WorkloadSpec::Incast { ranks: 5, bytes: 128 << 10, repeat: 1 },
+        ],
+        arrivals: vec![
+            // Offered load high enough that the queue and the slowdown
+            // paths are actually exercised (mean gap << job duration).
+            ArrivalSpec::Poisson { jobs: 8, mean_gap_ns: 40_000 },
+            ArrivalSpec::Trace { times_ns: vec![0, 0, 0, 30_000, 30_000, 400_000] },
+        ],
+        queues: vec![QueueDiscipline::Fifo, QueueDiscipline::SmallestFirst],
+        placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
+        ccs: vec![CcAlgo::Mprdma],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+        faults: vec![],
+        seed: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grids_have_their_frozen_cell_counts() {
+        assert_eq!(sweep_smoke_grid().expand().len(), 24);
+        assert_eq!(cluster_smoke_grid().expand_counted().0.len(), 24);
+        let cells = fault_smoke_grid().expand();
+        assert_eq!(cells.len(), 24);
+        // 8 cells per workload: 3 fault-free, 4 packet-level faulted
+        // (2 regimes × 2 CCs), 1 message-level straggler.
+        let faulted = cells.iter().filter(|c| c.fault != FaultSpec::None).count();
+        assert_eq!(faulted, 15);
+        let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 24, "fault smoke keys are unique");
+    }
+
+    #[test]
+    fn fault_smoke_seeds_ignore_the_fault_axis() {
+        use crate::scenario::cell_seed;
+        for c in fault_smoke_grid().expand() {
+            assert_eq!(c.seed, cell_seed(1, &c.workload.label()));
+        }
+    }
+}

@@ -155,6 +155,12 @@ impl SweepReport {
                 n.set("core_drops", Json::Num(net.core_drops as f64));
                 n.set("ecn_marks", Json::Num(net.ecn_marks as f64));
                 n.set("retransmissions", Json::Num(net.retransmissions as f64));
+                // Injected-fault discards, only for cells whose fault
+                // window actually bit: fault-free reports keep their
+                // exact historical bytes.
+                if net.fault_drops > 0 {
+                    n.set("fault_drops", Json::Num(net.fault_drops as f64));
+                }
                 cell.set("net", n);
             }
             if r.job_finish.len() > 1 {
@@ -274,6 +280,7 @@ mod tests {
             ccs: vec![CcAlgo::Mprdma],
             placements: vec![PlacementSpec::Packed],
             backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+            faults: vec![],
             seed: 9,
             collect_flows: true,
         }

@@ -22,6 +22,7 @@ use atlahs_goal::{Rank, Tag};
 
 use crate::cc::{CcAlgo, CcState};
 use crate::eventq::{EventQueue, QueueStats};
+use crate::fault::{FaultKind, PortFault};
 use crate::topology::{PathRef, Topology, TopologyConfig};
 
 /// Wire overhead per packet (headers), bytes.
@@ -52,6 +53,10 @@ pub struct HtsimConfig {
     /// hotspots on fully provisioned fabrics at the cost of out-of-order
     /// arrival (harmless here: receivers track per-packet bitmaps).
     pub spray: bool,
+    /// Timed link-fault windows ([`crate::fault`]). Empty (the default)
+    /// schedules nothing and leaves the run bit-identical to a fault-free
+    /// engine.
+    pub faults: Vec<PortFault>,
 }
 
 impl HtsimConfig {
@@ -68,6 +73,7 @@ impl HtsimConfig {
             collect_flows: false,
             rto_ns: 0,
             spray: false,
+            faults: Vec::new(),
         }
     }
 }
@@ -88,6 +94,10 @@ pub struct NetStats {
     pub internal_events: u64,
     /// Timeout events processed (retransmission-storm diagnostic).
     pub timeouts: u64,
+    /// Packets discarded by a down link (fault injection), all kinds.
+    /// Counted separately from `drops` so congestion loss and injected
+    /// loss stay distinguishable in reports.
+    pub fault_drops: u64,
 }
 
 /// Completion record of one flow (message).
@@ -159,6 +169,12 @@ enum Ev {
     LocalDone {
         flow: u32,
     },
+    /// Fault-window boundary: `idx` into `cfg.faults`, `start` marks the
+    /// opening edge. Scheduled at reset, before any simulation traffic.
+    Fault {
+        idx: u32,
+        start: bool,
+    },
 }
 
 struct Port {
@@ -180,6 +196,9 @@ struct Port {
     wire_mtu: u32,
     tx_mtu: u64,
     tx_hdr: u64,
+    /// Inside a [`FaultKind::Down`] window: the port discards everything
+    /// offered to its queue (packets already queued or in service drain).
+    down: bool,
 }
 
 /// Dense bitmaps for per-packet sender/receiver state.
@@ -340,6 +359,7 @@ impl HtsimBackend {
                     wire_mtu,
                     tx_mtu: (wire_mtu as f64 / rate).ceil() as u64,
                     tx_hdr: (HDR_BYTES as f64 / rate).ceil() as u64,
+                    down: false,
                 }
             })
             .collect();
@@ -353,6 +373,22 @@ impl HtsimBackend {
             .collect();
         self.stats = NetStats::default();
         self.records.clear();
+        // Fault windows enter the queue before any simulation traffic, so
+        // their push order (and hence tie-breaking at equal timestamps) is
+        // a pure function of the config — independent of the workload.
+        for i in 0..self.cfg.faults.len() {
+            let f = self.cfg.faults[i];
+            assert!(
+                (f.port as usize) < self.ports.len(),
+                "fault targets port {} but topology has {} ports",
+                f.port,
+                self.ports.len()
+            );
+            if f.end_ns > f.start_ns {
+                self.queue.push(f.start_ns, Ev::Fault { idx: i as u32, start: true });
+                self.queue.push(f.end_ns, Ev::Fault { idx: i as u32, start: false });
+            }
+        }
     }
 
     /// Network statistics accumulated so far.
@@ -385,6 +421,14 @@ impl HtsimBackend {
         // One borrow of the port for the whole admission path (`rng`,
         // `stats`, and `cfg` are disjoint fields).
         let port = &mut self.ports[port_id as usize];
+        if port.down {
+            // Ingress blackhole: data, acks, and credits all die on the
+            // down link; the retransmission timer recovers once the
+            // window closes. No RNG draw — the ECN stream stays aligned
+            // with a run where this packet was never offered.
+            self.stats.fault_drops += 1;
+            return;
+        }
         if pkt.kind == PktKind::Data {
             let q = port.qbytes;
             // ECN marking on instantaneous occupancy.
@@ -709,6 +753,32 @@ impl HtsimBackend {
         }
     }
 
+    /// Apply or lift one fault window ([`Ev::Fault`]).
+    ///
+    /// Degradation rescales the port's rate and latency and recomputes the
+    /// precomputed serialization times with the exact float formulas
+    /// `reset` uses; the closing edge restores the *nominal* link
+    /// parameters from the topology's port table.
+    fn on_fault(&mut self, idx: u32, start: bool) {
+        let f = self.cfg.faults[idx as usize];
+        let link = self.topo.ports()[f.port as usize].link;
+        let port = &mut self.ports[f.port as usize];
+        match f.kind {
+            FaultKind::Down => port.down = start,
+            FaultKind::Degrade { bw_pct, lat_pct } => {
+                if start {
+                    port.rate = link.bytes_per_ns() * bw_pct.max(1) as f64 / 100.0;
+                    port.latency = link.latency_ns * lat_pct as u64 / 100;
+                } else {
+                    port.rate = link.bytes_per_ns();
+                    port.latency = link.latency_ns;
+                }
+                port.tx_mtu = (port.wire_mtu as f64 / port.rate).ceil() as u64;
+                port.tx_hdr = (HDR_BYTES as f64 / port.rate).ceil() as u64;
+            }
+        }
+    }
+
     fn on_timeout(&mut self, fid: u32, gen: u32) {
         let reschedule = {
             let f = &mut self.flows[fid as usize];
@@ -809,6 +879,7 @@ impl Backend for HtsimBackend {
                     }
                 }
                 Ev::PullTick { host } => self.on_pull_tick(host),
+                Ev::Fault { idx, start } => self.on_fault(idx, start),
                 Ev::LocalDone { flow } => {
                     let (op, recv_op) = {
                         let f = &mut self.flows[flow as usize];

@@ -1,0 +1,119 @@
+//! Seeded, deterministic link-fault injection for the packet engine.
+//!
+//! A fault is a *timed window* on one port: either the link is **down**
+//! (every packet entering the port's queue is discarded — an ingress
+//! blackhole, recovered by the retransmission machinery exactly as a
+//! congestion loss would be) or **degraded** (bandwidth and latency are
+//! scaled for the duration of the window, so congestion control reacts to
+//! the slower link naturally).
+//!
+//! Windows are delivered through the engine's timer wheel as ordinary
+//! events, pushed at [`reset`](crate::engine::HtsimBackend) time *before*
+//! any simulation traffic. A configuration with an empty fault list
+//! schedules nothing, touches no RNG stream, and is bit-identical to a
+//! fault-free engine.
+//!
+//! Integer percentages (not floats) keep fault specs `Eq`/hashable and
+//! their labels exact, which the grid layer's seeded cell keys rely on.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::topology::Topology;
+
+/// What happens to the port inside the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Link down: every packet entering the port is discarded.
+    Down,
+    /// Degraded link: bandwidth scaled to `bw_pct`% of nominal and
+    /// propagation latency to `lat_pct`% (so `lat_pct > 100` slows the
+    /// wire down).
+    Degrade { bw_pct: u32, lat_pct: u32 },
+}
+
+/// One timed fault window on one port.
+///
+/// Windows on the same port must not overlap: the end of a window
+/// restores the port to its *nominal* parameters, not to any previous
+/// window's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortFault {
+    /// Port id in the topology's port table.
+    pub port: u32,
+    /// Window start (simulation ns).
+    pub start_ns: u64,
+    /// Window end (simulation ns); must be `> start_ns` for the fault to
+    /// have any effect, and finite windows are what guarantee recovery.
+    pub end_ns: u64,
+    pub kind: FaultKind,
+}
+
+/// Deterministically pick up to `count` fault-candidate ports.
+///
+/// Core (inter-switch) ports are preferred — they are the shared tier
+/// whose failures reroute or stall many flows at once; topologies without
+/// a core tier (`SingleSwitch`) fall back to the switch→host delivery
+/// ports. Selection is a seeded shuffle, so the same `(topology, seed)`
+/// always yields the same ports regardless of grid position or thread
+/// count; the result is sorted so downstream event scheduling is
+/// order-independent of the shuffle.
+pub fn select_fault_ports(topo: &Topology, count: usize, seed: u64) -> Vec<u32> {
+    let core: Vec<u32> =
+        topo.ports().iter().enumerate().filter(|(_, p)| p.is_core).map(|(i, _)| i as u32).collect();
+    let mut candidates = if core.is_empty() {
+        topo.ports()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.to_host.is_some())
+            .map(|(i, _)| i as u32)
+            .collect()
+    } else {
+        core
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    candidates.shuffle(&mut rng);
+    candidates.truncate(count.min(candidates.len()));
+    candidates.sort_unstable();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LinkParams, TopologyConfig};
+
+    #[test]
+    fn selection_is_deterministic_and_prefers_core() {
+        let topo = Topology::build(TopologyConfig::fat_tree_oversubscribed(16, 4, 4));
+        let a = select_fault_ports(&topo, 2, 7);
+        let b = select_fault_ports(&topo, 2, 7);
+        assert_eq!(a, b, "same seed, same ports");
+        assert_eq!(a.len(), 2);
+        for &p in &a {
+            assert!(topo.ports()[p as usize].is_core, "fat tree faults hit the core tier");
+        }
+        let c = select_fault_ports(&topo, 2, 8);
+        assert!(a != c || a.len() < 2, "a different seed may pick different ports");
+    }
+
+    #[test]
+    fn single_switch_falls_back_to_delivery_ports() {
+        let topo =
+            Topology::build(TopologyConfig::SingleSwitch { hosts: 8, link: LinkParams::default() });
+        let picked = select_fault_ports(&topo, 3, 1);
+        assert_eq!(picked.len(), 3);
+        for &p in &picked {
+            assert!(topo.ports()[p as usize].to_host.is_some());
+        }
+    }
+
+    #[test]
+    fn count_is_clamped_to_candidates() {
+        let topo =
+            Topology::build(TopologyConfig::SingleSwitch { hosts: 4, link: LinkParams::default() });
+        let picked = select_fault_ports(&topo, 100, 1);
+        assert_eq!(picked.len(), 4, "only 4 delivery ports exist");
+    }
+}

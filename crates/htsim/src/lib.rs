@@ -29,6 +29,7 @@
 
 pub mod cc;
 pub mod engine;
+pub mod fault;
 pub mod topology;
 
 /// The event core now lives in the shared `atlahs_eventq` crate (both
@@ -39,6 +40,7 @@ pub use atlahs_eventq as eventq;
 pub use cc::{CcAlgo, CcState};
 pub use engine::{FlowRecord, HtsimBackend, HtsimConfig, NetStats};
 pub use eventq::EventQueue;
+pub use fault::{select_fault_ports, FaultKind, PortFault};
 pub use topology::{LinkParams, PathRef, Topology, TopologyConfig};
 
 #[cfg(test)]
@@ -369,6 +371,106 @@ mod tests {
         let total = qs.lane_pushes + qs.wheel_pushes + qs.heap_pushes;
         assert!(total > 10_000, "expected a packet-heavy run: {qs:?}");
         assert!(qs.heap_pushes * 100 <= total, "heap tier must stay <1% of pushes: {qs:?}");
+    }
+
+    // ---- fault injection --------------------------------------------
+
+    /// A transient link-down window blackholes traffic mid-transfer; the
+    /// retransmission machinery must deliver every byte once the window
+    /// closes, and the run must end no earlier than the fault-free one.
+    #[test]
+    fn link_flap_recovers_and_slows_the_run() {
+        let goal = ping(2 << 20);
+        let (clean, _) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        // Port 0 is host 0's uplink: flap it squarely inside the transfer.
+        cfg.faults.push(PortFault {
+            port: 0,
+            start_ns: 20_000,
+            end_ns: 80_000,
+            kind: FaultKind::Down,
+        });
+        let (faulty, backend) = run_with(&goal, cfg);
+        assert_eq!(faulty.completed, goal.total_tasks(), "flap must be recovered");
+        let st = backend.net_stats();
+        assert!(st.fault_drops > 0, "the window must actually bite: {st:?}");
+        assert!(st.retransmissions > 0, "blackholed packets are resent: {st:?}");
+        assert!(
+            faulty.makespan > clean.makespan,
+            "a 60 µs outage cannot speed the run up: {} vs {}",
+            faulty.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn degraded_link_slows_the_run_without_loss() {
+        let goal = ping(2 << 20);
+        let (clean, _) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        // Quarter bandwidth, 4x latency for most of the transfer.
+        cfg.faults.push(PortFault {
+            port: 0,
+            start_ns: 0,
+            end_ns: 1_000_000,
+            kind: FaultKind::Degrade { bw_pct: 25, lat_pct: 400 },
+        });
+        let (faulty, backend) = run_with(&goal, cfg);
+        assert_eq!(faulty.completed, goal.total_tasks());
+        assert_eq!(backend.net_stats().fault_drops, 0, "degradation never discards");
+        assert!(
+            faulty.makespan > clean.makespan * 2,
+            "quarter rate must at least double the transfer: {} vs {}",
+            faulty.makespan,
+            clean.makespan
+        );
+    }
+
+    #[test]
+    fn degrade_window_end_restores_nominal_rate() {
+        // A degrade window that closes before the transfer starts must
+        // leave the port at nominal parameters: same makespan as clean.
+        let goal = ping(1 << 20);
+        let (clean, _) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.faults.push(PortFault {
+            port: 0,
+            start_ns: 0,
+            end_ns: 1,
+            kind: FaultKind::Degrade { bw_pct: 10, lat_pct: 1000 },
+        });
+        let (faulty, _) = run_with(&goal, cfg);
+        assert_eq!(faulty.makespan, clean.makespan);
+    }
+
+    #[test]
+    fn empty_fault_list_is_bit_identical_to_no_faults() {
+        let goal = incast(8, 256 * 1024);
+        let (a, ba) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let cfg = small_switch(CcAlgo::Mprdma); // faults: Vec::new()
+        let (b, bb) = run_with(&goal, cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(ba.net_stats(), bb.net_stats());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let goal = incast(6, 512 * 1024);
+        let mk = || {
+            let mut cfg = small_switch(CcAlgo::Ndp);
+            cfg.faults.push(PortFault {
+                port: 6, // sender 6's uplink into the switch
+                start_ns: 50_000,
+                end_ns: 120_000,
+                kind: FaultKind::Down,
+            });
+            cfg
+        };
+        let (r1, b1) = run_with(&goal, mk());
+        let (r2, b2) = run_with(&goal, mk());
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(b1.net_stats(), b2.net_stats());
+        assert!(b1.net_stats().fault_drops > 0);
     }
 
     #[test]

@@ -100,6 +100,45 @@ pub struct LgsStats {
     pub rendezvous_messages: u64,
 }
 
+/// Seeded per-rank straggler model (fault injection).
+///
+/// At `simulation_setup` each rank independently becomes a straggler with
+/// probability `prob_pct`% (an FNV draw over `(seed, rank)` — no RNG
+/// stream, so the decision is a pure function of the spec and composes
+/// with any grid seeding). A straggler's every `calc` cost is scaled to
+/// `factor_pct`% of nominal at dispatch; communication timing (`L`, `o`,
+/// `g`, `G`) is untouched, so a rank's issue *order* can never change —
+/// only its timestamps stretch.
+///
+/// The default (and any spec with `prob_pct == 0` or `factor_pct ==
+/// 100`) is a no-op: the dispatch path degenerates to one branch on an
+/// empty table and timings are bit-identical to a straggler-free build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StragglerSpec {
+    /// Percent chance (0–100) that a rank straggles.
+    pub prob_pct: u32,
+    /// Calc-cost scale for stragglers, percent (150 = 1.5× slower).
+    pub factor_pct: u32,
+    /// Seed for the per-rank draw.
+    pub seed: u64,
+}
+
+impl StragglerSpec {
+    /// True when the spec cannot change any timing.
+    pub fn is_noop(&self) -> bool {
+        self.prob_pct == 0 || self.factor_pct == 100
+    }
+
+    /// The straggler decision for one rank: FNV-1a over `(seed, rank)`.
+    fn is_straggler(&self, rank: usize) -> bool {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        for b in (rank as u64).to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h % 100 < self.prob_pct as u64
+    }
+}
+
 /// A scheduled backend event.
 ///
 /// The [`EventQueue`] orders solely by `(time, push order)`, so the
@@ -141,6 +180,11 @@ pub struct LgsBackend {
     /// Rendezvous: RTS arrivals vs posted recvs.
     rdv: Matcher<(OpRef, u64), (OpRef, Time)>,
     stats: LgsStats,
+    straggler: StragglerSpec,
+    /// Per-rank calc-cost scale in percent, materialized at
+    /// `simulation_setup`. Empty when the straggler spec is a no-op — the
+    /// `calc` fast path stays a single `is_empty` branch.
+    calc_scale: Vec<u64>,
 }
 
 impl LgsBackend {
@@ -154,7 +198,22 @@ impl LgsBackend {
             eager: Matcher::new(),
             rdv: Matcher::new(),
             stats: LgsStats::default(),
+            straggler: StragglerSpec::default(),
+            calc_scale: Vec::new(),
         }
+    }
+
+    /// A backend with a straggler fault model attached.
+    pub fn with_straggler(params: LogGopsParams, straggler: StragglerSpec) -> Self {
+        let mut b = LgsBackend::new(params);
+        b.straggler = straggler;
+        b
+    }
+
+    /// Attach (or clear, with the default spec) the straggler model.
+    /// Takes effect at the next `simulation_setup`.
+    pub fn set_straggler(&mut self, straggler: StragglerSpec) {
+        self.straggler = straggler;
     }
 
     pub fn params(&self) -> &LogGopsParams {
@@ -196,6 +255,19 @@ impl Backend for LgsBackend {
         self.eager = Matcher::new();
         self.rdv = Matcher::new();
         self.stats = LgsStats::default();
+        self.calc_scale = if self.straggler.is_noop() {
+            Vec::new()
+        } else {
+            (0..num_ranks)
+                .map(|r| {
+                    if self.straggler.is_straggler(r) {
+                        self.straggler.factor_pct as u64
+                    } else {
+                        100
+                    }
+                })
+                .collect()
+        };
     }
 
     fn now(&self) -> Time {
@@ -239,6 +311,11 @@ impl Backend for LgsBackend {
     }
 
     fn calc(&mut self, op: OpRef, cost: u64) {
+        let cost = if self.calc_scale.is_empty() {
+            cost
+        } else {
+            cost.saturating_mul(self.calc_scale[op.rank as usize]) / 100
+        };
         self.push(self.now + cost, Ev::Done(op));
     }
 
@@ -449,6 +526,62 @@ mod tests {
             run(&b.build().unwrap(), LogGopsParams::hpc_testbed()).makespan
         };
         assert!(time_for(16) > time_for(4));
+    }
+
+    // ---- straggler injection ----------------------------------------
+
+    fn compute_ping(cost: u64) -> GoalSchedule {
+        let mut b = GoalBuilder::new(2);
+        let c = b.calc(0, cost);
+        let s = b.send(0, 1, 1000, 0);
+        b.requires(0, s, c);
+        b.recv(1, 0, 1000, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straggler_inflates_calc_exactly() {
+        // prob 100% makes every rank a straggler; factor 300% triples the
+        // 10_000 ns calc. Eager ping timing after it is unchanged: with
+        // ai_alps the fault-free run finishes at 10_000 + 4145.
+        let goal = compute_ping(10_000);
+        let clean = run(&goal, LogGopsParams::ai_alps());
+        let spec = StragglerSpec { prob_pct: 100, factor_pct: 300, seed: 9 };
+        let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
+        let faulty = Simulation::new(&goal).run(&mut b).unwrap();
+        assert_eq!(clean.makespan, 14_145);
+        assert_eq!(faulty.makespan, 34_145, "30_000 ns calc + the same wire time");
+    }
+
+    #[test]
+    fn noop_straggler_specs_change_nothing() {
+        let goal = compute_ping(5_000);
+        let clean = run(&goal, LogGopsParams::ai_alps());
+        for spec in [
+            StragglerSpec::default(),
+            StragglerSpec { prob_pct: 0, factor_pct: 500, seed: 3 },
+            StragglerSpec { prob_pct: 100, factor_pct: 100, seed: 3 },
+        ] {
+            let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
+            let rep = Simulation::new(&goal).run(&mut b).unwrap();
+            assert_eq!(rep.makespan, clean.makespan, "{spec:?}");
+            assert_eq!(rep.rank_finish, clean.rank_finish, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn straggler_draw_is_per_rank_and_seeded() {
+        // With a 50% probability over many ranks, some — but not all —
+        // ranks straggle, and the same seed reproduces the same set.
+        let spec = StragglerSpec { prob_pct: 50, factor_pct: 200, seed: 42 };
+        let set: Vec<bool> = (0..64).map(|r| spec.is_straggler(r)).collect();
+        let again: Vec<bool> = (0..64).map(|r| spec.is_straggler(r)).collect();
+        assert_eq!(set, again);
+        let hit = set.iter().filter(|&&s| s).count();
+        assert!(hit > 8 && hit < 56, "50% over 64 ranks: got {hit}");
+        let other = StragglerSpec { seed: 43, ..spec };
+        let shifted: Vec<bool> = (0..64).map(|r| other.is_straggler(r)).collect();
+        assert_ne!(set, shifted, "a different seed picks a different set");
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn main() {
         placements: vec![PlacementSpec::Packed, PlacementSpec::Random],
         ccs: vec![CcAlgo::Mprdma],
         backends: vec![BackendFamily::Htsim],
+        faults: vec![],
         seed: 7,
     };
 

@@ -1,0 +1,134 @@
+//! Seeded fault injection across the stack (docs/SCENARIOS.md, "Failure
+//! & variability axes"): the fault axis as a programmatic grid
+//! dimension, from timed link faults in the packet engine through
+//! message-level stragglers to job failure/restart in the dynamic
+//! cluster.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+//!
+//! Part 1 runs one 16-rank MoE all-to-all under every fault regime on
+//! the 4:1-oversubscribed AI fabric and compares each faulted cell with
+//! its fault-free sibling. Part 2 replays a job burst through the
+//! cluster engine with a 60% failure probability and shows restarts,
+//! re-queueing, and the exact turnaround accounting.
+
+use atlahs_bench::cluster::{
+    run_grid, ArrivalSpec, ClusterFaultSpec, ClusterGrid, ClusterReport, QueueDiscipline,
+};
+use atlahs_bench::scenario::{
+    BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+};
+use atlahs_bench::sweep::{execute, SweepReport};
+use atlahs_htsim::CcAlgo;
+
+fn main() {
+    // ---- Part 1: one workload, every fault regime -----------------------
+    //
+    // The group spans both ToRs, so the all-to-all crosses the thin core
+    // uplinks the link faults target; the per-rank compute gives the
+    // straggler calc costs to inflate.
+    let grid = ScenarioGrid {
+        topologies: vec![TopologySpec::AiFatTree { nodes: 16, oversub: 4 }],
+        workloads: vec![WorkloadSpec::MoeAllToAll {
+            ranks: 16,
+            group: 16,
+            bytes: 64 << 10,
+            layers: 1,
+            compute_ns: 20_000,
+        }],
+        ccs: vec![CcAlgo::Mprdma],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+        faults: vec![
+            FaultSpec::None,
+            // Two core links down from 5 µs to 60 µs: blackholed packets
+            // are recovered by retransmission once the links return.
+            FaultSpec::LinkFlap { links: 2, down_ns: 5_000, up_ns: 60_000 },
+            // Two core links at quarter bandwidth and 3x latency for the
+            // first 200 µs: congestion control adapts to the slower wire.
+            FaultSpec::Degrade { links: 2, bw_pct: 25, lat_pct: 300, from_ns: 0, to_ns: 200_000 },
+            // Half the ranks straggle at 3x compute cost (message level).
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300 },
+        ],
+        seed: 1,
+        collect_flows: false,
+    };
+    let cells = grid.expand();
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0) };
+
+    // Pair every faulted cell with its fault-free sibling (same key minus
+    // the fault suffix) and show what the fault cost.
+    println!("# fault regimes vs the clean baseline\n");
+    let clean_makespan = |fault_key: &str| {
+        let base = fault_key.rsplit_once('/').expect("faulted keys have a suffix").0;
+        report.results.iter().find(|r| r.key == base).expect("clean sibling ran").makespan
+    };
+    for r in report.results.iter().filter(|r| r.key.matches('/').count() == 4) {
+        let clean = clean_makespan(&r.key);
+        let drops = r.net.map(|n| n.fault_drops).unwrap_or(0);
+        println!(
+            "{:75} {:8.1} µs  (+{:5.1}% vs clean, {} packets blackholed)",
+            r.key,
+            r.makespan as f64 / 1e3,
+            100.0 * (r.makespan as f64 / clean as f64 - 1.0),
+            drops
+        );
+        assert!(
+            r.makespan != clean || drops > 0,
+            "{}: the fault regime left no observable trace",
+            r.key
+        );
+    }
+
+    // ---- Part 2: job failures in the dynamic cluster --------------------
+    //
+    // A burst of ring jobs on the same fabric; each run attempt fails
+    // with 60% probability halfway through, up to two failed attempts
+    // per job. Failed attempts hold their nodes, then release them and
+    // re-queue — so restarts show up in wait, turnaround, and queue depth.
+    let cluster = ClusterGrid {
+        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        catalog: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 256 << 10, laps: 1 },
+            WorkloadSpec::Ring { ranks: 4, bytes: 128 << 10, laps: 1 },
+        ],
+        arrivals: vec![ArrivalSpec::Trace { times_ns: vec![0, 0, 0, 0, 50_000, 50_000] }],
+        queues: vec![QueueDiscipline::Fifo],
+        placements: vec![PlacementSpec::Packed],
+        ccs: vec![CcAlgo::Mprdma],
+        backends: vec![BackendFamily::Lgs],
+        faults: vec![
+            ClusterFaultSpec::None,
+            ClusterFaultSpec::JobFail { pct: 60, at_pct: 50, retries: 2 },
+        ],
+        seed: 7,
+    };
+    let (cluster_cells, dropped) = cluster.expand_counted();
+    assert!(dropped.is_empty(), "catalog fits the fabric");
+    let cluster_report = ClusterReport { seed: cluster.seed, results: run_grid(&cluster_cells, 0) };
+
+    println!("\n# job failures in the dynamic cluster\n");
+    for r in &cluster_report.results {
+        let restarts: u32 = r.jobs.iter().map(|j| j.restarts).sum();
+        let lost_ns: u64 = r.jobs.iter().map(|j| j.failed_ns).sum();
+        println!(
+            "{:60} makespan {:8.1} µs  restarts {}  node-time lost {:6.1} µs",
+            r.key,
+            r.makespan_ns as f64 / 1e3,
+            restarts,
+            lost_ns as f64 / 1e3
+        );
+        for j in &r.jobs {
+            // The turnaround identity holds exactly, failed or not.
+            assert_eq!(j.start_ns, j.arrival_ns + j.wait_ns + j.failed_ns);
+            assert_eq!(j.completion_ns, j.wait_ns + j.failed_ns + j.duration_ns);
+        }
+        if r.key.ends_with("/jobfail:60:50:2") {
+            assert!(restarts > 0, "{}: a 60% failure rate must trigger restarts", r.key);
+        } else {
+            assert_eq!(restarts, 0, "{}: fault-free cells never restart", r.key);
+        }
+    }
+}

@@ -43,6 +43,7 @@ fn main() {
         ccs: vec![CcAlgo::Mprdma],
         placements: vec![PlacementSpec::Packed],
         backends: vec![BackendFamily::Htsim, BackendFamily::Lgs],
+        faults: vec![],
         seed: 1,
         collect_flows: true,
     };

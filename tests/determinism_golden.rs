@@ -336,3 +336,173 @@ fn dragonfly_ndp_spray() {
         Golden { makespan: 55346, packets: 1536, losses: 0, fingerprint: 7130154478266168476 },
     );
 }
+
+// --- fault-injection fingerprints: the same engines under seeded link
+// --- faults (packet level) and stragglers (message level). Separate
+// --- helpers so the fault-free fingerprints above stay untouched: the
+// --- faulty fingerprint additionally folds in `fault_drops`.
+
+use atlahs::htsim::fault::{select_fault_ports, FaultKind, PortFault};
+use atlahs::htsim::topology::Topology;
+use atlahs::lgs::StragglerSpec;
+
+fn run_faulty(
+    topo: TopologyConfig,
+    cc: CcAlgo,
+    goal: &GoalSchedule,
+    faults: &[PortFault],
+) -> Golden {
+    let mut cfg = HtsimConfig::new(topo, cc);
+    cfg.collect_flows = true;
+    cfg.queue_bytes = 256 * 1024;
+    cfg.faults = faults.to_vec();
+    let mut be = HtsimBackend::new(cfg);
+    let rep = Simulation::new(goal).run(&mut be).expect("faulted scenario still completes");
+    let st = be.net_stats();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in [
+        rep.makespan,
+        st.packets_sent,
+        st.drops,
+        st.trims,
+        st.ecn_marks,
+        st.max_queue_bytes,
+        st.core_drops,
+        st.flows,
+        st.retransmissions,
+        st.internal_events,
+        st.timeouts,
+        st.fault_drops,
+    ] {
+        h = fnv(h, x);
+    }
+    for r in be.flow_records() {
+        for x in [r.src as u64, r.dst as u64, r.bytes, r.start, r.end] {
+            h = fnv(h, x);
+        }
+    }
+    Golden {
+        makespan: rep.makespan,
+        packets: st.packets_sent,
+        losses: st.drops + st.trims,
+        fingerprint: h,
+    }
+}
+
+/// Three seeded core ports flap (down 20 µs – 80 µs into the run).
+fn clos_flap() -> Vec<PortFault> {
+    select_fault_ports(&Topology::build(clos()), 3, 0xfa)
+        .into_iter()
+        .map(|port| PortFault { port, start_ns: 20_000, end_ns: 80_000, kind: FaultKind::Down })
+        .collect()
+}
+
+fn check_faulty(
+    name: &str,
+    topo: TopologyConfig,
+    cc: CcAlgo,
+    goal: &GoalSchedule,
+    faults: &[PortFault],
+    golden: Golden,
+) {
+    let got = run_faulty(topo.clone(), cc, goal, faults);
+    if std::env::var_os("ATLAHS_PRINT_GOLDENS").is_some() {
+        println!("{name}: {got:?}");
+        return;
+    }
+    assert_eq!(got, golden, "{name}: faulted engine output drifted from the golden run");
+    let again = run_faulty(topo, cc, goal, faults);
+    assert_eq!(got, again, "{name}: two faulted runs with one seed disagree");
+}
+
+#[test]
+fn clos_dctcp_linkflap() {
+    check_faulty(
+        "clos_dctcp_linkflap",
+        clos(),
+        CcAlgo::Dctcp,
+        &cross_tor_permutation(32, 256 * 1024),
+        &clos_flap(),
+        Golden { makespan: 276694, packets: 2763, losses: 18, fingerprint: 14339675977075112708 },
+    );
+}
+
+#[test]
+fn clos_ndp_linkflap() {
+    check_faulty(
+        "clos_ndp_linkflap",
+        clos(),
+        CcAlgo::Ndp,
+        &cross_tor_permutation(32, 256 * 1024),
+        &clos_flap(),
+        Golden { makespan: 218506, packets: 3811, losses: 272, fingerprint: 18207225906497027579 },
+    );
+}
+
+/// LGS straggler golden: half the ranks at 3x calc cost, seeded.
+fn run_lgs_straggler(goal: &GoalSchedule) -> Golden {
+    let params = atlahs::lgs::LogGopsParams::ai_alps();
+    let straggler = StragglerSpec { prob_pct: 50, factor_pct: 300, seed: 0xabc };
+    let mut be = atlahs::lgs::LgsBackend::with_straggler(params, straggler);
+    let rep = Simulation::new(goal).run(&mut be).expect("straggled scenario completes");
+    let st = be.stats();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in [rep.makespan, rep.completed as u64, st.messages, st.bytes, st.rendezvous_messages] {
+        h = fnv(h, x);
+    }
+    for &t in &rep.rank_finish {
+        h = fnv(h, t);
+    }
+    Golden { makespan: rep.makespan, packets: st.messages, losses: 0, fingerprint: h }
+}
+
+#[test]
+fn lgs_moe_straggler() {
+    let goal = moe_goal();
+    let got = run_lgs_straggler(&goal);
+    if std::env::var_os("ATLAHS_PRINT_GOLDENS").is_some() {
+        println!("lgs_moe_straggler: {got:?}");
+        return;
+    }
+    let golden =
+        Golden { makespan: 223374, packets: 448, losses: 0, fingerprint: 5031363226221018023 };
+    assert_eq!(got, golden, "lgs_moe_straggler: straggled LGS drifted from the golden run");
+    assert_eq!(got, run_lgs_straggler(&goal), "lgs_moe_straggler: two runs disagree");
+    // The straggler must actually bite: same schedule without it is the
+    // fault-free moe golden above, which finishes sooner.
+    let clean = run_lgs(&goal, atlahs::lgs::LogGopsParams::ai_alps());
+    assert!(got.makespan > clean.makespan, "{} <= {}", got.makespan, clean.makespan);
+}
+
+// --- the fault-smoke grid (ci.sh stage 9): every faulted cell must
+// --- diverge from its fault-free sibling, or the golden would silently
+// --- pin a fault spec that does nothing.
+
+#[test]
+fn fault_smoke_cells_diverge_from_their_clean_siblings() {
+    use atlahs_bench::smoke::fault_smoke_grid;
+    use atlahs_bench::sweep::execute;
+
+    let cells = fault_smoke_grid().expand();
+    assert_eq!(cells.len(), 24);
+    let results = execute(&cells, 4);
+    let clean: std::collections::HashMap<String, &atlahs_bench::scenario::CellResult> = results
+        .iter()
+        .filter(|r| r.key.matches('/').count() == 3)
+        .map(|r| (r.key.clone(), r))
+        .collect();
+    let mut faulted = 0;
+    for r in &results {
+        let parts: Vec<&str> = r.key.split('/').collect();
+        if parts.len() != 5 {
+            continue;
+        }
+        faulted += 1;
+        let sibling = clean[&parts[..4].join("/")];
+        let moved = r.makespan != sibling.makespan
+            || r.net.map(|n| n.fault_drops).unwrap_or(0) > 0
+            || r.mct != sibling.mct;
+        assert!(moved, "{}: fault spec had no observable effect", r.key);
+    }
+    assert_eq!(faulted, 15);
+}

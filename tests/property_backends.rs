@@ -13,7 +13,13 @@
 //!   reproduces the complete event log bit for bit;
 //! * **optimality bound** — the contention-free ideal backend at the same
 //!   link rate and zero latency is a lower bound on the packet-level
-//!   makespan.
+//!   makespan;
+//! * **fault regimes** — every invariant above survives seeded fault
+//!   injection: link flaps force retransmissions without breaking byte
+//!   conservation, straggler inflation never reorders a rank's issue
+//!   chains, the ideal bound still holds against a faulted packet run,
+//!   identical fault seeds reproduce bit-identical runs, and the harness
+//!   catches a backend that silently ignores its fault spec.
 //!
 //! The generator emits schedules from the same family the synthetic
 //! workloads use (per-rank send chains and recv chains with interleaved
@@ -26,9 +32,10 @@ use atlahs::core::{Backend, Completion, OpRef, Simulation, Time};
 use atlahs::goal::merge::{compose, place, PlacedJob};
 use atlahs::goal::{GoalBuilder, GoalSchedule, Rank, Tag, TaskId, TaskKind};
 use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
-use atlahs::htsim::topology::{LinkParams, TopologyConfig};
+use atlahs::htsim::fault::{select_fault_ports, FaultKind, PortFault};
+use atlahs::htsim::topology::{LinkParams, Topology, TopologyConfig};
 use atlahs::htsim::CcAlgo;
-use atlahs::lgs::{LgsBackend, LogGopsParams};
+use atlahs::lgs::{LgsBackend, LogGopsParams, StragglerSpec};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -260,6 +267,65 @@ fn ideal_bound() -> IdealBackend {
     IdealBackend::new(LinkParams::default().bytes_per_ns(), 0)
 }
 
+// ------------------------------------------------------- fault regimes ----
+
+/// The packet backend with a fault schedule installed.
+fn faulty_htsim_backend(n: usize, seed: u64, faults: Vec<PortFault>) -> HtsimBackend {
+    let topo = TopologyConfig::SingleSwitch { hosts: n, link: LinkParams::default() };
+    let mut cfg = HtsimConfig::new(topo, CcAlgo::Mprdma);
+    cfg.seed = seed;
+    cfg.faults = faults;
+    HtsimBackend::new(cfg)
+}
+
+/// Two seeded down-windows early in the run: on a `SingleSwitch` the
+/// selection falls back to switch→host delivery ports, so every packet
+/// bound for a faulted host inside the window is blackholed and must be
+/// recovered by retransmission after the link comes back.
+fn flap_faults(n: usize, seed: u64) -> Vec<PortFault> {
+    let topo =
+        Topology::build(TopologyConfig::SingleSwitch { hosts: n, link: LinkParams::default() });
+    select_fault_ports(&topo, 2, seed)
+        .into_iter()
+        .map(|port| PortFault { port, start_ns: 2_000, end_ns: 40_000, kind: FaultKind::Down })
+        .collect()
+}
+
+/// A rank's issue stream split into its two dependency chains: the
+/// send chain (sends and interleaved calcs) and the recv chain. Each
+/// chain's order is forced by `requires` edges, so no fault model may
+/// permute it — only shift it in time. (The two chains *may* interleave
+/// differently when timing changes, which is why they are compared
+/// separately.) Calc entries carry the *schedule's* cost — straggler
+/// inflation happens inside the backend, below the issue interface.
+type SendChain = Vec<(OpRef, u8, u64)>;
+type RecvChain = Vec<(OpRef, u64)>;
+
+fn issue_chains(trace: &RunTrace, rank: Rank) -> (SendChain, RecvChain) {
+    let mut send_chain = Vec::new();
+    let mut recv_chain = Vec::new();
+    for &(op, _, kind, bytes) in &trace.issues {
+        if op.rank != rank {
+            continue;
+        }
+        if kind == ISSUE_RECV {
+            recv_chain.push((op, bytes));
+        } else {
+            send_chain.push((op, kind, bytes));
+        }
+    }
+    (send_chain, recv_chain)
+}
+
+/// A fault spec must observably change the run; the meta-test below
+/// proves the harness catches a backend that swallows its spec.
+fn assert_faults_bite(name: &str, clean: &RunTrace, faulty: &RunTrace) {
+    assert!(
+        clean.makespan != faulty.makespan || clean.log != faulty.log,
+        "{name}: fault spec had no effect"
+    );
+}
+
 // -------------------------------------------------------------- driver ----
 
 fn raw_msg() -> impl Strategy<Value = RawMsg> {
@@ -402,6 +468,70 @@ proptest! {
             ht.makespan
         );
     }
+
+    /// The backend contract under fault injection: link flaps and
+    /// straggler inflation may slow a run down but must not break
+    /// completion, causality, byte conservation, per-chain issue order,
+    /// determinism, or the ideal lower bound.
+    #[test]
+    fn fault_regimes_preserve_the_backend_contract(
+        n in 2usize..6,
+        msgs in vec(raw_msg(), 1..16),
+        seed in 1u64..1_000_000,
+    ) {
+        let goal = assemble(n, &msgs);
+
+        // htsim under link flaps: the blackholed windows force drops and
+        // retransmissions, yet every invariant — including per-rank byte
+        // conservation at the issue interface — must still hold, and the
+        // run must still complete once the links recover.
+        let faults = flap_faults(n, seed);
+        let ht = run_recorded(&goal, faulty_htsim_backend(n, seed, faults.clone()));
+        check_invariants("htsim-linkflap", &goal, &ht);
+
+        // Identical fault seed and schedule ⇒ bit-identical re-run.
+        let ht2 = run_recorded(&goal, faulty_htsim_backend(n, seed, faults));
+        assert_identical("htsim-linkflap", &ht, &ht2);
+
+        // Faults only ever slow the packet run down, so the ideal
+        // contention-free bound holds a fortiori.
+        let ideal = run_recorded(&goal, ideal_bound());
+        prop_assert!(
+            ideal.makespan <= ht.makespan,
+            "ideal {} must lower-bound faulty htsim {}",
+            ideal.makespan,
+            ht.makespan
+        );
+
+        // LGS under straggler inflation: invariants hold, re-runs are
+        // bit-identical, the makespan never shrinks, and each rank's two
+        // dependency chains issue in exactly the clean run's order.
+        let spec = StragglerSpec { prob_pct: 50, factor_pct: 300, seed };
+        let mk = || LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
+        let straggled = run_recorded(&goal, mk());
+        check_invariants("lgs-straggler", &goal, &straggled);
+        assert_identical("lgs-straggler", &straggled, &run_recorded(&goal, mk()));
+
+        let clean = run_recorded(&goal, LgsBackend::new(LogGopsParams::ai_alps()));
+        prop_assert!(
+            straggled.makespan >= clean.makespan,
+            "straggler inflation shortened the run: {} < {}",
+            straggled.makespan,
+            clean.makespan
+        );
+        for r in 0..n as Rank {
+            let (clean_s, clean_r) = issue_chains(&clean, r);
+            let (slow_s, slow_r) = issue_chains(&straggled, r);
+            prop_assert_eq!(
+                clean_s, slow_s,
+                "rank {}: straggler inflation reordered the send chain", r
+            );
+            prop_assert_eq!(
+                clean_r, slow_r,
+                "rank {}: straggler inflation reordered the recv chain", r
+            );
+        }
+    }
 }
 
 /// The harness itself must catch a cheating backend: a "backend" that
@@ -447,4 +577,41 @@ fn harness_rejects_a_backend_that_drops_tasks() {
             check_invariants("lossy", &goal, &trace);
         }
     }
+}
+
+/// A fixed all-to-all-ish schedule dense enough that the early fault
+/// windows of [`flap_faults`] are guaranteed to blackhole live traffic
+/// on every delivery port.
+fn dense_goal() -> GoalSchedule {
+    let mut msgs = Vec::new();
+    for src in 0u32..4 {
+        for dst in 0u32..3 {
+            msgs.push((src, dst, 128 << 10, 1u8, 0u64));
+        }
+    }
+    assemble(4, &msgs)
+}
+
+/// Positive control for the meta-test below: a real faulted engine run
+/// visibly diverges from the clean one while keeping every invariant.
+#[test]
+fn link_faults_observably_perturb_the_packet_run() {
+    let goal = dense_goal();
+    let clean = run_recorded(&goal, htsim_backend(4, 9));
+    let faulty = run_recorded(&goal, faulty_htsim_backend(4, 9, flap_faults(4, 9)));
+    check_invariants("htsim-linkflap", &goal, &faulty);
+    assert_faults_bite("htsim-linkflap", &clean, &faulty);
+}
+
+/// The harness must catch a backend that accepts a fault spec and then
+/// ignores it: modelled by an engine whose fault list was stripped, its
+/// run is bit-identical to the clean one and `assert_faults_bite` has
+/// to flag it.
+#[test]
+#[should_panic(expected = "fault spec had no effect")]
+fn harness_catches_a_backend_that_ignores_its_fault_spec() {
+    let goal = dense_goal();
+    let clean = run_recorded(&goal, htsim_backend(4, 9));
+    let fault_blind = run_recorded(&goal, faulty_htsim_backend(4, 9, Vec::new()));
+    assert_faults_bite("fault-blind", &clean, &fault_blind);
 }

@@ -1,0 +1,50 @@
+//! Regression pin: the fault axis must not perturb pre-existing cells.
+//!
+//! The fault-injection PR added a `faults` axis to [`ScenarioGrid`], a
+//! fault label suffix to cell keys, and run-time fault sub-seed
+//! derivation. This test locks the *no-fault* path in-process: expanding
+//! and executing the frozen CI smoke grid (`atlahs sweep --smoke`) must
+//! reproduce the checked-in golden report
+//! `tests/goldens/sweep_smoke.json` **byte for byte** — same keys (no
+//! fault suffix), same FNV cell seeds, same simulation outcomes, same
+//! JSON formatting. If fault machinery ever leaks into fault-free cells
+//! (a key gaining a label, a seed folding fault state, an engine
+//! scheduling a phantom event, a report gaining a field), this diff
+//! fails in `cargo test` before CI's shell-level golden diff does.
+//!
+//! The second test pins the seed derivation itself: [`cell_seed`] is an
+//! FNV-1a fold whose exact constants the goldens (and every faulty
+//! sub-seed derived from them) depend on.
+
+use atlahs_bench::scenario::cell_seed;
+use atlahs_bench::smoke::sweep_smoke_grid;
+use atlahs_bench::sweep::{execute, SweepReport};
+
+#[test]
+fn no_fault_sweep_reproduces_the_checked_in_golden_bytes() {
+    let grid = sweep_smoke_grid();
+    let cells = grid.expand();
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 2) };
+    let got = report.to_json().pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/sweep_smoke.json");
+    let want = std::fs::read_to_string(path).expect("golden sweep_smoke.json is checked in");
+    assert_eq!(
+        got, want,
+        "the no-fault smoke sweep drifted from tests/goldens/sweep_smoke.json: \
+         the fault axis (or a report-format change) perturbed fault-free cells"
+    );
+}
+
+#[test]
+fn cell_seed_derivation_is_pinned() {
+    // The two workload labels of the smoke grid, folded with grid seed 1.
+    // These constants were captured when the goldens were frozen; moving
+    // them silently re-seeds every golden cell.
+    assert_eq!(cell_seed(1, "ring:8:131072:1"), 0x0f6c_e8d9_dca0_194b);
+    assert_eq!(cell_seed(1, "moe:8:4:65536:1:2000"), 0x6a59_8ae1_febf_396f);
+    // Seeds are forced odd (`| 1`) so they never collapse a multiplicative
+    // RNG stream, and differ across grid seeds and labels.
+    assert_eq!(cell_seed(7, "ring:8:131072:1") & 1, 1);
+    assert_ne!(cell_seed(2, "ring:8:131072:1"), cell_seed(1, "ring:8:131072:1"));
+    assert_ne!(cell_seed(1, "ring:8:131072:2"), cell_seed(1, "ring:8:131072:1"));
+}
