@@ -18,13 +18,17 @@
 #      24-cell CI grid on 2 threads and must reproduce the checked-in
 #      tests/goldens/sweep_smoke.json byte for byte (docs/SCENARIOS.md)
 #   9. fault smoke                — `atlahs sweep --fault-smoke` runs the
-#      fixed 24-cell fault-injection grid (link flaps, degraded links,
-#      stragglers) on 2 threads and must reproduce
+#      fixed 45-cell fault-injection grid (link flaps, degraded links,
+#      stragglers, plus the distributional markov / rackfail / churn /
+#      Weibull-straggler regimes) on 2 threads and must reproduce
 #      tests/goldens/fault_smoke.json byte for byte (docs/SCENARIOS.md,
 #      "Failure & variability axes")
 #  10. cluster smoke              — `atlahs cluster --smoke` runs the fixed
 #      24-cell dynamic-cluster grid on 2 threads and must reproduce
 #      tests/goldens/cluster_smoke.json byte for byte (docs/SCENARIOS.md)
+#  11. cluster fault smoke        — `atlahs cluster --fault-smoke` runs the
+#      3-cell job-failure grid (clean / Bernoulli jobfail / MTBF) and must
+#      reproduce tests/goldens/cluster_fault_smoke.json byte for byte
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -93,5 +97,12 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     cluster --smoke --threads 2 --quiet --out "$cluster_json"
 diff -u tests/goldens/cluster_smoke.json "$cluster_json" \
     || { echo "cluster smoke: report drifted from tests/goldens/cluster_smoke.json" >&2; exit 1; }
+
+step "cluster fault smoke (atlahs cluster --fault-smoke vs golden report)"
+cluster_fault_json="target/cluster_fault_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    cluster --fault-smoke --threads 2 --quiet --out "$cluster_fault_json"
+diff -u tests/goldens/cluster_fault_smoke.json "$cluster_fault_json" \
+    || { echo "cluster fault smoke: report drifted from tests/goldens/cluster_fault_smoke.json" >&2; exit 1; }
 
 printf '\nCI gate passed.\n'

@@ -12,7 +12,7 @@
 //!                [--backends b1,b2] [--faults f1,f2] [--seed N]
 //!                [--threads N]
 //!                [--out report.json] [--csv report.csv] [--md report.md]
-//!                [--quiet] [--smoke]
+//!                [--quiet] [--smoke] [--fault-smoke]
 //! atlahs list
 //! atlahs help
 //! ```
@@ -30,7 +30,9 @@
 //! process over a workload catalog, an online allocator with queueing and
 //! backfill, per-job wait/completion/slowdown metrics (docs/SCENARIOS.md).
 //! Same determinism guarantee; `--smoke` runs the fixed CI grid diffed
-//! against `tests/goldens/cluster_smoke.json`.
+//! against `tests/goldens/cluster_smoke.json`, and `--fault-smoke` the
+//! fixed failure-injection grid diffed against
+//! `tests/goldens/cluster_fault_smoke.json`.
 
 use std::time::Instant;
 
@@ -85,13 +87,14 @@ fn usage() {
          \x20 --queues     fifo | smallest (default fifo)\n\
          \x20 --placements / --ccs / --backends as for sweep (default packed /\n\
          \x20              mprdma / lgs,ideal)\n\
-         \x20 --faults     jobfail:<pct>:<at_pct>:<retries> | none (default none)\n\n\
+         \x20 --faults     none | jobfail:<pct>:<at_pct>:<retries> |\n\
+         \x20              mtbf:<mtbf_ns>:<retries> (default none)\n\n\
          EXECUTION:\n\
          \x20 --seed N         grid seed; every cell derives its own (default 1)\n\
          \x20 --threads N      worker threads; 0 = all cores (default 0)\n\
          \x20 --collect-flows  record per-flow MCT statistics (sweep only)\n\
          \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\
-         \x20 --fault-smoke    run the fixed fault-injection grid (sweep only)\n\n\
+         \x20 --fault-smoke    run the fixed fault-injection grid\n\n\
          OUTPUT:\n\
          \x20 --out FILE   write the deterministic JSON report\n\
          \x20 --csv FILE   write the CSV report\n\
@@ -128,10 +131,15 @@ fn list() {
          \x20 none\n\
          \x20 linkflap:<links>:<down_ns>:<up_ns>              (htsim only)\n\
          \x20 degrade:<links>:<bw_pct>:<lat_pct>:<from_ns>:<to_ns>  (htsim only)\n\
-         \x20 straggler:<prob_pct>:<factor_pct>               (lgs only)\n\
+         \x20 straggler:<prob_pct>:<factor_pct>[:<spread_pct>:<shape>]  (lgs only)\n\
+         \x20 markov:<links>:<up_ns>:<down_ns>:<horizon_ns>   (htsim only)\n\
+         \x20 rackfail:<racks>:<from_ns>:<to_ns>              (htsim only)\n\
+         \x20 switchfail:<switches>:<from_ns>:<to_ns>         (htsim only)\n\
+         \x20 churn:<t;dom;d|u,...> | churn:@<trace-file>     (htsim only)\n\
          arrivals (cluster): poisson:<jobs>:<mean_gap_ns>  trace:<t0>;<t1>;…\n\
          queues (cluster):   fifo smallest\n\
-         faults (cluster):   none  jobfail:<pct>:<at_pct>:<retries>"
+         faults (cluster):   none  jobfail:<pct>:<at_pct>:<retries>\n\
+         \x20                   mtbf:<mtbf_ns>:<retries>"
     );
 }
 
@@ -249,7 +257,9 @@ fn sweep(args: &Args) {
 }
 
 fn cluster(args: &Args) {
-    let grid = if args.flag("smoke") {
+    let grid = if args.flag("fault-smoke") {
+        smoke::cluster_fault_smoke_grid()
+    } else if args.flag("smoke") {
         smoke::cluster_smoke_grid()
     } else {
         let topos = parse_axis(args, "topo", "ai-fattree:16:4", TopologySpec::parse);

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use atlahs_core::backends::IdealBackend;
+use atlahs_core::faultgen;
 use atlahs_core::{NodePool, SimReport};
 use atlahs_goal::merge::{compose, PlacedJob, MAX_JOBS};
 use atlahs_goal::{GoalSchedule, Rank};
@@ -207,6 +208,14 @@ pub enum ClusterFaultSpec {
     /// job's restart count). A failed attempt holds its nodes for
     /// `at_pct`% of its simulated duration before releasing them.
     JobFail { pct: u32, at_pct: u32, retries: u32 },
+    /// MTBF process: each attempt draws a seeded exponential
+    /// time-to-failure with mean `mtbf_ns`
+    /// ([`atlahs_core::faultgen::exp_sample`]) and fails iff the draw
+    /// lands inside its run — so long jobs fail more often, and a failed
+    /// attempt holds its nodes exactly until the failure instant. The
+    /// first `retries` attempts may fail; attempt `retries` always runs
+    /// to completion.
+    Mtbf { mtbf_ns: u64, retries: u32 },
 }
 
 impl ClusterFaultSpec {
@@ -216,11 +225,12 @@ impl ClusterFaultSpec {
             ClusterFaultSpec::JobFail { pct, at_pct, retries } => {
                 format!("jobfail:{pct}:{at_pct}:{retries}")
             }
+            ClusterFaultSpec::Mtbf { mtbf_ns, retries } => format!("mtbf:{mtbf_ns}:{retries}"),
         }
     }
 
-    /// Parse a CLI token: `none` or `jobfail:<pct>:<at_pct>:<retries>`
-    /// (docs/SCENARIOS.md).
+    /// Parse a CLI token: `none`, `jobfail:<pct>:<at_pct>:<retries>`, or
+    /// `mtbf:<mtbf_ns>:<retries>` (docs/SCENARIOS.md).
     pub fn parse(tok: &str) -> Result<ClusterFaultSpec, String> {
         if tok == "none" {
             return Ok(ClusterFaultSpec::None);
@@ -242,8 +252,22 @@ impl ClusterFaultSpec {
                     retries,
                 })
             }
+            ["mtbf", mtbf, retries] => {
+                let mtbf_ns: u64 =
+                    mtbf.parse().map_err(|_| format!("bad MTBF `{mtbf}` in fault `{tok}`"))?;
+                if mtbf_ns == 0 {
+                    return Err(format!(
+                        "fault `{tok}`: the mean time between failures must be >= 1 ns"
+                    ));
+                }
+                let retries: u32 = retries
+                    .parse()
+                    .map_err(|_| format!("bad retry bound `{retries}` in fault `{tok}`"))?;
+                Ok(ClusterFaultSpec::Mtbf { mtbf_ns, retries })
+            }
             _ => Err(format!(
-                "unknown cluster fault `{tok}` (expected none or jobfail:<pct>:<at_pct>:<retries>)"
+                "unknown cluster fault `{tok}` (expected none, \
+                 jobfail:<pct>:<at_pct>:<retries>, or mtbf:<mtbf_ns>:<retries>)"
             )),
         }
     }
@@ -267,6 +291,10 @@ impl ClusterFaultSpec {
                 }
                 h % 100 < pct as u64
             }
+            // An MTBF failure depends on the attempt's duration; this
+            // duration-free predicate cannot express it — use
+            // [`Self::failure_at`].
+            ClusterFaultSpec::Mtbf { .. } => false,
         }
     }
 
@@ -278,6 +306,36 @@ impl ClusterFaultSpec {
             ClusterFaultSpec::None => 0,
             ClusterFaultSpec::JobFail { at_pct, .. } => {
                 (duration_ns.saturating_mul(at_pct as u64) / 100).max(1)
+            }
+            ClusterFaultSpec::Mtbf { .. } => 0,
+        }
+    }
+
+    /// The seeded exponential time-to-failure of attempt `attempt` of
+    /// job `job` under an MTBF process.
+    fn mtbf_draw(seed: u64, mtbf_ns: u64, job: usize, attempt: u32) -> u64 {
+        let n = ((job as u64) << 32) | attempt as u64;
+        faultgen::exp_sample(mtbf_ns, faultgen::fnv_draw(seed, "mtbf", n))
+    }
+
+    /// Does attempt `attempt` of job `job` fail, and if so, how long
+    /// does it occupy its allocation before releasing? `None` means the
+    /// attempt runs to completion. This subsumes [`Self::fails`] +
+    /// [`Self::failed_occupancy_ns`]: the `JobFail` path reproduces them
+    /// exactly, while `Mtbf` draws a time-to-failure and fails iff it
+    /// lands inside `duration_ns`.
+    pub fn failure_at(&self, seed: u64, job: usize, attempt: u32, duration_ns: u64) -> Option<u64> {
+        match *self {
+            ClusterFaultSpec::None => None,
+            ClusterFaultSpec::JobFail { .. } => {
+                self.fails(seed, job, attempt).then(|| self.failed_occupancy_ns(duration_ns))
+            }
+            ClusterFaultSpec::Mtbf { mtbf_ns, retries } => {
+                if attempt >= retries {
+                    return None;
+                }
+                let ttf = Self::mtbf_draw(seed, mtbf_ns, job, attempt);
+                (ttf < duration_ns).then(|| ttf.max(1))
             }
         }
     }
@@ -394,8 +452,21 @@ pub struct ClusterOutcome {
     /// Node-time utilization: busy node-ns / (cluster nodes × makespan).
     pub utilization: f64,
     pub frag: FragSummary,
+    /// Realized-fault telemetry; `Some` only for faulted cells.
+    pub fault: Option<ClusterFaultTelemetry>,
     /// Host wall-clock cost (not part of the JSON report).
     pub wall: Duration,
+}
+
+/// What the failure process actually did to one cluster cell: the
+/// aggregate of the per-job restart records, surfaced at cell level so a
+/// report is auditable at a glance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterFaultTelemetry {
+    /// Failed attempts across all jobs.
+    pub restarts: u64,
+    /// Total node-holding time burned by failed attempts (ns).
+    pub failed_ns: u64,
 }
 
 impl ClusterOutcome {
@@ -592,11 +663,12 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
             assert!(solo > 0, "a non-empty job must take time");
             wait_acc_ns[*job] += t - ready_ns[*job];
             cur_nodes[*job] = nodes.clone();
-            if spec.fault.fails(fault_seed, *job, attempts[*job]) {
-                // Failed attempt: hold the allocation for a fraction of
-                // the run, then release and re-queue (handled when this
+            if let Some(occupied) =
+                spec.fault.failure_at(fault_seed, *job, attempts[*job], duration)
+            {
+                // Failed attempt: hold the allocation until the failure
+                // instant, then release and re-queue (handled when this
                 // entry pops off `running`).
-                let occupied = spec.fault.failed_occupancy_ns(duration);
                 attempts[*job] += 1;
                 failed_acc_ns[*job] += occupied;
                 busy_node_ns += occupied * goal.num_ranks() as u64;
@@ -636,6 +708,10 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
     } else {
         busy_node_ns as f64 / (hosts as f64 * makespan_ns as f64)
     };
+    let fault = (spec.fault != ClusterFaultSpec::None).then(|| ClusterFaultTelemetry {
+        restarts: jobs.iter().map(|j| j.restarts as u64).sum(),
+        failed_ns: jobs.iter().map(|j| j.failed_ns).sum(),
+    });
     ClusterOutcome {
         key: spec.key(),
         seed: spec.seed,
@@ -644,6 +720,7 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
         batches,
         peak_queue,
         utilization,
+        fault,
         frag: FragSummary {
             peak_extents,
             mean_index: if batches == 0 { 0.0 } else { frag_sum / batches as f64 },
@@ -835,6 +912,14 @@ impl ClusterReport {
             frag.set("peak_extents", Json::Num(r.frag.peak_extents as f64));
             frag.set("mean_index", Json::Num(round4(r.frag.mean_index)));
             cell.set("frag", frag);
+            // Realized-fault telemetry, faulted cells only: fault-free
+            // reports keep their exact historical bytes.
+            if let Some(tel) = &r.fault {
+                let mut f = Json::obj();
+                f.set("restarts", Json::Num(tel.restarts as f64));
+                f.set("failed_ns", Json::Num(tel.failed_ns as f64));
+                cell.set("fault", f);
+            }
             let mut jobs = Vec::with_capacity(r.jobs.len());
             for j in &r.jobs {
                 let mut job = Json::obj();
@@ -1232,13 +1317,15 @@ mod tests {
 
     #[test]
     fn cluster_fault_specs_roundtrip_and_decide_deterministically() {
-        for tok in ["none", "jobfail:25:50:3", "jobfail:100:0:1"] {
+        for tok in ["none", "jobfail:25:50:3", "jobfail:100:0:1", "mtbf:2000000:3"] {
             let spec = ClusterFaultSpec::parse(tok).unwrap();
             assert_eq!(spec.label(), tok);
         }
         assert!(ClusterFaultSpec::parse("jobfail:x:50:3").is_err());
         assert!(ClusterFaultSpec::parse("jobfail:10:50").is_err());
         assert!(ClusterFaultSpec::parse("nodefail:1").is_err());
+        assert!(ClusterFaultSpec::parse("mtbf:0:3").is_err(), "zero MTBF");
+        assert!(ClusterFaultSpec::parse("mtbf:1000").is_err());
         // Percentages clamp instead of erroring (CLI forgiveness).
         assert_eq!(
             ClusterFaultSpec::parse("jobfail:150:200:2").unwrap(),
@@ -1265,6 +1352,83 @@ mod tests {
         assert_eq!(always.failed_occupancy_ns(1000), 500);
         assert_eq!(never.failed_occupancy_ns(0), 1, "failed attempts take at least 1 ns");
         assert_eq!(ClusterFaultSpec::None.failed_occupancy_ns(1000), 0);
+
+        // `failure_at` subsumes fails + failed_occupancy_ns exactly.
+        for job in 0..8 {
+            assert_eq!(always.failure_at(7, job, 0, 1000), Some(500));
+            assert_eq!(always.failure_at(7, job, 2, 1000), None);
+            assert_eq!(never.failure_at(7, job, 0, 1000), None);
+            assert_eq!(ClusterFaultSpec::None.failure_at(7, job, 0, 1000), None);
+        }
+    }
+
+    #[test]
+    fn mtbf_failures_scale_with_duration_and_respect_the_retry_bound() {
+        let mtbf = ClusterFaultSpec::Mtbf { mtbf_ns: 1_000_000, retries: 2 };
+        // Short attempts rarely fail, long attempts usually do, and when
+        // one fails it holds its nodes strictly inside its run.
+        let mut short_fails = 0;
+        let mut long_fails = 0;
+        for job in 0..64 {
+            if let Some(held) = mtbf.failure_at(7, job, 0, 10_000) {
+                assert!((1..10_000).contains(&held));
+                short_fails += 1;
+            }
+            if let Some(held) = mtbf.failure_at(7, job, 0, 20_000_000) {
+                assert!((1..20_000_000).contains(&held));
+                long_fails += 1;
+            }
+            assert_eq!(mtbf.failure_at(7, job, 2, u64::MAX), None, "retry bound holds");
+            assert_eq!(
+                mtbf.failure_at(7, job, 0, 123_456),
+                mtbf.failure_at(7, job, 0, 123_456),
+                "pure function of (seed, job, attempt, duration)"
+            );
+        }
+        assert!(short_fails < 16, "10 µs attempts vs 1 ms MTBF: {short_fails}/64 failed");
+        assert!(long_fails > 56, "20 ms attempts vs 1 ms MTBF: only {long_fails}/64 failed");
+        // The duration-free predicate cannot express an MTBF failure.
+        assert!(!mtbf.fails(7, 0, 0));
+        assert_eq!(mtbf.failed_occupancy_ns(1000), 0);
+    }
+
+    #[test]
+    fn mtbf_cluster_runs_restart_jobs_and_report_telemetry() {
+        let mut spec = small_spec(PlacementSpec::Packed, BackendSpec::Lgs);
+        // Job runs are hundreds of µs; a 200 µs MTBF forces failures.
+        spec.fault = ClusterFaultSpec::Mtbf { mtbf_ns: 200_000, retries: 3 };
+        let out = run_cluster(&spec, 2);
+        let clean = run_cluster(&small_spec(PlacementSpec::Packed, BackendSpec::Lgs), 2);
+        assert_eq!(out.jobs.len(), 8, "every job still completes");
+        assert_eq!(clean.fault, None, "fault-free cells carry no telemetry");
+        let tel = out.fault.expect("faulted cells report telemetry");
+        assert!(tel.restarts > 0, "a sub-runtime MTBF must fire: {tel:?}");
+        assert_eq!(tel.restarts, out.jobs.iter().map(|j| j.restarts as u64).sum::<u64>());
+        assert_eq!(tel.failed_ns, out.jobs.iter().map(|j| j.failed_ns).sum::<u64>());
+        assert!(tel.failed_ns > 0, "failed attempts hold their nodes for at least 1 ns");
+        for j in out.jobs.iter().filter(|j| j.restarts > 0) {
+            assert!(j.failed_ns > 0);
+            assert_eq!(j.start_ns, j.arrival_ns + j.wait_ns + j.failed_ns);
+        }
+        // Both runs are identical up to the first failure, so that job's
+        // successful start must slip past its clean twin's (the cluster
+        // is unsaturated, so the *makespan* need not move — the per-job
+        // records must).
+        assert!(
+            out.jobs
+                .iter()
+                .filter(|j| j.restarts > 0)
+                .any(|j| j.start_ns > clean.jobs[j.id].start_ns),
+            "a restarted job starts later than its fault-free twin"
+        );
+        // Deterministic across thread counts, and the telemetry reaches
+        // the JSON report.
+        let json =
+            |r: ClusterOutcome| ClusterReport { seed: 9, results: vec![r] }.to_json().pretty();
+        let ja = json(out);
+        assert_eq!(ja, json(run_cluster(&spec, 1)), "thread-count independent");
+        assert!(ja.contains("\"fault\"") && ja.contains("\"failed_ns\""), "{ja}");
+        assert!(!json(clean).contains("\"fault\""));
     }
 
     #[test]

@@ -19,11 +19,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use atlahs_core::backends::IdealBackend;
+use atlahs_core::faultgen::{self, ChurnEvent, Distribution};
 use atlahs_core::{allocate, PlacementStrategy};
 use atlahs_goal::merge::{compose, PlacedJob};
 use atlahs_goal::GoalSchedule;
 use atlahs_htsim::engine::{HtsimBackend, HtsimConfig, NetStats};
-use atlahs_htsim::fault::{select_fault_ports, FaultKind, PortFault};
+use atlahs_htsim::fault::{
+    normalize_windows, select_fault_domains, select_fault_ports, FaultKind, PortFault,
+};
 use atlahs_htsim::topology::{LinkParams, Topology, TopologyConfig};
 use atlahs_htsim::CcAlgo;
 use atlahs_lgs::{LgsBackend, LogGopsParams, StragglerSpec};
@@ -570,7 +573,7 @@ impl PlacementSpec {
 /// `cell_seed(cell.seed, fault_label)` at run time, so the base cell
 /// seed — and therefore every fault-free cell and every generated
 /// workload instance — is untouched by the axis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultSpec {
     /// Perfect fabric (the default; label `none`).
     None,
@@ -581,9 +584,27 @@ pub enum FaultSpec {
     /// latency between `from_ns` and `to_ns` (packet-level).
     Degrade { links: usize, bw_pct: u32, lat_pct: u32, from_ns: u64, to_ns: u64 },
     /// Each rank straggles with probability `prob_pct`%, inflating calc
-    /// costs to `factor_pct`% (message-level; see
+    /// costs to `factor_pct`% plus (when `spread_pct > 0`) a per-rank
+    /// Weibull(`spread_pct`, `shape`) draw, so stragglers are slowed by
+    /// *different* amounts (message-level; see
     /// [`atlahs_lgs::StragglerSpec`]).
-    Straggler { prob_pct: u32, factor_pct: u32 },
+    Straggler { prob_pct: u32, factor_pct: u32, spread_pct: u32, shape: u32 },
+    /// Gilbert–Elliott flapping: `links` seeded ports alternate between
+    /// up (Exp mean `up_ns`) and down (Exp mean `down_ns`) sojourns,
+    /// unrolled deterministically into down-windows over `[0, horizon_ns)`
+    /// (packet-level).
+    Markov { links: usize, up_ns: u64, down_ns: u64, horizon_ns: u64 },
+    /// Correlated failure: `racks` seeded edge-tier failure domains (a
+    /// ToR and every port touching it) go down whole between `from_ns`
+    /// and `to_ns` (packet-level).
+    RackFail { racks: usize, from_ns: u64, to_ns: u64 },
+    /// Correlated failure: `switches` seeded core-tier failure domains
+    /// down whole between `from_ns` and `to_ns` (packet-level).
+    SwitchFail { switches: usize, from_ns: u64, to_ns: u64 },
+    /// Churn-trace replay: a validated down/up event sequence per trace
+    /// domain, mapped onto the topology's edge failure domains
+    /// (packet-level; see [`atlahs_core::faultgen::parse_churn_trace`]).
+    Churn { events: Vec<ChurnEvent> },
 }
 
 impl FaultSpec {
@@ -596,8 +617,26 @@ impl FaultSpec {
             FaultSpec::Degrade { links, bw_pct, lat_pct, from_ns, to_ns } => {
                 format!("degrade:{links}:{bw_pct}:{lat_pct}:{from_ns}:{to_ns}")
             }
-            FaultSpec::Straggler { prob_pct, factor_pct } => {
+            // The short form is the pre-spread label: uniform-straggler
+            // cells keep their historical keys (and therefore seeds and
+            // goldens) byte-identical.
+            FaultSpec::Straggler { prob_pct, factor_pct, spread_pct: 0, shape: _ } => {
                 format!("straggler:{prob_pct}:{factor_pct}")
+            }
+            FaultSpec::Straggler { prob_pct, factor_pct, spread_pct, shape } => {
+                format!("straggler:{prob_pct}:{factor_pct}:{spread_pct}:{shape}")
+            }
+            FaultSpec::Markov { links, up_ns, down_ns, horizon_ns } => {
+                format!("markov:{links}:{up_ns}:{down_ns}:{horizon_ns}")
+            }
+            FaultSpec::RackFail { racks, from_ns, to_ns } => {
+                format!("rackfail:{racks}:{from_ns}:{to_ns}")
+            }
+            FaultSpec::SwitchFail { switches, from_ns, to_ns } => {
+                format!("switchfail:{switches}:{from_ns}:{to_ns}")
+            }
+            FaultSpec::Churn { ref events } => {
+                format!("churn:{}", faultgen::churn_inline_label(events))
             }
         }
     }
@@ -608,19 +647,59 @@ impl FaultSpec {
     pub fn applies_to(&self, backend: &BackendSpec) -> bool {
         match self {
             FaultSpec::None => true,
-            FaultSpec::LinkFlap { .. } | FaultSpec::Degrade { .. } => {
+            FaultSpec::LinkFlap { .. }
+            | FaultSpec::Degrade { .. }
+            | FaultSpec::Markov { .. }
+            | FaultSpec::RackFail { .. }
+            | FaultSpec::SwitchFail { .. }
+            | FaultSpec::Churn { .. } => {
                 matches!(backend, BackendSpec::Htsim { .. })
             }
             FaultSpec::Straggler { .. } => matches!(backend, BackendSpec::Lgs),
         }
     }
 
+    /// Whether this is one of the distributional regimes (generated by
+    /// `atlahs_core::faultgen` rather than fixed windows). Only these
+    /// cells carry realized-fault telemetry in reports — the primitive
+    /// regimes predate the telemetry and their goldens stay byte-exact.
+    pub fn distributional(&self) -> bool {
+        match self {
+            FaultSpec::Markov { .. }
+            | FaultSpec::RackFail { .. }
+            | FaultSpec::SwitchFail { .. }
+            | FaultSpec::Churn { .. } => true,
+            FaultSpec::Straggler { spread_pct, .. } => *spread_pct > 0,
+            _ => false,
+        }
+    }
+
     /// Parse a CLI token (the inverse of [`FaultSpec::label`]).
+    ///
+    /// `churn:` accepts either the inline event grammar
+    /// (`<t_ns>;<domain>;<d|u>` joined by `,`) or `churn:@<path>` to load
+    /// a trace file (text lines or a JSON array; see
+    /// [`atlahs_core::faultgen::parse_churn_trace`]). Either way the
+    /// resulting spec labels itself with the canonical inline form, so a
+    /// file-fed cell keys and reproduces identically to its inline twin.
     pub fn parse(tok: &str) -> Result<FaultSpec, String> {
-        let parts: Vec<&str> = tok.split(':').collect();
         fn num<T: std::str::FromStr>(s: &str, tok: &str) -> Result<T, String> {
             s.parse().map_err(|_| format!("bad number `{s}` in fault `{tok}`"))
         }
+        if let Some(rest) = tok.strip_prefix("churn:") {
+            let events = if let Some(path) = rest.strip_prefix('@') {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("fault `{tok}`: cannot read trace file: {e}"))?;
+                churn_events_from_text(&text)?
+            } else {
+                faultgen::parse_churn_inline(rest)?
+            };
+            if events.is_empty() {
+                return Err(format!("fault `{tok}`: the churn trace has no events"));
+            }
+            return Ok(FaultSpec::Churn { events });
+        }
+        let parts: Vec<&str> = tok.split(':').collect();
         match parts.as_slice() {
             ["none"] => Ok(FaultSpec::None),
             ["linkflap", links, down, up] => {
@@ -635,22 +714,68 @@ impl FaultSpec {
                 if to_ns <= from_ns {
                     return Err(format!("fault `{tok}`: the window must close after it opens"));
                 }
-                Ok(FaultSpec::Degrade {
-                    links: num(links, tok)?,
-                    bw_pct: num(bw, tok)?,
-                    lat_pct: num(lat, tok)?,
-                    from_ns,
-                    to_ns,
-                })
+                let (bw_pct, lat_pct): (u32, u32) = (num(bw, tok)?, num(lat, tok)?);
+                if bw_pct == 0 {
+                    return Err(format!(
+                        "fault `{tok}`: bw_pct must be >= 1 — a 0-bandwidth link never drains; \
+                         model an outage with linkflap/markov/rackfail instead"
+                    ));
+                }
+                if lat_pct == 0 {
+                    return Err(format!(
+                        "fault `{tok}`: lat_pct must be >= 1 — a zero-latency wire is not a \
+                         degradation (100 = nominal, >100 = slower)"
+                    ));
+                }
+                Ok(FaultSpec::Degrade { links: num(links, tok)?, bw_pct, lat_pct, from_ns, to_ns })
             }
             ["straggler", prob, factor] => Ok(FaultSpec::Straggler {
                 prob_pct: num::<u32>(prob, tok)?.min(100),
                 factor_pct: num(factor, tok)?,
+                spread_pct: 0,
+                shape: 1,
             }),
+            ["straggler", prob, factor, spread, shape] => Ok(FaultSpec::Straggler {
+                prob_pct: num::<u32>(prob, tok)?.min(100),
+                factor_pct: num(factor, tok)?,
+                spread_pct: num(spread, tok)?,
+                shape: num::<u32>(shape, tok)?.clamp(1, 16),
+            }),
+            ["markov", links, up, down, horizon] => {
+                let (up_ns, down_ns, horizon_ns): (u64, u64, u64) =
+                    (num(up, tok)?, num(down, tok)?, num(horizon, tok)?);
+                if up_ns == 0 || down_ns == 0 {
+                    return Err(format!(
+                        "fault `{tok}`: mean sojourn times must be >= 1 ns in both states"
+                    ));
+                }
+                if horizon_ns == 0 {
+                    return Err(format!("fault `{tok}`: the flapping horizon must be >= 1 ns"));
+                }
+                Ok(FaultSpec::Markov { links: num(links, tok)?, up_ns, down_ns, horizon_ns })
+            }
+            ["rackfail", racks, from, to] => {
+                let (from_ns, to_ns) = (num(from, tok)?, num(to, tok)?);
+                if to_ns <= from_ns {
+                    return Err(format!("fault `{tok}`: the window must close after it opens"));
+                }
+                Ok(FaultSpec::RackFail { racks: num(racks, tok)?, from_ns, to_ns })
+            }
+            ["switchfail", switches, from, to] => {
+                let (from_ns, to_ns) = (num(from, tok)?, num(to, tok)?);
+                if to_ns <= from_ns {
+                    return Err(format!("fault `{tok}`: the window must close after it opens"));
+                }
+                Ok(FaultSpec::SwitchFail { switches: num(switches, tok)?, from_ns, to_ns })
+            }
             _ => Err(format!(
                 "unknown fault `{tok}` (expected none, linkflap:<links>:<down_ns>:<up_ns>, \
                  degrade:<links>:<bw_pct>:<lat_pct>:<from_ns>:<to_ns>, \
-                 straggler:<prob_pct>:<factor_pct>)"
+                 straggler:<prob_pct>:<factor_pct>[:<spread_pct>:<shape>], \
+                 markov:<links>:<up_ns>:<down_ns>:<horizon_ns>, \
+                 rackfail:<racks>:<from_ns>:<to_ns>, \
+                 switchfail:<switches>:<from_ns>:<to_ns>, \
+                 churn:<t;dom;d|u,...> or churn:@<trace-file>)"
             )),
         }
     }
@@ -684,6 +809,66 @@ impl FaultSpec {
                     })
                     .collect()
             }
+            FaultSpec::Markov { links, up_ns, down_ns, horizon_ns } => {
+                let up = Distribution::Exp { mean_ns: up_ns };
+                let down = Distribution::Exp { mean_ns: down_ns };
+                let faults = select_fault_ports(topo, links, fault_seed)
+                    .into_iter()
+                    .flat_map(|port| {
+                        // One derived seed per port: which ports the
+                        // shuffle picked never changes *how* a given
+                        // port flaps.
+                        let per_port = faultgen::fnv_draw(fault_seed, "markov-port", port as u64);
+                        faultgen::unroll_two_state(
+                            per_port,
+                            &up,
+                            &down,
+                            horizon_ns,
+                            MAX_FLAP_WINDOWS,
+                        )
+                        .into_iter()
+                        .map(move |(start_ns, end_ns)| PortFault {
+                            port,
+                            start_ns,
+                            end_ns,
+                            kind: FaultKind::Down,
+                        })
+                    })
+                    .collect();
+                // Per-port trains are disjoint by construction; normalize
+                // only re-sorts across ports (and would catch a generator
+                // regression).
+                normalize_windows(faults).expect("two-state unroll yields disjoint down-windows")
+            }
+            FaultSpec::RackFail { racks, from_ns, to_ns } => {
+                domain_windows(topo, racks, false, fault_seed, from_ns, to_ns)
+            }
+            FaultSpec::SwitchFail { switches, from_ns, to_ns } => {
+                domain_windows(topo, switches, true, fault_seed, from_ns, to_ns)
+            }
+            FaultSpec::Churn { ref events } => {
+                let domains = topo.failure_domains(false);
+                let mut faults = Vec::new();
+                let mut seen: Vec<u32> = events.iter().map(|e| e.domain).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                for dom in seen {
+                    let ports = &domains[dom as usize % domains.len()];
+                    for (start_ns, end_ns) in faultgen::churn_windows(events, dom) {
+                        for &port in ports {
+                            faults.push(PortFault {
+                                port,
+                                start_ns,
+                                end_ns,
+                                kind: FaultKind::Down,
+                            });
+                        }
+                    }
+                }
+                // Two trace domains may alias to one topology domain;
+                // same-kind overlap merges into the union window.
+                normalize_windows(faults).expect("churn replay emits only Down windows")
+            }
         }
     }
 
@@ -691,12 +876,86 @@ impl FaultSpec {
     /// fault is not a straggler).
     pub fn straggler_spec(&self, fault_seed: u64) -> Option<StragglerSpec> {
         match *self {
-            FaultSpec::Straggler { prob_pct, factor_pct } => {
-                Some(StragglerSpec { prob_pct, factor_pct, seed: fault_seed })
+            FaultSpec::Straggler { prob_pct, factor_pct, spread_pct, shape } => {
+                Some(StragglerSpec { prob_pct, factor_pct, spread_pct, shape, seed: fault_seed })
             }
             _ => None,
         }
     }
+}
+
+/// Cap on generated windows per flapping port — a backstop against a
+/// pathological `up_ns`/`down_ns` vs. horizon ratio, far above anything
+/// a realistic spec unrolls.
+const MAX_FLAP_WINDOWS: usize = 4096;
+
+/// Down every port of `count` seeded failure domains for `[from_ns, to_ns)`.
+fn domain_windows(
+    topo: &Topology,
+    count: usize,
+    core_tier: bool,
+    fault_seed: u64,
+    from_ns: u64,
+    to_ns: u64,
+) -> Vec<PortFault> {
+    let faults = select_fault_domains(topo, count, core_tier, fault_seed)
+        .into_iter()
+        .flatten()
+        .map(|port| PortFault { port, start_ns: from_ns, end_ns: to_ns, kind: FaultKind::Down })
+        .collect();
+    // Edge domains partition the port table but core domains of a fat
+    // tree share nothing either; dedup via merge keeps this robust if a
+    // topology ever yields overlapping domains.
+    normalize_windows(faults).expect("domain failure emits only Down windows")
+}
+
+/// Parse a churn trace file body: a JSON array of `[t_ns, domain, "down"|"up"]`
+/// triples when the text starts with `[`, otherwise the line-oriented text
+/// format of [`faultgen::parse_churn_trace`].
+fn churn_events_from_text(text: &str) -> Result<Vec<ChurnEvent>, String> {
+    if text.trim_start().starts_with('[') {
+        let doc = crate::json::Json::parse(text).map_err(|e| format!("churn trace JSON: {e}"))?;
+        let arr = doc.as_arr().ok_or("churn trace JSON: expected a top-level array")?;
+        let mut events = Vec::with_capacity(arr.len());
+        for (i, entry) in arr.iter().enumerate() {
+            let trip = entry
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or_else(|| format!("churn trace JSON: entry {i} is not a 3-element array"))?;
+            let t_ns = trip[0]
+                .as_f64()
+                .filter(|t| *t >= 0.0 && t.fract() == 0.0)
+                .ok_or_else(|| format!("churn trace JSON: entry {i}: bad timestamp"))?
+                as u64;
+            let domain = trip[1]
+                .as_f64()
+                .filter(|d| *d >= 0.0 && d.fract() == 0.0)
+                .ok_or_else(|| format!("churn trace JSON: entry {i}: bad domain"))?
+                as u32;
+            let down = match trip[2].as_str() {
+                Some("down") => true,
+                Some("up") => false,
+                _ => return Err(format!("churn trace JSON: entry {i}: expected \"down\"|\"up\"")),
+            };
+            events.push(ChurnEvent { t_ns, domain, down });
+        }
+        faultgen::validate_churn(&events)?;
+        Ok(events)
+    } else {
+        faultgen::parse_churn_trace(text)
+    }
+}
+
+/// Realized-fault telemetry for one cell: what the distributional fault
+/// generator actually produced, so a report is auditable without
+/// re-deriving the draw chain. `windows`/`downtime_ns` describe the
+/// packet-level schedule (downtime counts per-port window durations);
+/// `stragglers` counts slowed ranks on the message-level path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTelemetry {
+    pub windows: u64,
+    pub downtime_ns: u64,
+    pub stragglers: u64,
 }
 
 // ------------------------------------------------------------- backend ----
@@ -857,7 +1116,7 @@ impl ScenarioGrid {
                                     workload: workload.clone(),
                                     placement: *placement,
                                     backend,
-                                    fault: *fault,
+                                    fault: fault.clone(),
                                     seed: 0,
                                     collect_flows: self.collect_flows,
                                 };
@@ -925,7 +1184,7 @@ impl ScenarioCell {
             self.placement.label(),
             self.backend.label()
         );
-        match self.fault {
+        match &self.fault {
             FaultSpec::None => base,
             fault => format!("{base}/{}", fault.label()),
         }
@@ -956,6 +1215,9 @@ pub struct CellResult {
     /// multi-job schedule when placement remaps ranks). Deterministic,
     /// so memory regressions surface in byte-compared sweep reports.
     pub task_arena_bytes: u64,
+    /// Realized-fault telemetry; `Some` only for distributional fault
+    /// regimes (see [`FaultSpec::distributional`]).
+    pub fault: Option<FaultTelemetry>,
     /// Host wall-clock cost of the cell (not part of the JSON report).
     pub wall: Duration,
 }
@@ -1000,10 +1262,11 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
     // Fault randomness is keyed off the *derived* seed so the base cell
     // seed (workload generation, placement, packet RNG) is untouched by
     // the fault axis. `FaultSpec::None` derives nothing.
-    let fault_seed = match cell.fault {
+    let fault_seed = match &cell.fault {
         FaultSpec::None => 0,
         fault => cell_seed(cell.seed, &fault.label()),
     };
+    let mut fault_telemetry: Option<FaultTelemetry> = None;
 
     let (report, mct, net, wall) = match cell.backend {
         BackendSpec::Htsim { cc, spray } => {
@@ -1013,7 +1276,15 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
             cfg.spray = spray;
             cfg.collect_flows = cell.collect_flows;
             if !matches!(cell.fault, FaultSpec::None) {
-                cfg.faults = cell.fault.port_faults(&Topology::build(topo_cfg), fault_seed);
+                let faults = cell.fault.port_faults(&Topology::build(topo_cfg), fault_seed);
+                if cell.fault.distributional() {
+                    fault_telemetry = Some(FaultTelemetry {
+                        windows: faults.len() as u64,
+                        downtime_ns: faults.iter().map(|f| f.end_ns - f.start_ns).sum(),
+                        stragglers: 0,
+                    });
+                }
+                cfg.faults = faults;
             }
             let mut backend = HtsimBackend::new(cfg);
             let (report, wall) = runner::run_on(goal, &mut backend);
@@ -1023,7 +1294,18 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
         }
         BackendSpec::Lgs => {
             let mut backend = match cell.fault.straggler_spec(fault_seed) {
-                Some(spec) => LgsBackend::with_straggler(lgs_params_for(&cell.topology), spec),
+                Some(spec) => {
+                    if cell.fault.distributional() {
+                        let slowed =
+                            (0..goal.num_ranks()).filter(|&r| spec.is_straggler(r)).count();
+                        fault_telemetry = Some(FaultTelemetry {
+                            windows: 0,
+                            downtime_ns: 0,
+                            stragglers: slowed as u64,
+                        });
+                    }
+                    LgsBackend::with_straggler(lgs_params_for(&cell.topology), spec)
+                }
                 None => LgsBackend::new(lgs_params_for(&cell.topology)),
             };
             let (report, wall) = runner::run_on(goal, &mut backend);
@@ -1048,6 +1330,7 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
         net,
         job_finish,
         task_arena_bytes,
+        fault: fault_telemetry,
         wall,
     }
 }
@@ -1189,12 +1472,201 @@ mod tests {
             FaultSpec::None,
             FaultSpec::LinkFlap { links: 2, down_ns: 10_000, up_ns: 60_000 },
             FaultSpec::Degrade { links: 1, bw_pct: 25, lat_pct: 400, from_ns: 0, to_ns: 500_000 },
-            FaultSpec::Straggler { prob_pct: 25, factor_pct: 300 },
+            FaultSpec::Straggler { prob_pct: 25, factor_pct: 300, spread_pct: 0, shape: 1 },
+            FaultSpec::Straggler { prob_pct: 25, factor_pct: 300, spread_pct: 150, shape: 2 },
+            FaultSpec::Markov { links: 2, up_ns: 40_000, down_ns: 8_000, horizon_ns: 400_000 },
+            FaultSpec::RackFail { racks: 1, from_ns: 10_000, to_ns: 90_000 },
+            FaultSpec::SwitchFail { switches: 1, from_ns: 10_000, to_ns: 90_000 },
+            FaultSpec::Churn {
+                events: faultgen::parse_churn_inline("1000;0;d,5000;0;u,2000;1;d,7000;1;u")
+                    .unwrap(),
+            },
         ] {
             assert_eq!(FaultSpec::parse(&spec.label()).unwrap(), spec);
         }
         assert!(FaultSpec::parse("meteor:1").is_err());
         assert!(FaultSpec::parse("linkflap:1:500:100").is_err(), "window must close after open");
+        // The uniform straggler keeps its historical short label.
+        assert_eq!(
+            FaultSpec::Straggler { prob_pct: 25, factor_pct: 300, spread_pct: 0, shape: 7 }.label(),
+            "straggler:25:300"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_degenerate_and_malformed_specs() {
+        // Satellite: degenerate degrade parameters die at parse time, not
+        // at simulation time as a never-draining queue or a time-warped
+        // wire.
+        let err = FaultSpec::parse("degrade:2:0:300:0:200000").unwrap_err();
+        assert!(err.contains("bw_pct"), "{err}");
+        let err = FaultSpec::parse("degrade:2:25:0:0:200000").unwrap_err();
+        assert!(err.contains("lat_pct"), "{err}");
+        // Distributional specs validate their shape too.
+        assert!(FaultSpec::parse("markov:2:0:8000:400000").is_err(), "zero mean sojourn");
+        assert!(FaultSpec::parse("markov:2:40000:8000:0").is_err(), "zero horizon");
+        assert!(FaultSpec::parse("rackfail:1:90000:10000").is_err(), "inverted window");
+        assert!(FaultSpec::parse("churn:").is_err(), "empty trace");
+        assert!(FaultSpec::parse("churn:1000;0;d").is_err(), "domain left down");
+        assert!(FaultSpec::parse("churn:@/no/such/trace-file").is_err(), "missing file");
+        // Clamps still apply on the extended straggler form.
+        assert_eq!(
+            FaultSpec::parse("straggler:250:300:100:99").unwrap(),
+            FaultSpec::Straggler { prob_pct: 100, factor_pct: 300, spread_pct: 100, shape: 16 }
+        );
+    }
+
+    #[test]
+    fn churn_trace_files_key_like_their_inline_twins() {
+        let dir = std::env::temp_dir();
+        let text_path = dir.join("atlahs_churn_test.trace");
+        let json_path = dir.join("atlahs_churn_test.json");
+        std::fs::write(
+            &text_path,
+            "# rack 0 bounces twice\n1000 0 down\n5000 0 up\n20000 0 down # again\n21000 0 up\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &json_path,
+            "[[1000, 0, \"down\"], [5000, 0, \"up\"], [20000, 0, \"down\"], [21000, 0, \"up\"]]",
+        )
+        .unwrap();
+        let inline = FaultSpec::parse("churn:1000;0;d,5000;0;u,20000;0;d,21000;0;u").unwrap();
+        let from_text = FaultSpec::parse(&format!("churn:@{}", text_path.display())).unwrap();
+        let from_json = FaultSpec::parse(&format!("churn:@{}", json_path.display())).unwrap();
+        assert_eq!(from_text, inline, "file traces canonicalize to the inline spec");
+        assert_eq!(from_json, inline);
+        assert_eq!(from_text.label(), "churn:1000;0;d,5000;0;u,20000;0;d,21000;0;u");
+        std::fs::remove_file(&text_path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn distributional_port_faults_are_seeded_and_normalized() {
+        let topo = Topology::build(TopologySpec::AiFatTree { nodes: 16, oversub: 4 }.config());
+        let markov =
+            FaultSpec::Markov { links: 2, up_ns: 40_000, down_ns: 8_000, horizon_ns: 400_000 };
+        let a = markov.port_faults(&topo, 7);
+        assert_eq!(a, markov.port_faults(&topo, 7), "same seed, same schedule");
+        assert_ne!(a, markov.port_faults(&topo, 8), "flap schedules are seed-sensitive");
+        assert!(!a.is_empty(), "a 5:1 up:down ratio over 400 µs must flap");
+        for w in windows_by_port(&a) {
+            assert!(w.windows(2).all(|p| p[0].1 <= p[1].0), "per-port windows stay disjoint");
+        }
+        // Correlated domain failure downs every port of the rack at once.
+        let rack =
+            FaultSpec::RackFail { racks: 1, from_ns: 10_000, to_ns: 90_000 }.port_faults(&topo, 7);
+        let dom_sizes: Vec<usize> = topo.failure_domains(false).iter().map(|d| d.len()).collect();
+        assert!(dom_sizes.contains(&rack.len()), "one whole rack domain fails: {rack:?}");
+        assert!(rack.iter().all(|f| f.start_ns == 10_000 && f.end_ns == 90_000));
+        // Churn maps trace domains onto rack domains and replays windows.
+        let churn = FaultSpec::parse("churn:1000;0;d,5000;0;u,2000;1;d,7000;1;u").unwrap();
+        let replay = churn.port_faults(&topo, 7);
+        assert_eq!(replay, churn.port_faults(&topo, 99), "replay ignores the seed");
+        assert_eq!(replay.len(), dom_sizes[0] + dom_sizes[1]);
+    }
+
+    fn windows_by_port(faults: &[PortFault]) -> Vec<Vec<(u64, u64)>> {
+        let mut per: std::collections::BTreeMap<u32, Vec<(u64, u64)>> = Default::default();
+        for f in faults {
+            per.entry(f.port).or_default().push((f.start_ns, f.end_ns));
+        }
+        per.into_values().collect()
+    }
+
+    #[test]
+    fn markov_cell_diverges_and_reports_telemetry() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: WorkloadSpec::Ring { ranks: 16, bytes: 1 << 20, laps: 1 },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault,
+            seed: 3,
+            collect_flows: false,
+        };
+        let clean = run_cell(&mk(FaultSpec::None));
+        assert_eq!(clean.fault, None, "fault-free cells carry no telemetry");
+        let markov =
+            FaultSpec::Markov { links: 2, up_ns: 30_000, down_ns: 60_000, horizon_ns: 400_000 };
+        let a = run_cell(&mk(markov.clone()));
+        let b = run_cell(&mk(markov.clone()));
+        assert_eq!(a.makespan, b.makespan, "distributional cells re-run bit-identically");
+        assert_eq!(a.fault, b.fault);
+        let tel = a.fault.expect("distributional cells report realized-fault telemetry");
+        assert!(tel.windows > 0 && tel.downtime_ns > 0, "{tel:?}");
+        // The telemetry identity: downtime is exactly the sum of the
+        // generated windows' durations.
+        let topo = Topology::build(mk(markov.clone()).topology.config());
+        let fault_seed = cell_seed(3, &markov.label());
+        let schedule = markov.port_faults(&topo, fault_seed);
+        assert_eq!(tel.windows, schedule.len() as u64);
+        assert_eq!(tel.downtime_ns, schedule.iter().map(|f| f.end_ns - f.start_ns).sum::<u64>());
+        assert_ne!(a.makespan, clean.makespan, "heavy flapping must bite");
+    }
+
+    #[test]
+    fn rackfail_and_churn_cells_diverge_from_clean() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: WorkloadSpec::Ring { ranks: 16, bytes: 1 << 20, laps: 1 },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault,
+            seed: 3,
+            collect_flows: false,
+        };
+        let clean = run_cell(&mk(FaultSpec::None));
+        let rack = run_cell(&mk(FaultSpec::RackFail { racks: 1, from_ns: 0, to_ns: 300_000 }));
+        assert_ne!(rack.makespan, clean.makespan, "a rack outage must bite");
+        assert!(rack.net.unwrap().fault_drops > 0, "rack ports drop traffic: {:?}", rack.net);
+        let tel = rack.fault.unwrap();
+        assert_eq!(tel.downtime_ns, tel.windows * 300_000, "uniform windows sum exactly");
+        let churn = FaultSpec::parse("churn:0;0;d,250000;0;u").unwrap();
+        let churned = run_cell(&mk(churn));
+        assert_ne!(churned.makespan, clean.makespan, "churn replay must bite");
+        assert!(churned.fault.unwrap().windows > 0);
+    }
+
+    #[test]
+    fn spread_straggler_cell_reports_straggler_count() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::SingleSwitch { hosts: 8 },
+            workload: WorkloadSpec::MoeAllToAll {
+                ranks: 8,
+                group: 4,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 50_000,
+            },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Lgs,
+            fault,
+            seed: 2,
+            collect_flows: false,
+        };
+        let uniform = run_cell(&mk(FaultSpec::Straggler {
+            prob_pct: 100,
+            factor_pct: 400,
+            spread_pct: 0,
+            shape: 1,
+        }));
+        assert_eq!(uniform.fault, None, "pre-existing uniform stragglers stay telemetry-free");
+        let spread = run_cell(&mk(FaultSpec::Straggler {
+            prob_pct: 100,
+            factor_pct: 400,
+            spread_pct: 200,
+            shape: 2,
+        }));
+        let tel = spread.fault.expect("spread stragglers are distributional");
+        assert_eq!(tel.stragglers, 8, "prob 100% slows every rank");
+        assert_eq!((tel.windows, tel.downtime_ns), (0, 0), "message-level: no port windows");
+        assert!(
+            spread.makespan > uniform.makespan,
+            "the Weibull spread only adds slowdown: {} vs {}",
+            spread.makespan,
+            uniform.makespan
+        );
     }
 
     #[test]
@@ -1208,7 +1680,7 @@ mod tests {
             faults: vec![
                 FaultSpec::None,
                 FaultSpec::LinkFlap { links: 1, down_ns: 1_000, up_ns: 50_000 },
-                FaultSpec::Straggler { prob_pct: 100, factor_pct: 200 },
+                FaultSpec::Straggler { prob_pct: 100, factor_pct: 200, spread_pct: 0, shape: 1 },
             ],
             seed: 1,
             collect_flows: false,
@@ -1240,7 +1712,7 @@ mod tests {
         };
         let clean = run_cell(&mk(FaultSpec::None));
         let flap = FaultSpec::LinkFlap { links: 2, down_ns: 5_000, up_ns: 400_000 };
-        let a = run_cell(&mk(flap));
+        let a = run_cell(&mk(flap.clone()));
         let b = run_cell(&mk(flap));
         assert_eq!(a.makespan, b.makespan, "faulted cells re-run bit-identically");
         assert_eq!(a.net, b.net);
@@ -1271,7 +1743,12 @@ mod tests {
             collect_flows: false,
         };
         let clean = run_cell(&mk(FaultSpec::None));
-        let slow = run_cell(&mk(FaultSpec::Straggler { prob_pct: 100, factor_pct: 400 }));
+        let slow = run_cell(&mk(FaultSpec::Straggler {
+            prob_pct: 100,
+            factor_pct: 400,
+            spread_pct: 0,
+            shape: 1,
+        }));
         assert!(
             slow.makespan > clean.makespan + 100_000,
             "4x calc inflation on a compute-heavy MoE must show: {} vs {}",

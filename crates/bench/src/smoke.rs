@@ -10,7 +10,7 @@
 
 use atlahs_htsim::CcAlgo;
 
-use crate::cluster::{ArrivalSpec, ClusterGrid, QueueDiscipline};
+use crate::cluster::{ArrivalSpec, ClusterFaultSpec, ClusterGrid, QueueDiscipline};
 use crate::scenario::{
     BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
 };
@@ -50,13 +50,17 @@ pub fn sweep_smoke_grid() -> ScenarioGrid {
     }
 }
 
-/// The fixed fault-injection smoke grid: 24 cells exercising every
+/// The fixed fault-injection smoke grid: 45 cells exercising every
 /// fault regime against the backends it applies to, goldened as
 /// `tests/goldens/fault_smoke.json`.
 ///
-/// Per workload: `none` pairs with both htsim CCs and LGS (3 cells),
-/// `linkflap` and `degrade` with the two htsim CCs (2 each), and
-/// `straggler` with LGS (1) — 8 cells × 3 workloads = 24.
+/// Per workload: `none` pairs with both htsim CCs and LGS (3 cells);
+/// `linkflap`, `degrade`, and the distributional `markov`, `rackfail`,
+/// and `churn` regimes with the two htsim CCs (2 each); and the uniform
+/// plus the Weibull-spread `straggler` with LGS (1 each) — 15 cells ×
+/// 3 workloads = 45. The original 24 cells keep their exact
+/// pre-distributional keys, seeds, and report bytes; the 21
+/// distributional cells additionally carry realized-fault telemetry.
 ///
 /// Every workload spans all 16 nodes (both ToRs), so packed placement
 /// still pushes traffic through the core uplinks the link faults
@@ -97,11 +101,25 @@ pub fn fault_smoke_grid() -> ScenarioGrid {
             FaultSpec::None,
             FaultSpec::LinkFlap { links: 2, down_ns: 5_000, up_ns: 60_000 },
             FaultSpec::Degrade { links: 2, bw_pct: 25, lat_pct: 300, from_ns: 0, to_ns: 200_000 },
-            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300 },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300, spread_pct: 0, shape: 1 },
+            // Distributional regimes (atlahs_core::faultgen): a heavy
+            // Gilbert–Elliott flap, a whole-rack outage, a two-rack
+            // churn replay, and Weibull-spread stragglers.
+            FaultSpec::Markov { links: 4, up_ns: 20_000, down_ns: 20_000, horizon_ns: 300_000 },
+            FaultSpec::RackFail { racks: 1, from_ns: 20_000, to_ns: 140_000 },
+            FaultSpec::Churn { events: churn_smoke_trace() },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 200, spread_pct: 200, shape: 2 },
         ],
         seed: 1,
         collect_flows: true,
     }
+}
+
+/// The frozen churn trace the fault smoke grid replays: rack 0 bounces
+/// early, rack 1 fails later while 0 is already back.
+fn churn_smoke_trace() -> Vec<atlahs_core::faultgen::ChurnEvent> {
+    atlahs_core::faultgen::parse_churn_inline("0;0;d,60000;0;u,100000;1;d,180000;1;u")
+        .expect("the frozen smoke trace is valid")
 }
 
 /// The fixed cluster smoke grid: 24 fast cells crossing both arrival
@@ -135,6 +153,34 @@ pub fn cluster_smoke_grid() -> ClusterGrid {
     }
 }
 
+/// The fixed cluster fault smoke grid (`atlahs cluster --fault-smoke`):
+/// 3 message-level cells over one saturated arrival stream — fault-free,
+/// Bernoulli `jobfail`, and the distributional `mtbf` process — goldened
+/// as `tests/goldens/cluster_fault_smoke.json`. Kept separate from
+/// [`cluster_smoke_grid`] so that golden's bytes stay frozen.
+pub fn cluster_fault_smoke_grid() -> ClusterGrid {
+    ClusterGrid {
+        topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+        catalog: vec![
+            WorkloadSpec::Ring { ranks: 8, bytes: 256 << 10, laps: 1 },
+            WorkloadSpec::Incast { ranks: 5, bytes: 128 << 10, repeat: 1 },
+        ],
+        arrivals: vec![ArrivalSpec::Poisson { jobs: 8, mean_gap_ns: 40_000 }],
+        queues: vec![QueueDiscipline::Fifo],
+        placements: vec![PlacementSpec::Packed],
+        ccs: vec![],
+        backends: vec![BackendFamily::Lgs],
+        faults: vec![
+            ClusterFaultSpec::None,
+            ClusterFaultSpec::JobFail { pct: 50, at_pct: 50, retries: 2 },
+            // Job runs are tens of µs, so a 20 µs MTBF fires on a
+            // realistic fraction of attempts.
+            ClusterFaultSpec::Mtbf { mtbf_ns: 20_000, retries: 3 },
+        ],
+        seed: 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,16 +189,22 @@ mod tests {
     fn smoke_grids_have_their_frozen_cell_counts() {
         assert_eq!(sweep_smoke_grid().expand().len(), 24);
         assert_eq!(cluster_smoke_grid().expand_counted().0.len(), 24);
+        assert_eq!(cluster_fault_smoke_grid().expand_counted().0.len(), 3);
         let cells = fault_smoke_grid().expand();
-        assert_eq!(cells.len(), 24);
-        // 8 cells per workload: 3 fault-free, 4 packet-level faulted
-        // (2 regimes × 2 CCs), 1 message-level straggler.
+        assert_eq!(cells.len(), 45);
+        // 15 cells per workload: 3 fault-free, 10 packet-level faulted
+        // (5 regimes × 2 CCs), 2 message-level stragglers.
         let faulted = cells.iter().filter(|c| c.fault != FaultSpec::None).count();
-        assert_eq!(faulted, 15);
+        assert_eq!(faulted, 36);
+        let distributional = cells.iter().filter(|c| c.fault.distributional()).count();
+        assert_eq!(distributional, 21, "7 distributional cells per workload");
         let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
         keys.sort();
         keys.dedup();
-        assert_eq!(keys.len(), 24, "fault smoke keys are unique");
+        assert_eq!(keys.len(), 45, "fault smoke keys are unique");
+        // The cell key derivation counts '/' separators; no fault label
+        // may smuggle one in.
+        assert!(keys.iter().all(|k| k.matches('/').count() <= 4), "{keys:?}");
     }
 
     #[test]

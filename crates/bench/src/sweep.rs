@@ -163,6 +163,17 @@ impl SweepReport {
                 }
                 cell.set("net", n);
             }
+            // Realized-fault telemetry: what the distributional generator
+            // actually produced for this cell. Only distributional
+            // regimes set it (see `FaultSpec::distributional`), so every
+            // pre-existing cell keeps its exact historical bytes.
+            if let Some(tel) = &r.fault {
+                let mut f = Json::obj();
+                f.set("windows", Json::Num(tel.windows as f64));
+                f.set("downtime_ns", Json::Num(tel.downtime_ns as f64));
+                f.set("stragglers", Json::Num(tel.stragglers as f64));
+                cell.set("fault", f);
+            }
             if r.job_finish.len() > 1 {
                 cell.set(
                     "job_finish_ns",

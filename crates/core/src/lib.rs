@@ -35,6 +35,7 @@
 
 pub mod api;
 pub mod backends;
+pub mod faultgen;
 pub mod matcher;
 pub mod placement;
 pub mod scheduler;

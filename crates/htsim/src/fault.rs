@@ -59,6 +59,61 @@ pub struct PortFault {
 /// always yields the same ports regardless of grid position or thread
 /// count; the result is sorted so downstream event scheduling is
 /// order-independent of the shuffle.
+/// Validate and normalize a fault schedule, **enforcing** the
+/// windows-on-one-port-must-not-overlap contract [`PortFault`] documents.
+///
+/// * Windows with `end_ns <= start_ns` are dropped (they could never
+///   fire; the engine already skips them).
+/// * Windows are sorted by `(port, start, end)` so event scheduling is
+///   independent of generation order.
+/// * Overlapping or abutting windows **of the same kind** on one port
+///   are merged into their union — a Markov window train or several
+///   failure domains sharing a port collapse to an equivalent schedule.
+/// * Overlapping windows of *different* kinds on one port are rejected:
+///   the end of a window restores the port to nominal, so there is no
+///   meaningful serialization of, say, a `Down` inside a `Degrade`.
+pub fn normalize_windows(faults: Vec<PortFault>) -> Result<Vec<PortFault>, String> {
+    let mut faults: Vec<PortFault> = faults.into_iter().filter(|f| f.end_ns > f.start_ns).collect();
+    faults.sort_unstable_by_key(|f| (f.port, f.start_ns, f.end_ns));
+    let mut out: Vec<PortFault> = Vec::with_capacity(faults.len());
+    for f in faults {
+        match out.last_mut() {
+            Some(prev) if prev.port == f.port && f.start_ns <= prev.end_ns => {
+                if prev.kind != f.kind {
+                    return Err(format!(
+                        "port {}: window [{}, {}) ({:?}) overlaps [{}, {}) ({:?}) \
+                         of a different kind",
+                        f.port, f.start_ns, f.end_ns, f.kind, prev.start_ns, prev.end_ns, prev.kind
+                    ));
+                }
+                prev.end_ns = prev.end_ns.max(f.end_ns);
+            }
+            _ => out.push(f),
+        }
+    }
+    Ok(out)
+}
+
+/// Deterministically pick up to `count` failure domains of the chosen
+/// tier (see [`Topology::failure_domains`]): a seeded shuffle of the
+/// domain indices, truncated and re-sorted — the domain-level analogue
+/// of [`select_fault_ports`]. Downing every port of a returned set
+/// models that switch (and for the edge tier, its rack) failing whole.
+pub fn select_fault_domains(
+    topo: &Topology,
+    count: usize,
+    core_tier: bool,
+    seed: u64,
+) -> Vec<Vec<u32>> {
+    let domains = topo.failure_domains(core_tier);
+    let mut idx: Vec<usize> = (0..domains.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(count.min(domains.len()));
+    idx.sort_unstable();
+    idx.into_iter().map(|i| domains[i].clone()).collect()
+}
+
 pub fn select_fault_ports(topo: &Topology, count: usize, seed: u64) -> Vec<u32> {
     let core: Vec<u32> =
         topo.ports().iter().enumerate().filter(|(_, p)| p.is_core).map(|(i, _)| i as u32).collect();
@@ -107,6 +162,64 @@ mod tests {
         for &p in &picked {
             assert!(topo.ports()[p as usize].to_host.is_some());
         }
+    }
+
+    fn down(port: u32, start_ns: u64, end_ns: u64) -> PortFault {
+        PortFault { port, start_ns, end_ns, kind: FaultKind::Down }
+    }
+
+    #[test]
+    fn normalize_sorts_merges_and_drops_empty_windows() {
+        let messy = vec![
+            down(3, 500, 900),
+            down(1, 0, 100),
+            down(3, 100, 600), // overlaps the first window on port 3
+            down(3, 900, 950), // abuts the merged window
+            down(1, 400, 400), // empty: dropped
+            down(2, 50, 60),
+        ];
+        let clean = normalize_windows(messy).unwrap();
+        assert_eq!(clean, vec![down(1, 0, 100), down(2, 50, 60), down(3, 100, 950)]);
+        // Already-normal schedules pass through untouched.
+        assert_eq!(normalize_windows(clean.clone()).unwrap(), clean);
+        assert_eq!(normalize_windows(Vec::new()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn normalize_keeps_disjoint_windows_and_other_ports_apart() {
+        // Same instants on different ports never merge; disjoint windows
+        // on one port stay distinct.
+        let faults = vec![down(1, 0, 100), down(2, 0, 100), down(1, 200, 300)];
+        let clean = normalize_windows(faults).unwrap();
+        assert_eq!(clean, vec![down(1, 0, 100), down(1, 200, 300), down(2, 0, 100)]);
+    }
+
+    #[test]
+    fn normalize_rejects_cross_kind_overlap() {
+        let degrade = PortFault {
+            port: 1,
+            start_ns: 50,
+            end_ns: 150,
+            kind: FaultKind::Degrade { bw_pct: 50, lat_pct: 200 },
+        };
+        let err = normalize_windows(vec![down(1, 0, 100), degrade]).unwrap_err();
+        assert!(err.contains("different kind"), "{err}");
+        // The same pair on different ports is fine.
+        let mut ok = degrade;
+        ok.port = 2;
+        assert_eq!(normalize_windows(vec![down(1, 0, 100), ok]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn domain_selection_is_seeded_and_clamped() {
+        let topo = Topology::build(TopologyConfig::fat_tree_oversubscribed(16, 4, 4));
+        let a = select_fault_domains(&topo, 1, false, 7);
+        assert_eq!(a, select_fault_domains(&topo, 1, false, 7), "same seed, same domains");
+        assert_eq!(a.len(), 1);
+        assert!(!a[0].is_empty());
+        // More domains than the tier has collapses to all of them.
+        let all = select_fault_domains(&topo, 100, false, 7);
+        assert_eq!(all.len(), topo.failure_domains(false).len());
     }
 
     #[test]

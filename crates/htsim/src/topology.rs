@@ -348,6 +348,109 @@ impl Topology {
         &self.ports
     }
 
+    /// Correlated failure domains: for each switch of the chosen tier,
+    /// the set of ports that stop moving packets when that switch dies —
+    /// the ports the switch owns (it can no longer forward) plus every
+    /// port whose egress feeds *into* it (traffic heading to a dead
+    /// switch is blackholed on entry). Downing a whole domain in one
+    /// window is how the fault layer models rack- and switch-level
+    /// failures.
+    ///
+    /// `core_tier == false` enumerates edge switches (fat-tree ToRs with
+    /// their host links — "whole rack"; dragonfly routers; the single
+    /// switch). `core_tier == true` enumerates the core tier (fat-tree
+    /// core switches); topologies without a distinct core tier
+    /// (`SingleSwitch`, dragonfly's single router level) fall back to
+    /// the edge domains, mirroring [`crate::fault::select_fault_ports`]'s
+    /// fallback. Every domain is a sorted, non-empty port set; domain
+    /// order is the tier's switch order, so it is stable under any seed.
+    pub fn failure_domains(&self, core_tier: bool) -> Vec<Vec<u32>> {
+        let mut domains: Vec<Vec<u32>> = match &self.config {
+            TopologyConfig::SingleSwitch { hosts, .. } => {
+                vec![(0..2 * *hosts as u32).collect()]
+            }
+            TopologyConfig::FatTree2L { hosts, .. } => {
+                let (h, t, u) = (*hosts, self.tors, self.uplinks);
+                if core_tier {
+                    // Core switch c: every ToR's uplink `c` feeds it; it
+                    // owns downlink `c*T + t` to each ToR.
+                    (0..u)
+                        .map(|c| {
+                            let mut d: Vec<u32> = (0..t)
+                                .map(|tor| (2 * h + tor * u + c) as u32)
+                                .chain((0..t).map(|tor| (2 * h + t * u + c * t + tor) as u32))
+                                .collect();
+                            d.sort_unstable();
+                            d
+                        })
+                        .collect()
+                } else {
+                    // Rack tor: both edge directions of its hosts, its
+                    // uplinks, and every core downlink landing on it.
+                    (0..t)
+                        .map(|tor| {
+                            let mut d: Vec<u32> = (0..h)
+                                .filter(|&host| self.tor_of(host as u32) == tor)
+                                .flat_map(|host| [host as u32, (h + host) as u32])
+                                .collect();
+                            d.extend((0..u).map(|up| (2 * h + tor * u + up) as u32));
+                            d.extend((0..u).map(|c| (2 * h + t * u + c * t + tor) as u32));
+                            d.sort_unstable();
+                            d
+                        })
+                        .collect()
+                }
+            }
+            TopologyConfig::Dragonfly { groups, .. } => {
+                // One router level: rack and core tiers coincide. Domain
+                // for router (g, rr): its hosts' edge ports (both
+                // directions), locals it owns and locals into it, globals
+                // it owns and globals landing on it.
+                let df = self.df.as_ref().expect("built dragonfly");
+                let (r, hpr) = (df.routers_per_group, df.hosts_per_router);
+                let local_port = |g: usize, a: usize, b: usize| -> u32 {
+                    let slot = if b < a { b } else { b - 1 };
+                    (df.local_base + (g * r + a) * (r - 1) + slot) as u32
+                };
+                (0..*groups)
+                    .flat_map(|g| (0..r).map(move |rr| (g, rr)))
+                    .map(|(g, rr)| {
+                        let router = g * r + rr;
+                        let mut d: Vec<u32> = (router * hpr..(router + 1) * hpr)
+                            .flat_map(|host| [host as u32, (self.hosts + host) as u32])
+                            .collect();
+                        for b in (0..r).filter(|&b| b != rr) {
+                            d.push(local_port(g, rr, b));
+                            d.push(local_port(g, b, rr));
+                        }
+                        // Globals the router owns.
+                        let global_base = df.local_base + *groups * r * (r - 1);
+                        d.extend(
+                            (0..self.uplinks)
+                                .map(|k| (global_base + router * self.uplinks + k) as u32),
+                        );
+                        // Globals landing on it: scan the wiring map.
+                        for (g2, from) in df.links.iter().enumerate() {
+                            if g2 == g {
+                                continue;
+                            }
+                            for &(_, port, dst_router) in &from[g] {
+                                if dst_router as usize == rr {
+                                    d.push(port);
+                                }
+                            }
+                        }
+                        d.sort_unstable();
+                        d.dedup();
+                        d
+                    })
+                    .collect()
+            }
+        };
+        domains.retain(|d| !d.is_empty());
+        domains
+    }
+
     fn tor_of(&self, host: u32) -> usize {
         host as usize / self.hosts_per_tor
     }
@@ -498,6 +601,59 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fat_tree_failure_domains_cover_both_tiers() {
+        // 16 hosts, 4 per ToR, 4:1 oversubscribed ⇒ 4 ToRs × 1 uplink.
+        let t = Topology::build(TopologyConfig::fat_tree_oversubscribed(16, 4, 4));
+        let racks = t.failure_domains(false);
+        assert_eq!(racks.len(), 4, "one rack domain per ToR");
+        for (tor, d) in racks.iter().enumerate() {
+            // 4 hosts × 2 edge directions + 1 uplink + 1 core downlink.
+            assert_eq!(d.len(), 10, "rack {tor}: {d:?}");
+            assert!(d.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            for h in 4 * tor..4 * tor + 4 {
+                assert!(d.contains(&(h as u32)), "host→ToR port of host {h}");
+                assert!(d.contains(&((16 + h) as u32)), "ToR→host port of host {h}");
+            }
+        }
+        // Rack domains partition the port table: every port forwards
+        // through exactly one edge switch.
+        let mut all: Vec<u32> = racks.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..t.ports().len() as u32).collect::<Vec<_>>());
+
+        let cores = t.failure_domains(true);
+        assert_eq!(cores.len(), 1, "4:1 oversubscription leaves one core switch");
+        assert_eq!(cores[0].len(), 8, "4 uplinks + 4 downlinks");
+        assert!(cores[0].iter().all(|&p| t.ports()[p as usize].is_core));
+    }
+
+    #[test]
+    fn single_switch_and_dragonfly_domains_fall_back_to_one_tier() {
+        let t =
+            Topology::build(TopologyConfig::SingleSwitch { hosts: 4, link: LinkParams::default() });
+        for tier in [false, true] {
+            let d = t.failure_domains(tier);
+            assert_eq!(d.len(), 1, "one switch, one domain");
+            assert_eq!(d[0], (0..8).collect::<Vec<u32>>());
+        }
+
+        let t = Topology::build(TopologyConfig::dragonfly(3, 2, 2));
+        let d = t.failure_domains(false);
+        assert_eq!(d.len(), 6, "one domain per router");
+        assert_eq!(d, t.failure_domains(true), "a single router level has no separate core tier");
+        // Every port is in some domain (owned by or feeding a router),
+        // and each domain holds its router's host edge ports.
+        let covered: std::collections::HashSet<u32> = d.iter().flatten().copied().collect();
+        assert_eq!(covered.len(), t.ports().len());
+        for (router, dom) in d.iter().enumerate() {
+            for h in 2 * router..2 * router + 2 {
+                assert!(dom.contains(&(h as u32)) && dom.contains(&((12 + h) as u32)));
+            }
+            assert!(dom.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
 
     #[test]
     fn single_switch_routes() {

@@ -110,32 +110,65 @@ pub struct LgsStats {
 /// `g`, `G`) is untouched, so a rank's issue *order* can never change —
 /// only its timestamps stretch.
 ///
-/// The default (and any spec with `prob_pct == 0` or `factor_pct ==
-/// 100`) is a no-op: the dispatch path degenerates to one branch on an
-/// empty table and timings are bit-identical to a straggler-free build.
+/// With `spread_pct > 0` the factor is **distribution-drawn** instead of
+/// uniform: each straggler adds an independent Weibull sample (scale
+/// `spread_pct` percentage points, integer `shape`) on top of
+/// `factor_pct`, so a population of stragglers has the heavy-tailed
+/// slowdown spread measured on real clusters rather than one shared
+/// knob. The draw is the fixed-point inverse CDF of
+/// [`atlahs_core::faultgen`] over `(seed, "spread", rank)` — still a
+/// pure integer function of the spec.
+///
+/// The default (and any spec with `prob_pct == 0`, or `factor_pct ==
+/// 100` with no spread) is a no-op: the dispatch path degenerates to one
+/// branch on an empty table and timings are bit-identical to a
+/// straggler-free build.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StragglerSpec {
     /// Percent chance (0–100) that a rank straggles.
     pub prob_pct: u32,
-    /// Calc-cost scale for stragglers, percent (150 = 1.5× slower).
+    /// Base calc-cost scale for stragglers, percent (150 = 1.5× slower).
     pub factor_pct: u32,
-    /// Seed for the per-rank draw.
+    /// Weibull scale, in percentage points added on top of `factor_pct`
+    /// per straggler (0 = every straggler shares `factor_pct` exactly).
+    pub spread_pct: u32,
+    /// Weibull shape for the spread draw (clamped to ≥ 1 when used).
+    pub shape: u32,
+    /// Seed for the per-rank draws.
     pub seed: u64,
 }
 
 impl StragglerSpec {
     /// True when the spec cannot change any timing.
     pub fn is_noop(&self) -> bool {
-        self.prob_pct == 0 || self.factor_pct == 100
+        self.prob_pct == 0 || (self.factor_pct == 100 && self.spread_pct == 0)
     }
 
     /// The straggler decision for one rank: FNV-1a over `(seed, rank)`.
-    fn is_straggler(&self, rank: usize) -> bool {
+    pub fn is_straggler(&self, rank: usize) -> bool {
         let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for b in (rank as u64).to_le_bytes() {
             h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
         }
         h % 100 < self.prob_pct as u64
+    }
+
+    /// The realized calc-cost scale (percent) for one rank: 100 for
+    /// non-stragglers, `factor_pct` plus the rank's Weibull spread draw
+    /// for stragglers. Pure in `(spec, rank)`.
+    pub fn factor_pct_for(&self, rank: usize) -> u64 {
+        if !self.is_straggler(rank) {
+            return 100;
+        }
+        let mut factor = self.factor_pct as u64;
+        if self.spread_pct > 0 {
+            factor += atlahs_core::faultgen::weibull_sample(
+                self.spread_pct as u64,
+                self.shape.max(1),
+                atlahs_core::faultgen::fnv_draw(self.seed, "spread", rank as u64),
+            );
+        }
+        factor
     }
 }
 
@@ -258,15 +291,7 @@ impl Backend for LgsBackend {
         self.calc_scale = if self.straggler.is_noop() {
             Vec::new()
         } else {
-            (0..num_ranks)
-                .map(|r| {
-                    if self.straggler.is_straggler(r) {
-                        self.straggler.factor_pct as u64
-                    } else {
-                        100
-                    }
-                })
-                .collect()
+            (0..num_ranks).map(|r| self.straggler.factor_pct_for(r)).collect()
         };
     }
 
@@ -546,7 +571,7 @@ mod tests {
         // ai_alps the fault-free run finishes at 10_000 + 4145.
         let goal = compute_ping(10_000);
         let clean = run(&goal, LogGopsParams::ai_alps());
-        let spec = StragglerSpec { prob_pct: 100, factor_pct: 300, seed: 9 };
+        let spec = StragglerSpec { prob_pct: 100, factor_pct: 300, seed: 9, ..Default::default() };
         let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
         let faulty = Simulation::new(&goal).run(&mut b).unwrap();
         assert_eq!(clean.makespan, 14_145);
@@ -559,8 +584,8 @@ mod tests {
         let clean = run(&goal, LogGopsParams::ai_alps());
         for spec in [
             StragglerSpec::default(),
-            StragglerSpec { prob_pct: 0, factor_pct: 500, seed: 3 },
-            StragglerSpec { prob_pct: 100, factor_pct: 100, seed: 3 },
+            StragglerSpec { prob_pct: 0, factor_pct: 500, seed: 3, ..Default::default() },
+            StragglerSpec { prob_pct: 100, factor_pct: 100, seed: 3, ..Default::default() },
         ] {
             let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
             let rep = Simulation::new(&goal).run(&mut b).unwrap();
@@ -573,7 +598,7 @@ mod tests {
     fn straggler_draw_is_per_rank_and_seeded() {
         // With a 50% probability over many ranks, some — but not all —
         // ranks straggle, and the same seed reproduces the same set.
-        let spec = StragglerSpec { prob_pct: 50, factor_pct: 200, seed: 42 };
+        let spec = StragglerSpec { prob_pct: 50, factor_pct: 200, seed: 42, ..Default::default() };
         let set: Vec<bool> = (0..64).map(|r| spec.is_straggler(r)).collect();
         let again: Vec<bool> = (0..64).map(|r| spec.is_straggler(r)).collect();
         assert_eq!(set, again);
@@ -582,6 +607,46 @@ mod tests {
         let other = StragglerSpec { seed: 43, ..spec };
         let shifted: Vec<bool> = (0..64).map(|r| other.is_straggler(r)).collect();
         assert_ne!(set, shifted, "a different seed picks a different set");
+    }
+
+    #[test]
+    fn spread_draws_distinct_factors_per_straggler() {
+        // Distribution-drawn factors: every straggler's scale is at least
+        // the base factor, non-stragglers stay at 100, and the Weibull
+        // spread separates stragglers from each other (uniform factors
+        // cannot). Pure in the spec: the same spec re-derives the same
+        // table, and a different seed moves it.
+        let spec =
+            StragglerSpec { prob_pct: 100, factor_pct: 200, spread_pct: 150, shape: 2, seed: 7 };
+        let factors: Vec<u64> = (0..64).map(|r| spec.factor_pct_for(r)).collect();
+        assert!(factors.iter().all(|&f| f >= 200), "spread only adds on top of the base");
+        let distinct: std::collections::HashSet<u64> = factors.iter().copied().collect();
+        assert!(distinct.len() > 16, "the spread must differentiate stragglers: {factors:?}");
+        assert_eq!(factors, (0..64).map(|r| spec.factor_pct_for(r)).collect::<Vec<_>>());
+        let reseeded = StragglerSpec { seed: 8, ..spec };
+        assert_ne!(factors, (0..64).map(|r| reseeded.factor_pct_for(r)).collect::<Vec<_>>());
+        // Half-probability: non-stragglers are untouched by the spread.
+        let half = StragglerSpec { prob_pct: 50, ..spec };
+        for r in 0..64 {
+            if !half.is_straggler(r) {
+                assert_eq!(half.factor_pct_for(r), 100);
+            }
+        }
+        // A pure-spread spec (base factor 100) is *not* a no-op…
+        assert!(!StragglerSpec {
+            prob_pct: 50,
+            factor_pct: 100,
+            spread_pct: 80,
+            shape: 1,
+            seed: 1
+        }
+        .is_noop());
+        // …and it slows a compute-heavy run down.
+        let goal = compute_ping(10_000);
+        let clean = run(&goal, LogGopsParams::ai_alps());
+        let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
+        let spread_run = Simulation::new(&goal).run(&mut b).unwrap();
+        assert!(spread_run.makespan > clean.makespan);
     }
 
     #[test]

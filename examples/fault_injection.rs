@@ -12,15 +12,20 @@
 //! the 4:1-oversubscribed AI fabric and compares each faulted cell with
 //! its fault-free sibling. Part 2 replays a job burst through the
 //! cluster engine with a 60% failure probability and shows restarts,
-//! re-queueing, and the exact turnaround accounting.
+//! re-queueing, and the exact turnaround accounting. Part 3 runs the
+//! distributional regimes — Gilbert–Elliott Markov flapping, a
+//! correlated whole-rack failure, and a churn-trace replay — and checks
+//! the realized-fault telemetry identities against the generated
+//! schedules.
 
 use atlahs_bench::cluster::{
     run_grid, ArrivalSpec, ClusterFaultSpec, ClusterGrid, ClusterReport, QueueDiscipline,
 };
 use atlahs_bench::scenario::{
-    BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
+    cell_seed, BackendFamily, FaultSpec, PlacementSpec, ScenarioGrid, TopologySpec, WorkloadSpec,
 };
 use atlahs_bench::sweep::{execute, SweepReport};
+use atlahs_htsim::topology::Topology;
 use atlahs_htsim::CcAlgo;
 
 fn main() {
@@ -50,7 +55,7 @@ fn main() {
             // first 200 µs: congestion control adapts to the slower wire.
             FaultSpec::Degrade { links: 2, bw_pct: 25, lat_pct: 300, from_ns: 0, to_ns: 200_000 },
             // Half the ranks straggle at 3x compute cost (message level).
-            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300 },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300, spread_pct: 0, shape: 1 },
         ],
         seed: 1,
         collect_flows: false,
@@ -130,5 +135,75 @@ fn main() {
         } else {
             assert_eq!(restarts, 0, "{}: fault-free cells never restart", r.key);
         }
+    }
+
+    // ---- Part 3: distributional fault models ----------------------------
+    //
+    // The `atlahs_core::faultgen` regimes *generate* the primitive port
+    // windows: Markov flapping unrolls a Gilbert–Elliott process per
+    // port, rackfail downs a whole edge failure domain, and churn
+    // replays a down/up trace. Every faulted cell carries realized-fault
+    // telemetry, and the identity `downtime_ns == Σ window durations`
+    // holds exactly against the regenerated schedule.
+    let dist = ScenarioGrid {
+        topologies: vec![TopologySpec::AiFatTree { nodes: 16, oversub: 4 }],
+        workloads: vec![WorkloadSpec::MoeAllToAll {
+            ranks: 16,
+            group: 16,
+            bytes: 64 << 10,
+            layers: 1,
+            compute_ns: 20_000,
+        }],
+        ccs: vec![CcAlgo::Mprdma],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim],
+        faults: vec![
+            FaultSpec::None,
+            // Exp(30 µs) up / Exp(10 µs) down sojourns on two core
+            // links, unrolled over the first 300 µs.
+            FaultSpec::Markov { links: 2, up_ns: 30_000, down_ns: 10_000, horizon_ns: 300_000 },
+            // One whole rack (ToR + every port touching it) down from
+            // 20 µs to 140 µs.
+            FaultSpec::RackFail { racks: 1, from_ns: 20_000, to_ns: 140_000 },
+            // Replayed churn: rack 0 bounces early, rack 1 fails later.
+            FaultSpec::parse("churn:0;0;d,60000;0;u,100000;1;d,180000;1;u").unwrap(),
+        ],
+        seed: 1,
+        collect_flows: false,
+    };
+    let dist_cells = dist.expand();
+    let dist_report = SweepReport { seed: dist.seed, results: execute(&dist_cells, 0) };
+    let topo = Topology::build(TopologySpec::AiFatTree { nodes: 16, oversub: 4 }.config());
+    let clean = dist_report
+        .results
+        .iter()
+        .find(|r| r.key.matches('/').count() == 3)
+        .expect("the fault-free sibling ran");
+
+    println!("\n# distributional fault models\n");
+    for (cell, r) in dist_cells.iter().zip(&dist_report.results) {
+        assert_eq!(cell.key(), r.key, "execute preserves cell order");
+        if cell.fault == FaultSpec::None {
+            assert!(r.fault.is_none(), "fault-free cells carry no telemetry");
+            continue;
+        }
+        let tel = r.fault.expect("distributional cells report realized-fault telemetry");
+        let schedule = cell.fault.port_faults(&topo, cell_seed(cell.seed, &cell.fault.label()));
+        assert_eq!(tel.windows, schedule.len() as u64, "{}: window count", r.key);
+        assert_eq!(
+            tel.downtime_ns,
+            schedule.iter().map(|f| f.end_ns - f.start_ns).sum::<u64>(),
+            "{}: downtime is exactly the sum of the generated windows",
+            r.key
+        );
+        assert_ne!(r.makespan, clean.makespan, "{}: the fault must bite", r.key);
+        println!(
+            "{:95} {:8.1} µs  ({} windows, {:7.1} µs port-downtime, {} packets blackholed)",
+            r.key,
+            r.makespan as f64 / 1e3,
+            tel.windows,
+            tel.downtime_ns as f64 / 1e3,
+            r.net.map(|n| n.fault_drops).unwrap_or(0)
+        );
     }
 }

@@ -442,7 +442,8 @@ fn clos_ndp_linkflap() {
 /// LGS straggler golden: half the ranks at 3x calc cost, seeded.
 fn run_lgs_straggler(goal: &GoalSchedule) -> Golden {
     let params = atlahs::lgs::LogGopsParams::ai_alps();
-    let straggler = StragglerSpec { prob_pct: 50, factor_pct: 300, seed: 0xabc };
+    let straggler =
+        StragglerSpec { prob_pct: 50, factor_pct: 300, seed: 0xabc, ..Default::default() };
     let mut be = atlahs::lgs::LgsBackend::with_straggler(params, straggler);
     let rep = Simulation::new(goal).run(&mut be).expect("straggled scenario completes");
     let st = be.stats();
@@ -484,7 +485,7 @@ fn fault_smoke_cells_diverge_from_their_clean_siblings() {
     use atlahs_bench::sweep::execute;
 
     let cells = fault_smoke_grid().expand();
-    assert_eq!(cells.len(), 24);
+    assert_eq!(cells.len(), 45);
     let results = execute(&cells, 4);
     let clean: std::collections::HashMap<String, &atlahs_bench::scenario::CellResult> = results
         .iter()
@@ -503,6 +504,16 @@ fn fault_smoke_cells_diverge_from_their_clean_siblings() {
             || r.net.map(|n| n.fault_drops).unwrap_or(0) > 0
             || r.mct != sibling.mct;
         assert!(moved, "{}: fault spec had no observable effect", r.key);
+        // Distributional regimes must also report realized-fault
+        // telemetry; legacy regimes must not (their goldens are frozen).
+        if let Some(cell) = cells.iter().find(|c| c.key() == r.key) {
+            assert_eq!(
+                r.fault.is_some(),
+                cell.fault.distributional(),
+                "{}: telemetry presence must track distributional()",
+                r.key
+            );
+        }
     }
-    assert_eq!(faulted, 15);
+    assert_eq!(faulted, 36);
 }

@@ -506,7 +506,7 @@ proptest! {
         // LGS under straggler inflation: invariants hold, re-runs are
         // bit-identical, the makespan never shrinks, and each rank's two
         // dependency chains issue in exactly the clean run's order.
-        let spec = StragglerSpec { prob_pct: 50, factor_pct: 300, seed };
+        let spec = StragglerSpec { prob_pct: 50, factor_pct: 300, seed, ..Default::default() };
         let mk = || LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
         let straggled = run_recorded(&goal, mk());
         check_invariants("lgs-straggler", &goal, &straggled);

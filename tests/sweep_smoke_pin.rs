@@ -19,6 +19,7 @@
 use atlahs_bench::scenario::cell_seed;
 use atlahs_bench::smoke::sweep_smoke_grid;
 use atlahs_bench::sweep::{execute, SweepReport};
+use atlahs_core::faultgen::{exp_sample, weibull_sample, LN2_Q32};
 
 #[test]
 fn no_fault_sweep_reproduces_the_checked_in_golden_bytes() {
@@ -47,4 +48,29 @@ fn cell_seed_derivation_is_pinned() {
     assert_eq!(cell_seed(7, "ring:8:131072:1") & 1, 1);
     assert_ne!(cell_seed(2, "ring:8:131072:1"), cell_seed(1, "ring:8:131072:1"));
     assert_ne!(cell_seed(1, "ring:8:131072:2"), cell_seed(1, "ring:8:131072:1"));
+}
+
+#[test]
+fn distributional_fault_sub_seeds_are_pinned() {
+    // Fault sub-seeds fold the *fault label* over the cell seed
+    // (`cell_seed(cell.seed, &fault.label())`), so the label grammar is
+    // part of the golden contract. These are the labels of the frozen
+    // fault-smoke and cluster-fault-smoke grids, folded with seed 1.
+    assert_eq!(cell_seed(1, "markov:4:20000:20000:300000"), 0x2b0f_6cf7_c548_b0c3);
+    assert_eq!(cell_seed(1, "rackfail:1:20000:140000"), 0xcd84_7300_be65_5359);
+    assert_eq!(cell_seed(1, "churn:0;0;d,60000;0;u,100000;1;d,180000;1;u"), 0x4ba5_c56d_4a10_87df);
+    assert_eq!(cell_seed(1, "straggler:50:200:200:2"), 0x401e_9891_5b58_d1a3);
+    assert_eq!(cell_seed(1, "mtbf:20000:3"), 0xfb11_a53b_7793_c353);
+}
+
+#[test]
+fn faultgen_sampler_constants_are_pinned() {
+    // The distributional goldens depend on the Q32 fixed-point
+    // inverse-CDF samplers; these constants pin the arithmetic. ln(2) in
+    // Q32: floor(0.6931471805599453 * 2^32).
+    assert_eq!(LN2_Q32, 2_977_044_472);
+    // A median draw inverts to mean*ln(2) (the exponential median) and
+    // to scale*ln(2)^(1/shape) for the Weibull.
+    assert_eq!(exp_sample(30_000, u64::MAX / 2), 20_794);
+    assert_eq!(weibull_sample(30_000, 2, u64::MAX / 2), 24_976);
 }
