@@ -29,6 +29,13 @@
 #  11. cluster fault smoke        — `atlahs cluster --fault-smoke` runs the
 #      3-cell job-failure grid (clean / Bernoulli jobfail / MTBF) and must
 #      reproduce tests/goldens/cluster_fault_smoke.json byte for byte
+#  12. branch smoke               — `atlahs sweep --branch-smoke` runs the
+#      fixed 24-cell branch-and-continue grid (8 shared prefixes simulated
+#      once each, snapshot via the backend Snapshot contract, per-cell
+#      fault overrides applied at the 60 µs branch point) and must
+#      reproduce tests/goldens/branch_smoke.json byte for byte — including
+#      the "prefix_runs": 8 work counter proving the prefix was not
+#      re-simulated per cell (docs/SCENARIOS.md, "Branch-and-continue")
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -104,5 +111,12 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     cluster --fault-smoke --threads 2 --quiet --out "$cluster_fault_json"
 diff -u tests/goldens/cluster_fault_smoke.json "$cluster_fault_json" \
     || { echo "cluster fault smoke: report drifted from tests/goldens/cluster_fault_smoke.json" >&2; exit 1; }
+
+step "branch smoke (atlahs sweep --branch-smoke vs golden report)"
+branch_json="target/branch_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    sweep --branch-smoke --threads 2 --quiet --out "$branch_json"
+diff -u tests/goldens/branch_smoke.json "$branch_json" \
+    || { echo "branch smoke: report drifted from tests/goldens/branch_smoke.json" >&2; exit 1; }
 
 printf '\nCI gate passed.\n'

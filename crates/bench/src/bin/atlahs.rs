@@ -37,6 +37,7 @@
 use std::time::Instant;
 
 use atlahs_bench::args::Args;
+use atlahs_bench::branch::execute_branched;
 use atlahs_bench::cluster::{
     run_grid, ArrivalSpec, ClusterFaultSpec, ClusterGrid, ClusterReport, QueueDiscipline,
 };
@@ -94,7 +95,15 @@ fn usage() {
          \x20 --threads N      worker threads; 0 = all cores (default 0)\n\
          \x20 --collect-flows  record per-flow MCT statistics (sweep only)\n\
          \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\
-         \x20 --fault-smoke    run the fixed fault-injection grid\n\n\
+         \x20 --fault-smoke    run the fixed fault-injection grid\n\
+         \x20 --branch-at NS   branch-and-continue: simulate each shared prefix\n\
+         \x20                  (topology+workload+placement+backend) once, snapshot,\n\
+         \x20                  apply each cell's fault at NS, re-simulate only the\n\
+         \x20                  suffix (sweep only)\n\
+         \x20 --branch F1,F2   extra fault regimes applied only at the branch point\n\
+         \x20                  (appended to --faults; requires --branch-at)\n\
+         \x20 --branch-smoke   run the fixed branched CI grid at its pinned\n\
+         \x20                  branch time\n\n\
          OUTPUT:\n\
          \x20 --out FILE   write the deterministic JSON report\n\
          \x20 --csv FILE   write the CSV report\n\
@@ -166,7 +175,9 @@ fn parse_axis<T>(
 }
 
 fn sweep(args: &Args) {
-    let grid = if args.flag("fault-smoke") {
+    let grid = if args.flag("branch-smoke") {
+        smoke::branch_smoke_grid()
+    } else if args.flag("fault-smoke") {
         smoke::fault_smoke_grid()
     } else if args.flag("smoke") {
         smoke::sweep_smoke_grid()
@@ -191,6 +202,40 @@ fn sweep(args: &Args) {
             seed: args.seed(),
             collect_flows: args.flag("collect-flows"),
         }
+    };
+
+    // Branch-and-continue: `--branch-at <ns>` simulates each shared
+    // prefix (same topology/workload/placement/backend) once, snapshots,
+    // and fans out into per-cell continuations whose fault axis is
+    // applied *at the branch point*. `--branch <faults>` appends what-if
+    // override values to the fault axis; `--branch-smoke` runs the fixed
+    // CI branch grid at its pinned branch time.
+    let mut grid = grid;
+    let branch_extra = args.get_str("branch", "");
+    if !branch_extra.is_empty() {
+        if args.get("branch-at", 0u64) == 0 && !args.flag("branch-smoke") {
+            eprintln!("atlahs sweep: --branch requires --branch-at <ns>");
+            std::process::exit(2);
+        }
+        for tok in branch_extra.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match FaultSpec::parse(tok) {
+                Ok(f) => {
+                    if !grid.faults.contains(&f) {
+                        grid.faults.push(f);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("atlahs sweep: --branch: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let grid = grid;
+    let branch_at = if args.flag("branch-smoke") {
+        args.get("branch-at", smoke::BRANCH_SMOKE_AT)
+    } else {
+        args.get("branch-at", 0u64)
     };
 
     let (cells, dropped) = grid.expand_counted();
@@ -219,9 +264,21 @@ fn sweep(args: &Args) {
     }
 
     let t0 = Instant::now();
-    let results = execute(&cells, threads);
+    let (results, branch) = if branch_at > 0 {
+        let (results, stats) = execute_branched(&cells, branch_at, threads);
+        if !quiet {
+            println!(
+                "# branch-and-continue at {branch_at} ns: {} shared prefixes for {} cells",
+                stats.prefix_runs,
+                cells.len(),
+            );
+        }
+        (results, Some(stats))
+    } else {
+        (execute(&cells, threads), None)
+    };
     let elapsed = t0.elapsed();
-    let report = SweepReport { seed: grid.seed, results };
+    let report = SweepReport { seed: grid.seed, results, branch };
 
     if !quiet {
         report.summary_table().print();

@@ -1,0 +1,452 @@
+//! Branch-and-continue sweep execution: simulate a shared prefix once,
+//! snapshot, fan out into N what-if continuations.
+//!
+//! A branched sweep reinterprets the grid's fault axis as *branch
+//! overrides*: every cell that shares a prefix — same topology,
+//! workload, placement, and backend, hence the same derived seed and the
+//! same composed schedule — is grouped; the group's simulation runs
+//! clean (no faults configured) up to the branch time, the backend is
+//! [`Snapshot::checkpoint`]ed and the scheduler driver cloned, and each
+//! cell then restores the snapshot, applies its override at the branch
+//! point, and runs to completion. Only the post-branch suffix is
+//! re-simulated per cell; the prefix is paid once per group (the
+//! `prefix_runs` counter in [`BranchStats`], surfaced in the JSON
+//! report, is how CI verifies that).
+//!
+//! ## Exactness
+//!
+//! The snapshot path must be invisible: for every cell,
+//! [`execute_branched`] and [`run_cell_branched_straight`] (pause at the
+//! branch time, apply the override, finish — *no* checkpoint/restore)
+//! produce bit-identical [`CellResult`]s. That is the backend
+//! [`Snapshot`] contract, pinned in this module's tests and by the
+//! `branch_smoke.json` golden diff in `ci.sh`.
+//!
+//! Branched results are **not** comparable to a straight sweep that
+//! configures the same faults at t=0: a branched override clamps every
+//! fault window to open no earlier than the branch time, and its events
+//! enter the queue at the injection point rather than before any
+//! traffic. The branch answers "what if this failed *from here on*?",
+//! not "what if this had been failing all along?".
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atlahs_core::backends::IdealBackend;
+use atlahs_core::{Backend, SimDriver, SimReport, Snapshot};
+use atlahs_goal::GoalSchedule;
+use atlahs_htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs_htsim::topology::Topology;
+use atlahs_lgs::LgsBackend;
+
+use crate::runner::DistSummary;
+use crate::scenario::{
+    cell_seed, lgs_params_for, prepare_goal, BackendSpec, CellResult, FaultSpec, FaultTelemetry,
+    PreparedGoal, ScenarioCell,
+};
+use crate::sweep::parallel_map;
+
+/// Shared-prefix work accounting of one branched sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStats {
+    /// The branch time (ns): overrides apply at the first pause at or
+    /// after this simulated time.
+    pub branch_at: u64,
+    /// Shared-prefix groups — and therefore how many times a prefix was
+    /// actually simulated. A grid whose cells all differ only in the
+    /// fault axis has `prefix_runs` = 1; CI asserts `prefix_runs` <
+    /// number of cells on the branch smoke grid.
+    pub prefix_runs: usize,
+}
+
+/// Run a branched sweep: group cells by shared prefix, simulate each
+/// prefix once, and fan each group out into its per-cell continuations.
+///
+/// Results are in cell order and independent of `threads` (groups
+/// parallelize across the claim-index pool; cells within a group run
+/// serially against the group's snapshot).
+pub fn execute_branched(
+    cells: &[ScenarioCell],
+    branch_at: u64,
+    threads: usize,
+) -> (Vec<CellResult>, BranchStats) {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // Group by everything except the fault axis. Cells in one group share
+    // the workload (hence the derived seed), topology, placement, and
+    // backend — exactly the state the prefix depends on.
+    let mut index_of: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let prefix_key = format!(
+            "{}/{}/{}/{}",
+            cell.topology.label(),
+            cell.workload.label(),
+            cell.placement.label(),
+            cell.backend.label()
+        );
+        match index_of.get(&prefix_key) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                index_of.insert(prefix_key, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+
+    // One workload build per distinct (workload, seed), as in the
+    // straight executor.
+    let mut job_index: std::collections::HashMap<(String, u64), usize> =
+        std::collections::HashMap::new();
+    let mut uniq: Vec<&ScenarioCell> = Vec::new();
+    let group_jobs: Vec<usize> = groups
+        .iter()
+        .map(|members| {
+            let cell = &cells[members[0]];
+            *job_index.entry((cell.workload.label(), cell.seed)).or_insert_with(|| {
+                uniq.push(cell);
+                uniq.len() - 1
+            })
+        })
+        .collect();
+    let jobs = parallel_map(&uniq, threads, |cell| cell.workload.build_jobs(cell.seed));
+
+    let group_ids: Vec<usize> = (0..groups.len()).collect();
+    let per_group: Vec<Vec<CellResult>> = parallel_map(&group_ids, threads, |&g| {
+        let members: Vec<&ScenarioCell> = groups[g].iter().map(|&i| &cells[i]).collect();
+        run_group(&members, &jobs[group_jobs[g]], branch_at)
+    });
+
+    let mut slots: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
+    for (g, results) in per_group.into_iter().enumerate() {
+        for (&i, r) in groups[g].iter().zip(results) {
+            slots[i] = Some(r);
+        }
+    }
+    let results = slots.into_iter().map(|s| s.expect("every cell branched once")).collect();
+    (results, BranchStats { branch_at, prefix_runs: groups.len() })
+}
+
+/// The straight-through reference for one branched cell: pause at the
+/// branch time, apply the override, run to completion — the identical
+/// mechanics with **no** checkpoint/restore. [`execute_branched`] must
+/// match this bit for bit on every cell; tests (and the golden
+/// regeneration path) use it as the independent oracle.
+pub fn run_cell_branched_straight(
+    cell: &ScenarioCell,
+    jobs: &[Arc<GoalSchedule>],
+    branch_at: u64,
+) -> CellResult {
+    let prepared = prepare_goal(cell, jobs);
+    let goal = prepared.goal(jobs);
+    match cell.backend {
+        BackendSpec::Htsim { cc, spray } => {
+            let topo_cfg = cell.topology.config();
+            let topo = Topology::build(topo_cfg.clone());
+            let mut backend = htsim_clean(cell, topo_cfg, cc, spray);
+            let t0 = Instant::now();
+            let mut driver = SimDriver::start(goal, &mut backend);
+            driver.run_until(&mut backend, branch_at).expect("no deadlock");
+            let telemetry = apply_htsim_override(&mut backend, cell, &topo);
+            let report = driver.finish(&mut backend).expect("no deadlock");
+            htsim_result(cell, goal, &prepared, &backend, report, telemetry, t0.elapsed())
+        }
+        BackendSpec::Lgs => {
+            let mut backend = LgsBackend::new(lgs_params_for(&cell.topology));
+            let t0 = Instant::now();
+            let mut driver = SimDriver::start(goal, &mut backend);
+            driver.run_until(&mut backend, branch_at).expect("no deadlock");
+            let telemetry = apply_lgs_override(&mut backend, cell, goal);
+            let report = driver.finish(&mut backend).expect("no deadlock");
+            plain_result(cell, goal, &prepared, report, telemetry, t0.elapsed())
+        }
+        BackendSpec::Ideal => {
+            let link = cell.topology.edge_link();
+            let mut backend = IdealBackend::new(link.bytes_per_ns(), link.latency_ns);
+            let t0 = Instant::now();
+            let mut driver = SimDriver::start(goal, &mut backend);
+            driver.run_until(&mut backend, branch_at).expect("no deadlock");
+            let report = driver.finish(&mut backend).expect("no deadlock");
+            plain_result(cell, goal, &prepared, report, None, t0.elapsed())
+        }
+    }
+}
+
+/// Run one shared-prefix group: prefix once, snapshot, one restore +
+/// override + finish per member cell, in member order.
+fn run_group(
+    members: &[&ScenarioCell],
+    jobs: &[Arc<GoalSchedule>],
+    branch_at: u64,
+) -> Vec<CellResult> {
+    let lead = members[0];
+    let prepared = prepare_goal(lead, jobs);
+    let goal = prepared.goal(jobs);
+    match lead.backend {
+        BackendSpec::Htsim { cc, spray } => {
+            let topo_cfg = lead.topology.config();
+            let topo = Topology::build(topo_cfg.clone());
+            let mut backend = htsim_clean(lead, topo_cfg, cc, spray);
+            branch_fanout(
+                &mut backend,
+                goal,
+                branch_at,
+                members,
+                |backend, cell| apply_htsim_override(backend, cell, &topo),
+                |backend, cell, report, telemetry, wall| {
+                    htsim_result(cell, goal, &prepared, backend, report, telemetry, wall)
+                },
+            )
+        }
+        BackendSpec::Lgs => {
+            let mut backend = LgsBackend::new(lgs_params_for(&lead.topology));
+            branch_fanout(
+                &mut backend,
+                goal,
+                branch_at,
+                members,
+                |backend, cell| apply_lgs_override(backend, cell, goal),
+                |_backend, cell, report, telemetry, wall| {
+                    plain_result(cell, goal, &prepared, report, telemetry, wall)
+                },
+            )
+        }
+        BackendSpec::Ideal => {
+            let link = lead.topology.edge_link();
+            let mut backend = IdealBackend::new(link.bytes_per_ns(), link.latency_ns);
+            branch_fanout(
+                &mut backend,
+                goal,
+                branch_at,
+                members,
+                |_backend, _cell| None,
+                |_backend, cell, report, telemetry, wall| {
+                    plain_result(cell, goal, &prepared, report, telemetry, wall)
+                },
+            )
+        }
+    }
+}
+
+/// The generic prefix-once/fan-out loop over one backend. `apply` puts a
+/// cell's override onto the restored backend at the branch point;
+/// `collect` turns the finished run into its [`CellResult`].
+///
+/// The prefix wall-clock is charged to the group's first cell; every
+/// other cell carries only its own suffix (wall time never enters the
+/// byte-compared reports).
+fn branch_fanout<B: Backend + Snapshot>(
+    backend: &mut B,
+    goal: &GoalSchedule,
+    branch_at: u64,
+    members: &[&ScenarioCell],
+    mut apply: impl FnMut(&mut B, &ScenarioCell) -> Option<FaultTelemetry>,
+    mut collect: impl FnMut(
+        &B,
+        &ScenarioCell,
+        SimReport,
+        Option<FaultTelemetry>,
+        Duration,
+    ) -> CellResult,
+) -> Vec<CellResult> {
+    let t0 = Instant::now();
+    let mut driver = SimDriver::start(goal, backend);
+    driver.run_until(backend, branch_at).expect("no deadlock");
+    let snapshot = backend.checkpoint();
+    let mut prefix_wall = t0.elapsed();
+    members
+        .iter()
+        .map(|cell| {
+            let t1 = Instant::now();
+            backend.restore(&snapshot);
+            let telemetry = apply(backend, cell);
+            let report = driver.clone().finish(backend).expect("no deadlock");
+            let wall = std::mem::take(&mut prefix_wall) + t1.elapsed();
+            collect(backend, cell, report, telemetry, wall)
+        })
+        .collect()
+}
+
+/// A clean (no configured faults) packet backend for a branched cell:
+/// overrides are injected at the branch point instead.
+fn htsim_clean(
+    cell: &ScenarioCell,
+    topo_cfg: atlahs_htsim::topology::TopologyConfig,
+    cc: atlahs_htsim::CcAlgo,
+    spray: bool,
+) -> HtsimBackend {
+    let mut cfg = HtsimConfig::new(topo_cfg, cc);
+    cfg.seed = cell.seed;
+    cfg.spray = spray;
+    cfg.collect_flows = cell.collect_flows;
+    HtsimBackend::new(cfg)
+}
+
+/// Lower a cell's fault to port windows and inject them at the branch
+/// point (windows are clamped to open no earlier than `now`). Telemetry
+/// describes the *generated* schedule, as in the straight executor.
+fn apply_htsim_override(
+    backend: &mut HtsimBackend,
+    cell: &ScenarioCell,
+    topo: &Topology,
+) -> Option<FaultTelemetry> {
+    if cell.fault == FaultSpec::None {
+        return None;
+    }
+    let fault_seed = cell_seed(cell.seed, &cell.fault.label());
+    let faults = cell.fault.port_faults(topo, fault_seed);
+    let telemetry = cell.fault.distributional().then(|| FaultTelemetry {
+        windows: faults.len() as u64,
+        downtime_ns: faults.iter().map(|f| f.end_ns - f.start_ns).sum(),
+        stragglers: 0,
+    });
+    for f in faults {
+        backend.inject_fault(f);
+    }
+    telemetry
+}
+
+/// Apply a cell's straggler override to a running message-level backend.
+fn apply_lgs_override(
+    backend: &mut LgsBackend,
+    cell: &ScenarioCell,
+    goal: &GoalSchedule,
+) -> Option<FaultTelemetry> {
+    if cell.fault == FaultSpec::None {
+        return None;
+    }
+    let fault_seed = cell_seed(cell.seed, &cell.fault.label());
+    let spec = cell.fault.straggler_spec(fault_seed)?;
+    let telemetry = cell.fault.distributional().then(|| FaultTelemetry {
+        windows: 0,
+        downtime_ns: 0,
+        stragglers: (0..goal.num_ranks()).filter(|&r| spec.is_straggler(r)).count() as u64,
+    });
+    backend.apply_straggler_now(spec);
+    telemetry
+}
+
+fn htsim_result(
+    cell: &ScenarioCell,
+    goal: &GoalSchedule,
+    prepared: &PreparedGoal,
+    backend: &HtsimBackend,
+    report: SimReport,
+    telemetry: Option<FaultTelemetry>,
+    wall: Duration,
+) -> CellResult {
+    let mct = DistSummary::of(backend.flow_records().iter().map(|f| f.duration()).collect());
+    let job_finish = prepared.placements.iter().map(|nodes| report.job_finish(nodes)).collect();
+    CellResult {
+        key: cell.key(),
+        seed: cell.seed,
+        makespan: report.makespan,
+        tasks: report.completed,
+        mct,
+        net: Some(backend.net_stats()),
+        job_finish,
+        task_arena_bytes: goal.task_arena_bytes(),
+        fault: telemetry,
+        wall,
+    }
+}
+
+fn plain_result(
+    cell: &ScenarioCell,
+    goal: &GoalSchedule,
+    prepared: &PreparedGoal,
+    report: SimReport,
+    telemetry: Option<FaultTelemetry>,
+    wall: Duration,
+) -> CellResult {
+    let job_finish = prepared.placements.iter().map(|nodes| report.job_finish(nodes)).collect();
+    CellResult {
+        key: cell.key(),
+        seed: cell.seed,
+        makespan: report.makespan,
+        tasks: report.completed,
+        mct: DistSummary::of(Vec::new()),
+        net: None,
+        job_finish,
+        task_arena_bytes: goal.task_arena_bytes(),
+        fault: telemetry,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoke::{branch_smoke_grid, BRANCH_SMOKE_AT};
+    use crate::sweep::SweepReport;
+
+    fn strip_wall(mut results: Vec<CellResult>) -> String {
+        for r in &mut results {
+            r.wall = Duration::ZERO;
+        }
+        SweepReport { seed: 1, results, branch: None }.to_json().pretty()
+    }
+
+    /// The tentpole contract: the shared-prefix snapshot fan-out is
+    /// byte-identical to pausing-and-injecting each cell independently,
+    /// and the prefix is simulated once per group, not once per cell.
+    #[test]
+    fn branched_sweep_matches_straight_through_byte_for_byte() {
+        let grid = branch_smoke_grid();
+        let cells = grid.expand();
+        assert_eq!(cells.len(), 24);
+
+        let (branched, stats) = execute_branched(&cells, BRANCH_SMOKE_AT, 2);
+        assert_eq!(stats.prefix_runs, 8, "4 prefix groups per workload");
+        assert!(stats.prefix_runs < cells.len(), "suffix-only re-simulation");
+
+        let straight: Vec<CellResult> = cells
+            .iter()
+            .map(|c| run_cell_branched_straight(c, &c.workload.build_jobs(c.seed), BRANCH_SMOKE_AT))
+            .collect();
+        assert_eq!(strip_wall(branched), strip_wall(straight));
+    }
+
+    /// Thread count must not leak into branched results, and overrides
+    /// must actually bite: faulted branches diverge from their clean
+    /// siblings somewhere in the grid.
+    #[test]
+    fn branched_sweep_is_thread_count_independent_and_faults_bite() {
+        let cells = branch_smoke_grid().expand();
+        let (serial, s1) = execute_branched(&cells, BRANCH_SMOKE_AT, 1);
+        let (parallel, s4) = execute_branched(&cells, BRANCH_SMOKE_AT, 4);
+        assert_eq!(s1, s4);
+        assert_eq!(strip_wall(serial.clone()), strip_wall(parallel));
+
+        let mut diverged = 0;
+        for r in &serial {
+            if let Some(clean) = serial.iter().find(|c| {
+                c.key != r.key && r.key.starts_with(c.key.as_str()) && !c.key.contains("straggler")
+            }) {
+                if r.makespan != clean.makespan {
+                    diverged += 1;
+                }
+            }
+        }
+        assert!(diverged > 0, "no branch override changed any makespan");
+    }
+
+    /// `FaultSpec::None` branch cells are pure checkpoint/resume — they
+    /// must equal the ordinary straight executor exactly (same makespan,
+    /// stats, and flow summaries), since nothing is ever injected.
+    #[test]
+    fn clean_branch_cells_equal_the_straight_executor() {
+        let cells: Vec<ScenarioCell> = branch_smoke_grid()
+            .expand()
+            .into_iter()
+            .filter(|c| c.fault == FaultSpec::None)
+            .collect();
+        let (branched, _) = execute_branched(&cells, BRANCH_SMOKE_AT, 2);
+        let plain = crate::sweep::execute(&cells, 2);
+        assert_eq!(strip_wall(branched), strip_wall(plain));
+    }
+}

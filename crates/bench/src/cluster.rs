@@ -962,9 +962,9 @@ impl ClusterReport {
             for j in &r.jobs {
                 out.push_str(&format!(
                     "{},{},{},{},{},{},{},{},{},{},{:.4},{}\n",
-                    r.key,
+                    crate::table::csv_field(&r.key),
                     j.id,
-                    j.workload,
+                    crate::table::csv_field(&j.workload),
                     j.ranks,
                     j.arrival_ns,
                     j.start_ns,
@@ -1324,7 +1324,11 @@ mod tests {
         assert!(ClusterFaultSpec::parse("jobfail:x:50:3").is_err());
         assert!(ClusterFaultSpec::parse("jobfail:10:50").is_err());
         assert!(ClusterFaultSpec::parse("nodefail:1").is_err());
-        assert!(ClusterFaultSpec::parse("mtbf:0:3").is_err(), "zero MTBF");
+        // A zero MTBF would make the exponential time-to-failure sampler
+        // degenerate (every attempt fails at t=0, forever); it must die
+        // at parse time with a message naming the constraint.
+        let err = ClusterFaultSpec::parse("mtbf:0:3").unwrap_err();
+        assert!(err.contains("mean time between failures"), "{err}");
         assert!(ClusterFaultSpec::parse("mtbf:1000").is_err());
         // Percentages clamp instead of erroring (CLI forgiveness).
         assert_eq!(

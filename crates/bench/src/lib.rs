@@ -15,7 +15,11 @@
 //!   placement × backend) expanded into deterministic cells,
 //! * [`sweep`] — the parallel sweep executor and JSON/CSV/markdown report
 //!   writers behind the unified `atlahs` CLI (`atlahs sweep`,
-//!   docs/SCENARIOS.md).
+//!   docs/SCENARIOS.md),
+//! * [`branch`] — the branch-and-continue executor (`atlahs sweep
+//!   --branch-at`): simulate each shared prefix once, snapshot via the
+//!   backend `Snapshot` contract, fan out into per-cell what-if
+//!   continuations.
 //!
 //! Every binary accepts `--seed <u64>` and `--scale <f64>` (workload
 //! scale; the default keeps packet-level runs tractable on a laptop) and
@@ -26,6 +30,7 @@
 //! EXPERIMENTS.md.
 
 pub mod args;
+pub mod branch;
 pub mod cluster;
 pub mod json;
 pub mod runner;

@@ -1228,20 +1228,40 @@ pub fn run_cell(cell: &ScenarioCell) -> CellResult {
     run_cell_prepared(cell, &cell.workload.build_jobs(cell.seed))
 }
 
-/// [`run_cell`] with the workload's job schedules already built — the
-/// sweep executor lowers each distinct (workload, seed) pair once and
-/// shares the `Arc`ed result across cells. `jobs` must equal
-/// `cell.workload.build_jobs(cell.seed)` (deterministic), so sharing
-/// cannot change any result.
-pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> CellResult {
-    let hosts = cell.topology.hosts();
+/// A cell's composed schedule and per-job node placements, shared
+/// between the straight executor ([`run_cell_prepared`]) and the
+/// branch-and-continue executor ([`crate::branch`]).
+pub struct PreparedGoal {
+    /// `None` when the single packed job runs un-remapped (the identity
+    /// placement) and the schedule is borrowed from `jobs[0]` instead.
+    merged: Option<GoalSchedule>,
+    /// Per-job node sets, in job order.
+    pub placements: Vec<Vec<u32>>,
+}
 
-    // A single packed job runs un-remapped (the identity placement), so
-    // single-job cells reproduce the figure binaries exactly; everything
-    // else goes through allocate + compose.
+impl PreparedGoal {
+    /// The schedule the backend simulates. `jobs` must be the slice this
+    /// was prepared from.
+    pub fn goal<'a>(&'a self, jobs: &'a [Arc<GoalSchedule>]) -> &'a GoalSchedule {
+        match self.merged.as_ref() {
+            Some(g) => g,
+            None => &jobs[0],
+        }
+    }
+}
+
+/// Place and compose a cell's jobs into the schedule its backend will
+/// simulate. A single packed job runs un-remapped (the identity
+/// placement), so single-job cells reproduce the figure binaries
+/// exactly; everything else goes through allocate + compose.
+pub fn prepare_goal(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> PreparedGoal {
+    let hosts = cell.topology.hosts();
     let single_packed = jobs.len() == 1 && cell.placement == PlacementSpec::Packed;
-    let (merged, placements) = if single_packed {
-        (None, vec![(0..jobs[0].num_ranks() as u32).collect::<Vec<u32>>()])
+    if single_packed {
+        PreparedGoal {
+            merged: None,
+            placements: vec![(0..jobs[0].num_ranks() as u32).collect::<Vec<u32>>()],
+        }
     } else {
         let sizes: Vec<usize> = jobs.iter().map(|j| j.num_ranks()).collect();
         let placement = allocate(cell.placement.strategy(cell.seed), hosts, &sizes)
@@ -1251,12 +1271,22 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
             .zip(placement.iter())
             .map(|(goal, nodes)| PlacedJob::new(goal, nodes.clone()))
             .collect();
-        (Some(compose(&placed, hosts).expect("disjoint placements compose")), placement)
-    };
-    let goal: &GoalSchedule = match merged.as_ref() {
-        Some(g) => g,
-        None => &jobs[0],
-    };
+        PreparedGoal {
+            merged: Some(compose(&placed, hosts).expect("disjoint placements compose")),
+            placements: placement,
+        }
+    }
+}
+
+/// [`run_cell`] with the workload's job schedules already built — the
+/// sweep executor lowers each distinct (workload, seed) pair once and
+/// shares the `Arc`ed result across cells. `jobs` must equal
+/// `cell.workload.build_jobs(cell.seed)` (deterministic), so sharing
+/// cannot change any result.
+pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> CellResult {
+    let prepared = prepare_goal(cell, jobs);
+    let goal = prepared.goal(jobs);
+    let placements = &prepared.placements;
     let task_arena_bytes = goal.task_arena_bytes();
 
     // Fault randomness is keyed off the *derived* seed so the base cell
@@ -1502,9 +1532,16 @@ mod tests {
         assert!(err.contains("bw_pct"), "{err}");
         let err = FaultSpec::parse("degrade:2:25:0:0:200000").unwrap_err();
         assert!(err.contains("lat_pct"), "{err}");
-        // Distributional specs validate their shape too.
-        assert!(FaultSpec::parse("markov:2:0:8000:400000").is_err(), "zero mean sojourn");
-        assert!(FaultSpec::parse("markov:2:40000:8000:0").is_err(), "zero horizon");
+        // Distributional specs validate their shape too: a zero mean
+        // sojourn in either state would collapse the Gilbert–Elliott
+        // chain (the exponential sampler degenerates to instant
+        // transitions), and a zero horizon generates nothing.
+        let err = FaultSpec::parse("markov:2:0:8000:400000").unwrap_err();
+        assert!(err.contains("sojourn"), "zero up sojourn: {err}");
+        let err = FaultSpec::parse("markov:2:40000:0:400000").unwrap_err();
+        assert!(err.contains("sojourn"), "zero down sojourn: {err}");
+        let err = FaultSpec::parse("markov:2:40000:8000:0").unwrap_err();
+        assert!(err.contains("horizon"), "zero horizon: {err}");
         assert!(FaultSpec::parse("rackfail:1:90000:10000").is_err(), "inverted window");
         assert!(FaultSpec::parse("churn:").is_err(), "empty trace");
         assert!(FaultSpec::parse("churn:1000;0;d").is_err(), "domain left down");

@@ -115,6 +115,65 @@ pub fn fault_smoke_grid() -> ScenarioGrid {
     }
 }
 
+/// The pinned branch time of the branch smoke grid (`atlahs sweep
+/// --branch-smoke`): 60 µs into the run, inside every workload's steady
+/// state, so each continuation replays a real mid-flight snapshot rather
+/// than an empty or drained simulation.
+pub const BRANCH_SMOKE_AT: u64 = 60_000;
+
+/// The fixed branch-and-continue smoke grid: 24 cells over 8 shared
+/// prefixes, goldened as `tests/goldens/branch_smoke.json` from a run
+/// with `--branch-at` [`BRANCH_SMOKE_AT`].
+///
+/// Per workload (2): the four fault axis values pair with both htsim CCs
+/// (8 cells), the two straggler regimes plus `none` with LGS (3), and
+/// `none` with the ideal bound (1) — 12 cells across 4 prefix groups
+/// (htsim-mprdma, htsim-ndp, lgs, ideal). Both workloads carry per-rank
+/// compute so completions — the only points the scheduler can pause at —
+/// exist well before the branch time. The fault windows open at or after
+/// [`BRANCH_SMOKE_AT`] where possible, but clamping is part of the
+/// contract being smoked: injection at the branch point must clip
+/// already-elapsed windows instead of rewriting history.
+pub fn branch_smoke_grid() -> ScenarioGrid {
+    ScenarioGrid {
+        topologies: vec![TopologySpec::AiFatTree { nodes: 16, oversub: 4 }],
+        workloads: vec![
+            WorkloadSpec::MoeAllToAll {
+                ranks: 16,
+                group: 16,
+                bytes: 64 << 10,
+                layers: 1,
+                compute_ns: 20_000,
+            },
+            WorkloadSpec::PipelineLlm {
+                stages: 16,
+                microbatches: 2,
+                bytes: 64 << 10,
+                compute_ns: 2_000,
+            },
+        ],
+        ccs: vec![CcAlgo::Mprdma, CcAlgo::Ndp],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+        faults: vec![
+            FaultSpec::None,
+            FaultSpec::LinkFlap { links: 2, down_ns: 70_000, up_ns: 140_000 },
+            FaultSpec::Degrade {
+                links: 2,
+                bw_pct: 25,
+                lat_pct: 300,
+                from_ns: 60_000,
+                to_ns: 250_000,
+            },
+            FaultSpec::Markov { links: 2, up_ns: 20_000, down_ns: 20_000, horizon_ns: 300_000 },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 300, spread_pct: 0, shape: 1 },
+            FaultSpec::Straggler { prob_pct: 50, factor_pct: 200, spread_pct: 200, shape: 2 },
+        ],
+        seed: 1,
+        collect_flows: true,
+    }
+}
+
 /// The frozen churn trace the fault smoke grid replays: rack 0 bounces
 /// early, rack 1 fails later while 0 is already back.
 fn churn_smoke_trace() -> Vec<atlahs_core::faultgen::ChurnEvent> {
@@ -205,6 +264,32 @@ mod tests {
         // The cell key derivation counts '/' separators; no fault label
         // may smuggle one in.
         assert!(keys.iter().all(|k| k.matches('/').count() <= 4), "{keys:?}");
+    }
+
+    #[test]
+    fn branch_smoke_grid_has_its_frozen_shape() {
+        let cells = branch_smoke_grid().expand();
+        assert_eq!(cells.len(), 24, "12 cells per workload");
+        // 4 shared prefixes per workload: htsim×2 CCs, lgs, ideal.
+        let mut prefixes: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{}/{}/{}",
+                    c.topology.label(),
+                    c.workload.label(),
+                    c.placement.label(),
+                    c.backend.label()
+                )
+            })
+            .collect();
+        prefixes.sort();
+        prefixes.dedup();
+        assert_eq!(prefixes.len(), 8);
+        let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 24, "branch smoke keys are unique");
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub fn execute(cells: &[ScenarioCell], threads: usize) -> Vec<CellResult> {
 pub struct SweepReport {
     pub seed: u64,
     pub results: Vec<CellResult>,
+    /// Set when the sweep ran branched ([`crate::branch::execute_branched`]):
+    /// records the branch time and the shared-prefix work actually done,
+    /// so reports prove the prefix was simulated per group, not per cell.
+    pub branch: Option<crate::branch::BranchStats>,
 }
 
 impl SweepReport {
@@ -127,6 +131,15 @@ impl SweepReport {
             },
         );
         doc.set("cells", Json::Num(self.results.len() as f64));
+        // Branched sweeps record the branch point and the shared-prefix
+        // work counter; straight sweeps omit the object entirely so all
+        // pre-existing goldens keep their exact bytes.
+        if let Some(b) = &self.branch {
+            let mut br = Json::obj();
+            br.set("at_ns", Json::Num(b.branch_at as f64));
+            br.set("prefix_runs", Json::Num(b.prefix_runs as f64));
+            doc.set("branch", br);
+        }
         let mut arr = Vec::with_capacity(self.results.len());
         for r in &self.results {
             let mut cell = Json::obj();
@@ -214,7 +227,10 @@ impl SweepReport {
             };
             out.push_str(&format!(
                 "{},{},{},{},{mean},{p99},{max},{flows},{packets},{drops},{trims},{core}\n",
-                r.key, r.seed, r.makespan, r.tasks
+                crate::table::csv_field(&r.key),
+                r.seed,
+                r.makespan,
+                r.tasks
             ));
         }
         out
@@ -301,8 +317,8 @@ mod tests {
     fn parallel_report_matches_serial_byte_for_byte() {
         let cells = small_grid().expand();
         assert_eq!(cells.len(), 12);
-        let serial = SweepReport { seed: 9, results: execute(&cells, 1) };
-        let parallel = SweepReport { seed: 9, results: execute(&cells, 4) };
+        let serial = SweepReport { seed: 9, results: execute(&cells, 1), branch: None };
+        let parallel = SweepReport { seed: 9, results: execute(&cells, 4), branch: None };
         assert_eq!(serial.to_json().pretty(), parallel.to_json().pretty());
         assert_eq!(serial.to_csv(), parallel.to_csv());
     }
@@ -310,7 +326,7 @@ mod tests {
     #[test]
     fn report_formats_are_consistent() {
         let cells = small_grid().expand();
-        let report = SweepReport { seed: 9, results: execute(&cells, 2) };
+        let report = SweepReport { seed: 9, results: execute(&cells, 2), branch: None };
         let json = report.to_json();
         assert_eq!(json.get("schema").unwrap().as_str(), Some("atlahs-sweep-v1"));
         assert_eq!(json.get("results").unwrap().as_arr().unwrap().len(), 12);
@@ -322,6 +338,44 @@ mod tests {
         // Markdown: header + separator + one row per cell.
         assert_eq!(report.to_markdown().lines().count(), 14);
         assert_eq!(report.summary_table().num_rows(), 12);
+    }
+
+    /// Regression: churn fault labels embed the inline event grammar,
+    /// whose `,` separators used to shear CSV rows into extra columns.
+    /// Cell keys must be RFC 4180-escaped so every data row keeps the
+    /// header's arity.
+    #[test]
+    fn csv_rows_with_churn_labelled_keys_keep_their_arity() {
+        let mut grid = small_grid();
+        grid.topologies = vec![TopologySpec::AiFatTree { nodes: 8, oversub: 2 }];
+        grid.workloads = vec![WorkloadSpec::Ring { ranks: 8, bytes: 64 << 10, laps: 1 }];
+        grid.backends = vec![BackendFamily::Htsim];
+        grid.faults = vec![crate::scenario::FaultSpec::Churn {
+            events: atlahs_core::faultgen::parse_churn_inline("0;0;d,5000;0;u").unwrap(),
+        }];
+        let cells = grid.expand();
+        assert_eq!(cells.len(), 1);
+        let report = SweepReport { seed: 9, results: execute(&cells, 1), branch: None };
+        let csv = report.to_csv();
+        let mut lines = csv.lines();
+        let columns = lines.next().unwrap().split(',').count();
+        let row = lines.next().unwrap();
+        // The whole key field is wrapped in quotes (the comma lives in
+        // the churn label suffix).
+        assert!(row.starts_with("\"ai-fattree"), "{row}");
+        assert!(row.contains("churn:0;0;d,5000;0;u\","), "{row}");
+        // Count commas outside quoted fields: arity must match the header.
+        let mut in_quotes = false;
+        let fields = 1 + row
+            .chars()
+            .filter(|&c| {
+                if c == '"' {
+                    in_quotes = !in_quotes;
+                }
+                c == ',' && !in_quotes
+            })
+            .count();
+        assert_eq!(fields, columns);
     }
 
     #[test]

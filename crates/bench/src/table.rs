@@ -71,6 +71,21 @@ impl Table {
     }
 }
 
+/// RFC 4180 CSV field escaping: fields containing a comma, double
+/// quote, or line break are wrapped in double quotes with embedded
+/// quotes doubled; anything else passes through byte-identical, so
+/// existing report outputs keep their exact historical form. Needed
+/// because cell keys are not comma-free — churn fault labels embed the
+/// inline event grammar (e.g. `churn:0;r0;d,5;r0;u`), which would
+/// otherwise shear the row into extra columns.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\r', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// `12_345_678` ns → `"12.35 ms"` style human time.
 pub fn fmt_ns(ns: u64) -> String {
     let f = ns as f64;
@@ -151,6 +166,23 @@ mod tests {
         assert_eq!(fmt_bytes(2048), "2.00 KiB");
         assert_eq!(fmt_bytes(5 << 20), "5.00 MiB");
         assert_eq!(fmt_bytes(3 << 30), "3.00 GiB");
+    }
+
+    #[test]
+    fn csv_field_escapes_per_rfc4180() {
+        // Simple fields pass through byte-identical — existing CSV
+        // outputs must not change shape.
+        assert_eq!(
+            csv_field("ai-fattree:16:4/ring:8:131072:1/packed/lgs"),
+            "ai-fattree:16:4/ring:8:131072:1/packed/lgs"
+        );
+        assert_eq!(csv_field(""), "");
+        // Commas (churn labels), quotes, and line breaks get quoted with
+        // embedded quotes doubled.
+        assert_eq!(csv_field("churn:0;r0;d,5;r0;u"), "\"churn:0;r0;d,5;r0;u\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_field("a\rb"), "\"a\rb\"");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use atlahs_goal::{Rank, Tag};
 
 use crate::api::{Backend, Completion, OpRef, Time};
 use crate::matcher::{MatchKey, Matcher};
+use crate::snapshot::Snapshot;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
@@ -132,6 +133,30 @@ impl IdealBackend {
         if let Some(recv_op) = self.matcher.offer_send(key, arrive) {
             self.push(arrive, Ev::Done(recv_op));
         }
+    }
+}
+
+/// The ideal backend's complete mutable state: clock, pending events,
+/// and unmatched messages. Bandwidth/latency are construction-time
+/// configuration and stay on the backend.
+#[derive(Debug, Clone)]
+pub struct IdealState {
+    now: Time,
+    events: EventQueue<Ev>,
+    matcher: Matcher<Time, OpRef>,
+}
+
+impl Snapshot for IdealBackend {
+    type State = IdealState;
+
+    fn checkpoint(&self) -> IdealState {
+        IdealState { now: self.now, events: self.events.clone(), matcher: self.matcher.clone() }
+    }
+
+    fn restore(&mut self, state: &IdealState) {
+        self.now = state.now;
+        self.events = state.events.clone();
+        self.matcher = state.matcher.clone();
     }
 }
 

@@ -488,4 +488,38 @@ mod tests {
         assert!(parse_churn_inline("5;0;d").unwrap_err().contains("left down"));
         assert!(parse_churn_inline("banana").unwrap_err().contains("expected"));
     }
+
+    /// Trace files arrive from other tooling: Windows CRLF endings,
+    /// trailing blank lines, and comment-only lines must all parse to
+    /// the same events as the canonical LF form.
+    #[test]
+    fn churn_trace_tolerates_crlf_blank_and_comment_lines() {
+        let canonical = parse_churn_trace("1000 0 down\n5000 0 up\n").unwrap();
+        let crlf = "1000 0 down\r\n5000 0 up\r\n";
+        assert_eq!(parse_churn_trace(crlf).unwrap(), canonical, "CRLF endings");
+        let padded = "# header comment\r\n\r\n1000 0 down\r\n   \r\n5000 0 up # inline\r\n\r\n\r\n";
+        assert_eq!(
+            parse_churn_trace(padded).unwrap(),
+            canonical,
+            "comment-only, blank, and trailing-blank lines"
+        );
+        assert_eq!(parse_churn_trace("# only comments\n\n   \n").unwrap(), vec![]);
+    }
+
+    /// Parse errors name the offending line by its **1-based** file line
+    /// number, counting comment and blank lines, so the message points
+    /// at the line an editor shows.
+    #[test]
+    fn churn_trace_errors_report_one_based_line_numbers() {
+        let err = parse_churn_trace("garbage").unwrap_err();
+        assert!(err.contains("line 1:"), "{err}");
+        // Line 1 is a comment, 2 is blank, 3 is valid; the malformed
+        // line is the file's 4th.
+        let err = parse_churn_trace("# setup\n\n1000 0 down\n5000 0 sideways\n").unwrap_err();
+        assert!(err.contains("line 4:"), "{err}");
+        assert!(err.contains("sideways"), "quotes the offending text: {err}");
+        // CRLF does not shift the count.
+        let err = parse_churn_trace("# c\r\n1000 0 down\r\nnot-a-time 0 up\r\n").unwrap_err();
+        assert!(err.contains("line 3:"), "{err}");
+    }
 }

@@ -39,8 +39,10 @@ pub mod faultgen;
 pub mod matcher;
 pub mod placement;
 pub mod scheduler;
+pub mod snapshot;
 
 pub use api::{Backend, Completion, OpKind, OpRef, Time};
 pub use matcher::Matcher;
 pub use placement::{allocate, FragStats, NodePool, PlacementStrategy};
-pub use scheduler::{SimError, SimReport, Simulation};
+pub use scheduler::{RunState, SimDriver, SimError, SimReport, Simulation};
+pub use snapshot::Snapshot;

@@ -42,14 +42,14 @@ pub type MatchKey = (Rank, Rank, Tag);
 /// One pooled entry: an unmatched send- or recv-side value. `Vacant`
 /// marks free-list membership (and lets values be moved out of the slab
 /// without unsafe code).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Slot<S, R> {
     Vacant,
     Send(S),
     Recv(R),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node<S, R> {
     slot: Slot<S, R>,
     /// Next node in this key's FIFO list, or the next free node.
@@ -67,7 +67,13 @@ struct KeyQueue {
 }
 
 /// A FIFO matcher pairing send-side entries (`S`) with recv-side entries (`R`).
-#[derive(Debug)]
+///
+/// `Clone` (for `S: Clone, R: Clone`) copies the queue map, node slab,
+/// and free list verbatim, so a cloned matcher replays the exact same
+/// match sequence as the original — the property backend `Snapshot`
+/// implementations rely on. (Match results never depend on the hash-map
+/// bucket layout; nothing iterates the map.)
+#[derive(Debug, Clone)]
 pub struct Matcher<S, R> {
     queues: HashMap<MatchKey, KeyQueue, FastBuildHasher>,
     pool: Vec<Node<S, R>>,

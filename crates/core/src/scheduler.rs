@@ -11,7 +11,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use atlahs_goal::{DepKind, GoalSchedule, Rank, RankSchedule, Stream, TaskId, TaskKind};
 
-use crate::api::{Backend, EventKind, OpKind, OpRef, Time};
+use crate::api::{Backend, Completion, EventKind, OpKind, OpRef, Time};
 
 /// Final report of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +85,7 @@ enum TaskState {
 /// minimum of the two fronts — exactly the `BinaryHeap<Reverse<u32>>`
 /// min-id semantics this queue replaced, so simulation results are
 /// bit-identical, without the O(log n) sift on the dense path.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ReadyQueue {
     /// Strictly increasing task ids.
     ring: VecDeque<u32>,
@@ -116,7 +116,7 @@ impl ReadyQueue {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StreamState {
     stream: Stream,
     busy: bool,
@@ -126,6 +126,7 @@ struct StreamState {
 /// One subtracted from a task's packed start-edge (`irequires`) counter.
 const START_ONE: u64 = 1 << 32;
 
+#[derive(Clone)]
 struct RankState {
     /// Packed per-task in-degree countdown: `start_remaining << 32 |
     /// full_remaining`. Edge firing is the scheduler's most
@@ -177,11 +178,58 @@ impl<'g> Simulation<'g> {
 
     /// Run the schedule to completion on `backend`.
     pub fn run<B: Backend>(&self, backend: &mut B) -> Result<SimReport, SimError> {
-        backend.simulation_setup(self.goal.num_ranks());
+        SimDriver::start(self.goal, backend).finish(backend)
+    }
+}
 
-        let mut ranks: Vec<RankState> = Vec::with_capacity(self.goal.num_ranks());
-        let total: usize = self.goal.total_tasks();
-        for sched in self.goal.ranks() {
+/// Outcome of a bounded driver step ([`SimDriver::run_until`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// The time bound was reached; events remain pending. This is a
+    /// checkpointable position: the last processed event's time is
+    /// `>=` the bound.
+    Paused,
+    /// The backend went quiescent: every issued operation completed (or
+    /// the run deadlocked — [`SimDriver::finish`] distinguishes).
+    Quiescent,
+}
+
+/// The resumable scheduler state behind [`Simulation::run`].
+///
+/// A driver owns everything the event loop mutates — dependency
+/// countdowns, ready rings, stream busy bits, completion tallies — and
+/// is `Clone`, so `driver.clone()` plus a backend
+/// [`crate::Snapshot::checkpoint`] captures a *complete* simulation
+/// state. The pair restores into any number of what-if continuations,
+/// each bit-identical to a straight-through run (the branch-and-continue
+/// engine in `atlahs_bench` is built on exactly this pair).
+///
+/// The pause boundary is deterministic by construction: `run_until(t)`
+/// processes events strictly in backend order and stops *after* the
+/// first event at time `>= t`, so a paused-and-resumed run processes the
+/// exact event sequence of an unpaused one — no peeking, no stashed
+/// events, no divergence.
+#[derive(Clone)]
+pub struct SimDriver<'g> {
+    goal: &'g GoalSchedule,
+    ranks: Vec<RankState>,
+    /// Reused across dispatch calls: the per-round issue batch.
+    issue_buf: Vec<TaskId>,
+    total: usize,
+    completed: usize,
+    makespan: Time,
+    rank_finish: Vec<Time>,
+    last_time: Time,
+}
+
+impl<'g> SimDriver<'g> {
+    /// Set the backend up for `goal` and issue every initially ready
+    /// task. The returned driver is positioned before the first event.
+    pub fn start<B: Backend>(goal: &'g GoalSchedule, backend: &mut B) -> Self {
+        backend.simulation_setup(goal.num_ranks());
+
+        let mut ranks: Vec<RankState> = Vec::with_capacity(goal.num_ranks());
+        for sched in goal.ranks() {
             let (full, start) = sched.indegrees();
             let n = sched.num_tasks();
             let stream_col = sched.streams();
@@ -210,83 +258,61 @@ impl<'g> Simulation<'g> {
             ranks.push(rs);
         }
 
-        // Reused across dispatch calls: the per-round issue batch.
-        let mut issue_buf: Vec<TaskId> = Vec::new();
+        let mut driver = SimDriver {
+            goal,
+            ranks,
+            issue_buf: Vec::new(),
+            total: goal.total_tasks(),
+            completed: 0,
+            makespan: 0,
+            rank_finish: vec![0u64; goal.num_ranks()],
+            last_time: 0,
+        };
 
         // Initial dispatch on every rank.
-        for r in 0..ranks.len() {
-            dispatch_rank(self.goal, &mut ranks, r as Rank, backend, &mut issue_buf);
+        for r in 0..driver.ranks.len() {
+            dispatch_rank(goal, &mut driver.ranks, r as Rank, backend, &mut driver.issue_buf);
         }
+        driver
+    }
 
-        let mut completed = 0usize;
-        let mut makespan: Time = 0;
-        let mut rank_finish = vec![0u64; self.goal.num_ranks()];
-        let mut last_time: Time = 0;
+    /// Tasks completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
 
+    /// Time of the most recently processed event.
+    pub fn last_time(&self) -> Time {
+        self.last_time
+    }
+
+    /// Process events until the first event at time `>= bound` has been
+    /// processed (inclusive — that event *is* processed), or the backend
+    /// goes quiescent, whichever comes first.
+    pub fn run_until<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        bound: Time,
+    ) -> Result<RunState, SimError> {
         while let Some(ev) = backend.next_event() {
-            if ev.time < last_time {
-                return Err(SimError::TimeRegression {
-                    op: ev.op,
-                    time: ev.time,
-                    previous: last_time,
-                });
-            }
-            last_time = ev.time;
-            let op = ev.op;
-            let r = op.rank as usize;
-            let ti = op.task.index();
-            if r >= ranks.len() || ti >= ranks[r].state.len() {
-                return Err(SimError::SpuriousCompletion { op });
-            }
-            let st = ranks[r].state[ti];
-            let sched = self.goal.rank(op.rank);
-
-            match ev.kind {
-                EventKind::CpuFree => {
-                    if st != TaskState::Running {
-                        return Err(SimError::SpuriousCompletion { op });
-                    }
-                    ranks[r].state[ti] = TaskState::RunningFreed;
-                    let si = ranks[r].stream_idx_of(sched, ti);
-                    ranks[r].streams[si].busy = false;
-                    dispatch_rank(self.goal, &mut ranks, op.rank, backend, &mut issue_buf);
-                }
-                EventKind::Done => {
-                    if st != TaskState::Running && st != TaskState::RunningFreed {
-                        return Err(SimError::SpuriousCompletion { op });
-                    }
-                    if st == TaskState::Running {
-                        let si = ranks[r].stream_idx_of(sched, ti);
-                        ranks[r].streams[si].busy = false;
-                    }
-                    ranks[r].state[ti] = TaskState::Done;
-                    completed += 1;
-                    makespan = makespan.max(ev.time);
-                    rank_finish[r] = rank_finish[r].max(ev.time);
-
-                    // Fire completion (`requires`) edges. The packed
-                    // counter would borrow across halves on underflow
-                    // instead of panicking like the old u32 arrays, so
-                    // keep the debug guard explicit.
-                    for &(succ, kind) in sched.succs(op.task) {
-                        if kind == DepKind::Full {
-                            let rs = &mut ranks[r];
-                            debug_assert!(
-                                rs.remaining[succ.index()] as u32 != 0,
-                                "full-edge underflow on {succ:?}"
-                            );
-                            rs.remaining[succ.index()] -= 1;
-                            maybe_ready(sched, rs, succ);
-                        }
-                    }
-                    dispatch_rank(self.goal, &mut ranks, op.rank, backend, &mut issue_buf);
-                }
+            self.process_event(backend, ev)?;
+            if ev.time >= bound {
+                return Ok(RunState::Paused);
             }
         }
+        Ok(RunState::Quiescent)
+    }
 
-        if completed != total {
+    /// Drain the backend and build the final report (or the deadlock
+    /// error if tasks remain).
+    pub fn finish<B: Backend>(mut self, backend: &mut B) -> Result<SimReport, SimError> {
+        while let Some(ev) = backend.next_event() {
+            self.process_event(backend, ev)?;
+        }
+
+        if self.completed != self.total {
             let mut sample = Vec::new();
-            'outer: for (r, rs) in ranks.iter().enumerate() {
+            'outer: for (r, rs) in self.ranks.iter().enumerate() {
                 for (i, st) in rs.state.iter().enumerate() {
                     if *st != TaskState::Done {
                         sample.push(OpRef::new(r as Rank, TaskId(i as u32)));
@@ -296,10 +322,86 @@ impl<'g> Simulation<'g> {
                     }
                 }
             }
-            return Err(SimError::Deadlock { completed, total, sample });
+            return Err(SimError::Deadlock {
+                completed: self.completed,
+                total: self.total,
+                sample,
+            });
         }
 
-        Ok(SimReport { makespan, rank_finish, completed })
+        Ok(SimReport {
+            makespan: self.makespan,
+            rank_finish: self.rank_finish,
+            completed: self.completed,
+        })
+    }
+
+    /// Handle one backend event: validate, update task/stream state, fire
+    /// dependency edges, re-dispatch the rank.
+    fn process_event<B: Backend>(
+        &mut self,
+        backend: &mut B,
+        ev: Completion,
+    ) -> Result<(), SimError> {
+        if ev.time < self.last_time {
+            return Err(SimError::TimeRegression {
+                op: ev.op,
+                time: ev.time,
+                previous: self.last_time,
+            });
+        }
+        self.last_time = ev.time;
+        let op = ev.op;
+        let r = op.rank as usize;
+        let ti = op.task.index();
+        if r >= self.ranks.len() || ti >= self.ranks[r].state.len() {
+            return Err(SimError::SpuriousCompletion { op });
+        }
+        let st = self.ranks[r].state[ti];
+        let sched = self.goal.rank(op.rank);
+
+        match ev.kind {
+            EventKind::CpuFree => {
+                if st != TaskState::Running {
+                    return Err(SimError::SpuriousCompletion { op });
+                }
+                self.ranks[r].state[ti] = TaskState::RunningFreed;
+                let si = self.ranks[r].stream_idx_of(sched, ti);
+                self.ranks[r].streams[si].busy = false;
+                dispatch_rank(self.goal, &mut self.ranks, op.rank, backend, &mut self.issue_buf);
+            }
+            EventKind::Done => {
+                if st != TaskState::Running && st != TaskState::RunningFreed {
+                    return Err(SimError::SpuriousCompletion { op });
+                }
+                if st == TaskState::Running {
+                    let si = self.ranks[r].stream_idx_of(sched, ti);
+                    self.ranks[r].streams[si].busy = false;
+                }
+                self.ranks[r].state[ti] = TaskState::Done;
+                self.completed += 1;
+                self.makespan = self.makespan.max(ev.time);
+                self.rank_finish[r] = self.rank_finish[r].max(ev.time);
+
+                // Fire completion (`requires`) edges. The packed
+                // counter would borrow across halves on underflow
+                // instead of panicking like the old u32 arrays, so
+                // keep the debug guard explicit.
+                for &(succ, kind) in sched.succs(op.task) {
+                    if kind == DepKind::Full {
+                        let rs = &mut self.ranks[r];
+                        debug_assert!(
+                            rs.remaining[succ.index()] as u32 != 0,
+                            "full-edge underflow on {succ:?}"
+                        );
+                        rs.remaining[succ.index()] -= 1;
+                        maybe_ready(sched, rs, succ);
+                    }
+                }
+                dispatch_rank(self.goal, &mut self.ranks, op.rank, backend, &mut self.issue_buf);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -563,6 +665,71 @@ mod tests {
             self.now = t;
             Some(if done { Completion::done(op, t) } else { Completion::cpu_free(op, t) })
         }
+    }
+
+    /// The checkpoint/branch contract at the driver level: pause a run
+    /// mid-flight, snapshot the backend and clone the driver, then finish
+    /// both the original and the resumed copy — every report field must
+    /// be identical to a straight-through run, for several pause points.
+    #[test]
+    fn pause_checkpoint_resume_is_bit_identical() {
+        use crate::snapshot::Snapshot;
+        let mut b = GoalBuilder::new(4);
+        for r in 0..4u32 {
+            let dst = (r + 1) % 4;
+            let src = (r + 3) % 4;
+            let mut prev = None;
+            for lap in 0..3u64 {
+                let c = b.calc(r, 50 + 10 * lap);
+                let s = b.send(r, dst, 400, lap as u32);
+                let v = b.recv(r, src, 400, lap as u32);
+                b.requires(r, s, c);
+                if let Some(p) = prev {
+                    b.requires(r, c, p);
+                }
+                prev = Some(v);
+            }
+        }
+        let goal = b.build().unwrap();
+
+        let mut straight_backend = IdealBackend::new(1.0, 100);
+        let straight = Simulation::new(&goal).run(&mut straight_backend).unwrap();
+
+        for bound in [0u64, 1, 300, 700, 1_500, u64::MAX] {
+            let mut backend = IdealBackend::new(1.0, 100);
+            let mut driver = SimDriver::start(&goal, &mut backend);
+            let state = driver.run_until(&mut backend, bound).unwrap();
+            if bound == u64::MAX {
+                assert_eq!(state, RunState::Quiescent, "nothing runs past u64::MAX");
+            }
+            // Branch: checkpoint, finish the original, then restore the
+            // checkpoint into the same backend and finish the clone.
+            let snap = backend.checkpoint();
+            let fork = driver.clone();
+            let original = driver.finish(&mut backend).unwrap();
+            backend.restore(&snap);
+            let resumed = fork.finish(&mut backend).unwrap();
+            assert_eq!(original, straight, "paused run diverged (bound {bound})");
+            assert_eq!(resumed, straight, "restored branch diverged (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn run_until_pauses_after_first_event_at_or_past_bound() {
+        let mut b = GoalBuilder::new(1);
+        let ids: Vec<_> = (0..5).map(|_| b.calc(0, 100)).collect();
+        b.chain(0, &ids);
+        let goal = b.build().unwrap();
+        let mut backend = IdealBackend::new(1.0, 0);
+        let mut driver = SimDriver::start(&goal, &mut backend);
+        // Events fire at 100, 200, ...; the first event at time >= 250
+        // is the one at 300, and run_until processes it before pausing.
+        assert_eq!(driver.run_until(&mut backend, 250).unwrap(), RunState::Paused);
+        assert_eq!(driver.last_time(), 300);
+        assert_eq!(driver.completed(), 3);
+        let rep = driver.finish(&mut backend).unwrap();
+        assert_eq!(rep.makespan, 500);
+        assert_eq!(rep.completed, 5);
     }
 
     #[test]

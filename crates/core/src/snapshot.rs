@@ -1,0 +1,52 @@
+//! Checkpoint / restore for simulation backends.
+//!
+//! ROADMAP item 4: cluster-scale studies re-run every cell from t=0 even
+//! when cells share a long identical prefix and differ only in a late
+//! decision (a CC change, an injected failure, a placement tweak at time
+//! t). [`Snapshot`] makes the *pay-only-for-the-suffix* alternative
+//! possible: simulate the shared prefix once, [`Snapshot::checkpoint`]
+//! the backend (and the scheduler driver, which is `Clone`), then
+//! [`Snapshot::restore`] per what-if continuation.
+//!
+//! ## The bit-identity contract
+//!
+//! Checkpoint-at-t followed by restore-and-continue must produce output
+//! **byte-identical** to a straight-through run — not approximately
+//! equal, identical: the same makespan, the same per-flow records, the
+//! same RNG draws, the same event pop order. This is what lets branched
+//! sweep reports be diffed against straight-through goldens
+//! (`tests/goldens/branch_smoke.json`) and what
+//! `tests/determinism_golden.rs` pins per backend on clean and faulted
+//! cells.
+//!
+//! Consequently a `State` must capture *every* mutable bit of the
+//! backend: the event queue including its cursor and tie-break sequence
+//! counter (`atlahs_eventq::EventQueue` is `Clone` for exactly this),
+//! matcher queue slabs and free lists, RNG state, per-flow/per-port
+//! engine state, and statistics counters. Configuration fixed at
+//! construction (topology, CC parameters, debug flags) need not be
+//! captured — restoring onto the *same* backend instance is the
+//! supported use; restoring onto a differently-configured backend is a
+//! contract violation.
+//!
+//! `restore` takes `&State` (not `State`): one checkpoint fans out into
+//! N what-if continuations, so states are reused, never consumed.
+
+/// Checkpoint/restore of a backend's complete mutable simulation state.
+///
+/// Implemented by `IdealBackend`, `LgsBackend`, and the htsim engine.
+/// See the module docs for the bit-identity contract.
+pub trait Snapshot {
+    /// The captured state. `Clone` so one checkpoint can seed many
+    /// branches.
+    type State: Clone;
+
+    /// Capture the backend's complete mutable state at the current
+    /// simulated time.
+    fn checkpoint(&self) -> Self::State;
+
+    /// Reset the backend to a previously captured state. The backend
+    /// must have been constructed with the same configuration as when
+    /// `state` was captured.
+    fn restore(&mut self, state: &Self::State);
+}

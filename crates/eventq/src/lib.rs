@@ -52,6 +52,7 @@ const MASK1: u64 = (1 << BITS1) - 1;
 /// Bitmap words per level (4096 slots / 64 bits).
 const WORDS: usize = SLOTS / 64;
 
+#[derive(Clone)]
 struct Overflow<T> {
     t: u64,
     seq: u64,
@@ -130,6 +131,13 @@ pub struct QueueStats {
 }
 
 /// A discrete-event priority queue ordered by `(time, insertion order)`.
+///
+/// `Clone` (for `T: Clone`) deep-copies the entire queue — wheel slots,
+/// lane, overflow heap, cursor, and sequence counter — so a clone pops
+/// the exact same `(time, event)` stream as the original. Backends rely
+/// on this for their `Snapshot` implementations: heap entries are keyed
+/// `(t, seq)`, so a cloned `BinaryHeap` yields the same total order even
+/// though its internal array layout is unspecified.
 pub struct EventQueue<T> {
     /// Timestamp of the most recent `pop` (and of everything in `lane`).
     now: u64,
@@ -154,6 +162,26 @@ pub struct EventQueue<T> {
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<T: Clone> Clone for EventQueue<T> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            now: self.now,
+            cursor: self.cursor,
+            lane: self.lane.clone(),
+            l0: self.l0.clone(),
+            l1: self.l1.clone(),
+            l0_bits: self.l0_bits.clone(),
+            l1_bits: self.l1_bits.clone(),
+            l0_count: self.l0_count,
+            l1_count: self.l1_count,
+            heap: self.heap.clone(),
+            seq: self.seq,
+            len: self.len,
+            stats: self.stats,
+        }
     }
 }
 
@@ -267,9 +295,28 @@ impl<T> EventQueue<T> {
             // Next occupied level-0 slot within the current frame.
             if self.l0_count > 0 {
                 let frame_base = (self.cursor >> BITS0) << BITS0;
+                // The scan position may never trail time itself nor its
+                // own frame: a snapshot restored with a stale cursor
+                // would wrap the slot offset below in release builds.
+                debug_assert!(
+                    self.cursor >= self.now,
+                    "cursor {} behind now {} (stale snapshot?)",
+                    self.cursor,
+                    self.now
+                );
+                debug_assert!(
+                    self.cursor >= frame_base,
+                    "cursor {} behind its frame base {frame_base}",
+                    self.cursor
+                );
                 let from = (self.cursor - frame_base) as usize;
                 if let Some(s) = self.l0_bits.next(from) {
                     let t = frame_base + s as u64;
+                    debug_assert!(
+                        t >= self.cursor,
+                        "level-0 slot at {t} behind the cursor {}",
+                        self.cursor
+                    );
                     self.cursor = t;
                     self.now = t;
                     self.l0_bits.clear(s);
@@ -295,6 +342,10 @@ impl<T> EventQueue<T> {
             let cur_frame = self.cursor >> BITS0;
             let next_frame = if self.l1_count > 0 {
                 let sf_base = (cur_frame >> BITS1) << BITS1;
+                debug_assert!(
+                    cur_frame + 1 > sf_base,
+                    "frame {cur_frame} behind its superframe base {sf_base}"
+                );
                 let from = (cur_frame + 1 - sf_base) as usize;
                 let s = self.l1_bits.next(from).expect("level 1 only holds the current superframe");
                 sf_base + s as u64
@@ -496,6 +547,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Snapshot contract: a cloned queue pops the exact same stream as
+    /// the original, including when the clone is taken mid-drain with
+    /// the cursor parked exactly on frame and superframe boundaries —
+    /// the positions where a stale-cursor restore would underflow the
+    /// slot-offset arithmetic `pop` guards with `debug_assert!`.
+    #[test]
+    fn clone_resumes_identically_at_boundaries() {
+        let mut rng = StdRng::seed_from_u64(0xB00);
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        // Boundary-heavy schedule: frame edges (multiples of 1 << BITS0),
+        // superframe edges (1 << (BITS0 + BITS1)), overflow, plus noise.
+        for id in 0..4_000u64 {
+            let delay = match rng.random::<u64>() % 8 {
+                0 => 0,
+                1 => (1 << BITS0) - (now & MASK0), // next frame boundary
+                2 => (1 << (BITS0 + BITS1)) - (now & ((1 << (BITS0 + BITS1)) - 1)),
+                3..=5 => rng.random::<u64>() % 50_000,
+                _ => rng.random::<u64>() % 40_000_000,
+            };
+            q.push(now + delay, id);
+            if rng.random::<u64>() % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    now = t;
+                }
+            }
+        }
+        // Checkpoint at several points of the drain (first pop lands on
+        // whatever boundary the schedule reached) and verify the clone's
+        // remaining stream is bit-identical to the original's.
+        while !q.is_empty() {
+            let mut snap = q.clone();
+            assert_eq!(snap.len(), q.len());
+            assert_eq!(snap.now(), q.now());
+            for _ in 0..500 {
+                let a = q.pop();
+                let b = snap.pop();
+                assert_eq!(a, b, "clone diverged from original after checkpoint");
+                if a.is_none() {
+                    break;
+                }
+            }
+            // Fast-forward the original past the compared prefix — the
+            // next checkpoint is taken deeper into the drain.
+            q = snap;
+            for _ in 0..500 {
+                if q.pop().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A clone taken with events parked in every tier (lane, level 0,
+    /// level 1, overflow heap) stays independent of the original: popping
+    /// one never perturbs the other.
+    #[test]
+    fn clone_is_independent_of_the_original() {
+        let mut q = EventQueue::new();
+        q.push(10, 0u64);
+        assert_eq!(q.pop(), Some((10, 0)));
+        q.push(10, 1); // lane
+        q.push(500, 2); // level 0
+        q.push(50_000, 3); // level 1
+        q.push(60_000_000, 4); // heap
+        let mut snap = q.clone();
+        // Drain the original completely; the clone must still replay the
+        // full stream afterwards.
+        let original: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let cloned: Vec<_> = std::iter::from_fn(|| snap.pop()).collect();
+        assert_eq!(original, vec![(10, 1), (500, 2), (50_000, 3), (60_000_000, 4)]);
+        assert_eq!(original, cloned);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use atlahs_core::matcher::MatchKey;
-use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
+use atlahs_core::{Backend, Completion, Matcher, OpRef, Snapshot, Time};
 use atlahs_goal::{Rank, Tag};
 
 use crate::cc::{CcAlgo, CcState};
@@ -145,7 +145,7 @@ struct Packet {
     path: PathRef,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     TxDone(u32),
     Arrive {
@@ -177,6 +177,7 @@ enum Ev {
     },
 }
 
+#[derive(Clone)]
 struct Port {
     rate: f64,
     latency: u64,
@@ -207,7 +208,7 @@ struct Port {
 /// collective-style workloads — keep their bits inline in the flow record
 /// itself: no heap allocation at flow setup and no pointer chase on the
 /// per-packet ACK/receive path.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Bitmap {
     Small(u64),
     Large(Box<[u64]>),
@@ -244,6 +245,7 @@ impl Bitmap {
     }
 }
 
+#[derive(Clone)]
 struct Flow {
     op: OpRef,
     src: u32,
@@ -291,6 +293,7 @@ impl Flow {
     }
 }
 
+#[derive(Clone)]
 struct PullPacer {
     credits: VecDeque<u32>,
     busy: bool,
@@ -992,5 +995,104 @@ impl HtsimBackend {
             recv_op: None,
             start: self.now,
         }
+    }
+
+    // ---- branch overrides ----------------------------------------------
+
+    /// Switch the congestion-control algorithm mid-run (what-if branch
+    /// override). Flows created after the call use the new algorithm;
+    /// flows already in flight keep their window state but inherit the
+    /// new trim-vs-drop admission behavior. The active algorithm is part
+    /// of the snapshot state, so a later [`Snapshot::restore`] undoes the
+    /// switch.
+    pub fn set_cc(&mut self, cc: CcAlgo) {
+        self.cfg.cc = cc;
+    }
+
+    /// Inject a fault window into a *running* simulation (what-if branch
+    /// override). The window is clamped to open no earlier than `now`;
+    /// windows that would close at or before that are ignored. Unlike the
+    /// windows in [`HtsimConfig::faults`] (scheduled at reset, before any
+    /// traffic), injected windows enter the queue at call time — their
+    /// tie-break order against same-timestamp traffic reflects the
+    /// injection point, which is exactly the straight-through-equivalent
+    /// semantics the branch executor verifies.
+    pub fn inject_fault(&mut self, mut f: PortFault) {
+        assert!(
+            (f.port as usize) < self.ports.len(),
+            "fault targets port {} but topology has {} ports",
+            f.port,
+            self.ports.len()
+        );
+        f.start_ns = f.start_ns.max(self.now);
+        if f.end_ns <= f.start_ns {
+            return;
+        }
+        let idx = self.cfg.faults.len() as u32;
+        self.cfg.faults.push(f);
+        self.queue.push(f.start_ns, Ev::Fault { idx, start: true });
+        self.queue.push(f.end_ns, Ev::Fault { idx, start: false });
+    }
+}
+
+/// The packet engine's complete mutable state: every port's queue and
+/// link parameters (fault windows mutate them), every flow, the event
+/// queue (cursor and tie-break sequence included), the clock, the RNG,
+/// the message matcher, NDP pull pacers, counters, and flow records.
+///
+/// The fault table and active CC algorithm are captured too — although
+/// they live in [`HtsimConfig`], branch overrides ([`set_cc`],
+/// [`inject_fault`]) mutate them mid-run, and in-queue fault events
+/// index into the fault table, so restore must bring the table back in
+/// sync with the captured queue.
+///
+/// [`set_cc`]: HtsimBackend::set_cc
+/// [`inject_fault`]: HtsimBackend::inject_fault
+#[derive(Clone)]
+pub struct HtsimState {
+    ports: Vec<Port>,
+    flows: Vec<Flow>,
+    queue: EventQueue<Ev>,
+    now: Time,
+    rng: StdRng,
+    matcher: Matcher<u32, (OpRef, Time)>,
+    pacers: Vec<PullPacer>,
+    stats: NetStats,
+    records: Vec<FlowRecord>,
+    faults: Vec<PortFault>,
+    cc: CcAlgo,
+}
+
+impl Snapshot for HtsimBackend {
+    type State = HtsimState;
+
+    fn checkpoint(&self) -> HtsimState {
+        HtsimState {
+            ports: self.ports.clone(),
+            flows: self.flows.clone(),
+            queue: self.queue.clone(),
+            now: self.now,
+            rng: self.rng.clone(),
+            matcher: self.matcher.clone(),
+            pacers: self.pacers.clone(),
+            stats: self.stats,
+            records: self.records.clone(),
+            faults: self.cfg.faults.clone(),
+            cc: self.cfg.cc,
+        }
+    }
+
+    fn restore(&mut self, state: &HtsimState) {
+        self.ports = state.ports.clone();
+        self.flows = state.flows.clone();
+        self.queue = state.queue.clone();
+        self.now = state.now;
+        self.rng = state.rng.clone();
+        self.matcher = state.matcher.clone();
+        self.pacers = state.pacers.clone();
+        self.stats = state.stats;
+        self.records = state.records.clone();
+        self.cfg.faults = state.faults.clone();
+        self.cfg.cc = state.cc;
     }
 }

@@ -473,6 +473,124 @@ mod tests {
         assert!(b1.net_stats().fault_drops > 0);
     }
 
+    // ---- checkpoint / restore ---------------------------------------
+
+    /// Pause → checkpoint → resume must be byte-identical to running
+    /// straight through, including the RNG-driven parts (ECN marking,
+    /// ECMP salts) and per-flow records — on a congested, lossy run.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        let goal = incast(8, 256 * 1024);
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.queue_bytes = 64 * 1024; // force drops + ECN draws
+        cfg.collect_flows = true;
+        let (straight, sb) = run_with(&goal, cfg.clone());
+        let straight_stats = sb.net_stats();
+
+        for bound in [1, 50_000, straight.makespan / 2] {
+            let mut b = HtsimBackend::new(cfg.clone());
+            let mut driver = SimDriver::start(&goal, &mut b);
+            assert_eq!(driver.run_until(&mut b, bound).unwrap(), RunState::Paused);
+            let snap = b.checkpoint();
+            let fork_driver = driver.clone();
+            let original = driver.finish(&mut b).unwrap();
+            assert_eq!(original.makespan, straight.makespan, "bound {bound}");
+            assert_eq!(b.net_stats(), straight_stats, "bound {bound}");
+            assert_eq!(b.flow_records(), sb.flow_records(), "bound {bound}");
+
+            b.restore(&snap);
+            let fork = fork_driver.finish(&mut b).unwrap();
+            assert_eq!(fork.makespan, straight.makespan, "fork at {bound}");
+            assert_eq!(b.net_stats(), straight_stats, "fork at {bound}");
+            assert_eq!(b.flow_records(), sb.flow_records(), "fork at {bound}");
+        }
+    }
+
+    /// Checkpoint/resume composes with fault windows already in flight:
+    /// pausing *inside* a down window and restoring must replay the
+    /// recovery byte-for-byte.
+    #[test]
+    fn checkpoint_resume_inside_a_fault_window() {
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        let goal = ping(2 << 20);
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.faults.push(PortFault {
+            port: 0,
+            start_ns: 20_000,
+            end_ns: 80_000,
+            kind: FaultKind::Down,
+        });
+        let (straight, sb) = run_with(&goal, cfg.clone());
+        assert!(sb.net_stats().fault_drops > 0);
+
+        let mut b = HtsimBackend::new(cfg);
+        let mut driver = SimDriver::start(&goal, &mut b);
+        assert_eq!(driver.run_until(&mut b, 50_000).unwrap(), RunState::Paused);
+        let snap = b.checkpoint();
+        let fork_driver = driver.clone();
+        assert!(driver.finish(&mut b).is_ok());
+
+        b.restore(&snap);
+        let fork = fork_driver.finish(&mut b).unwrap();
+        assert_eq!(fork.makespan, straight.makespan);
+        assert_eq!(b.net_stats(), sb.net_stats());
+    }
+
+    /// Branch override: restoring one checkpoint twice — once clean, once
+    /// with an injected fault — yields a clean continuation identical to
+    /// the straight-through run and a faulted continuation identical to a
+    /// fresh run that injects the same window at the same pause point.
+    #[test]
+    fn injected_fault_branch_matches_straight_through_injection() {
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        // The driver can only pause at completion events, and a bare ping
+        // emits none between the host overhead and the flow finish — so
+        // rank 2 runs a chain of 5 µs calcs as a pause-point clock.
+        let goal = {
+            let mut b = GoalBuilder::new(3);
+            b.send(0, 1, 2 << 20, 0);
+            b.recv(1, 0, 2 << 20, 0);
+            let mut prev = None;
+            for _ in 0..6 {
+                let c = b.calc(2, 5_000);
+                if let Some(p) = prev {
+                    b.requires(2, c, p);
+                }
+                prev = Some(c);
+            }
+            b.build().unwrap()
+        };
+        let cfg = small_switch(CcAlgo::Mprdma);
+        let (clean, _) = run_with(&goal, cfg.clone());
+        let window = PortFault { port: 0, start_ns: 30_000, end_ns: 90_000, kind: FaultKind::Down };
+
+        // Reference: fresh run, pause at 25 µs, inject, run to completion.
+        let mut rb = HtsimBackend::new(cfg.clone());
+        let mut rd = SimDriver::start(&goal, &mut rb);
+        assert_eq!(rd.run_until(&mut rb, 25_000).unwrap(), RunState::Paused);
+        rb.inject_fault(window);
+        let reference = rd.finish(&mut rb).unwrap();
+        assert!(rb.net_stats().fault_drops > 0, "the injected window must bite");
+        assert!(reference.makespan > clean.makespan);
+
+        // Branched: one prefix, one checkpoint, two continuations.
+        let mut b = HtsimBackend::new(cfg);
+        let mut driver = SimDriver::start(&goal, &mut b);
+        assert_eq!(driver.run_until(&mut b, 25_000).unwrap(), RunState::Paused);
+        let snap = b.checkpoint();
+
+        let faulted_driver = driver.clone();
+        let clean_branch = driver.finish(&mut b).unwrap();
+        assert_eq!(clean_branch.makespan, clean.makespan);
+
+        b.restore(&snap);
+        b.inject_fault(window);
+        let faulted_branch = faulted_driver.finish(&mut b).unwrap();
+        assert_eq!(faulted_branch.makespan, reference.makespan);
+        assert_eq!(b.net_stats(), rb.net_stats());
+    }
+
     #[test]
     fn kmin_kmax_thresholds_gate_marking() {
         // With the marking window pushed to the very top of the queue,

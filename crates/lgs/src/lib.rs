@@ -34,7 +34,7 @@
 //! HPC test-bed: `L=3000, o=6000, g=0, G=0.18, O=0, S=256000`.
 
 use atlahs_core::matcher::MatchKey;
-use atlahs_core::{Backend, Completion, Matcher, OpRef, Time};
+use atlahs_core::{Backend, Completion, Matcher, OpRef, Snapshot, Time};
 use atlahs_eventq::EventQueue;
 use atlahs_goal::{Rank, Tag};
 
@@ -249,6 +249,22 @@ impl LgsBackend {
         self.straggler = straggler;
     }
 
+    /// Apply a straggler model to a *running* simulation (what-if branch
+    /// override): the per-rank calc-cost table is re-materialized
+    /// immediately, so calcs dispatched after the call are scaled by the
+    /// new spec while everything already scheduled keeps its timing. The
+    /// table is part of the snapshot state, so a later
+    /// [`Snapshot::restore`] undoes the override.
+    pub fn apply_straggler_now(&mut self, straggler: StragglerSpec) {
+        self.straggler = straggler;
+        let num_ranks = self.nic_tx_free.len();
+        self.calc_scale = if straggler.is_noop() {
+            Vec::new()
+        } else {
+            (0..num_ranks).map(|r| straggler.factor_pct_for(r)).collect()
+        };
+    }
+
     pub fn params(&self) -> &LogGopsParams {
         &self.params
     }
@@ -276,6 +292,50 @@ impl LgsBackend {
         let avail = arrival.max(self.nic_rx_free[rank as usize]);
         self.nic_rx_free[rank as usize] = avail + self.params.g;
         avail
+    }
+}
+
+/// The LGS backend's complete mutable state: clock, pending events, NIC
+/// occupancy rails, both match queues, counters, and the materialized
+/// straggler table. `params` and the straggler *spec* are configuration
+/// and stay on the backend.
+#[derive(Debug, Clone)]
+pub struct LgsState {
+    now: Time,
+    events: EventQueue<Ev>,
+    nic_tx_free: Vec<Time>,
+    nic_rx_free: Vec<Time>,
+    eager: Matcher<Time, (OpRef, Time)>,
+    rdv: Matcher<(OpRef, u64), (OpRef, Time)>,
+    stats: LgsStats,
+    calc_scale: Vec<u64>,
+}
+
+impl Snapshot for LgsBackend {
+    type State = LgsState;
+
+    fn checkpoint(&self) -> LgsState {
+        LgsState {
+            now: self.now,
+            events: self.events.clone(),
+            nic_tx_free: self.nic_tx_free.clone(),
+            nic_rx_free: self.nic_rx_free.clone(),
+            eager: self.eager.clone(),
+            rdv: self.rdv.clone(),
+            stats: self.stats,
+            calc_scale: self.calc_scale.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &LgsState) {
+        self.now = state.now;
+        self.events = state.events.clone();
+        self.nic_tx_free = state.nic_tx_free.clone();
+        self.nic_rx_free = state.nic_rx_free.clone();
+        self.eager = state.eager.clone();
+        self.rdv = state.rdv.clone();
+        self.stats = state.stats;
+        self.calc_scale = state.calc_scale.clone();
     }
 }
 
@@ -647,6 +707,39 @@ mod tests {
         let mut b = LgsBackend::with_straggler(LogGopsParams::ai_alps(), spec);
         let spread_run = Simulation::new(&goal).run(&mut b).unwrap();
         assert!(spread_run.makespan > clean.makespan);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use atlahs_collectives::{mpi, CollParams};
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        let ranks: Vec<u32> = (0..8).collect();
+        let mut gb = GoalBuilder::new(8);
+        mpi::allreduce_ring(&mut gb, &ranks, 1 << 20, 0, &CollParams::default());
+        let goal = gb.build().unwrap();
+        let params = LogGopsParams::hpc_testbed();
+        let straight = run(&goal, params);
+
+        // Pause at several points (including rendezvous handshakes in
+        // flight), fork, and both the original and the fork must agree
+        // with the straight-through run exactly.
+        for bound in [1, 10_000, straight.makespan / 2, straight.makespan - 1] {
+            let mut b = LgsBackend::new(params);
+            let mut driver = SimDriver::start(&goal, &mut b);
+            assert_eq!(driver.run_until(&mut b, bound).unwrap(), RunState::Paused);
+            let snap = b.checkpoint();
+            let fork_driver = driver.clone();
+            let original = driver.finish(&mut b).unwrap();
+            assert_eq!(original.makespan, straight.makespan, "bound {bound}");
+            assert_eq!(original.rank_finish, straight.rank_finish, "bound {bound}");
+            let stats = b.stats();
+
+            b.restore(&snap);
+            let fork = fork_driver.finish(&mut b).unwrap();
+            assert_eq!(fork.makespan, straight.makespan, "fork at {bound}");
+            assert_eq!(fork.rank_finish, straight.rank_finish, "fork at {bound}");
+            assert_eq!(b.stats(), stats, "fork at {bound}");
+        }
     }
 
     #[test]

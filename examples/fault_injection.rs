@@ -61,7 +61,7 @@ fn main() {
         collect_flows: false,
     };
     let cells = grid.expand();
-    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0) };
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0), branch: None };
 
     // Pair every faulted cell with its fault-free sibling (same key minus
     // the fault suffix) and show what the fault cost.
@@ -172,7 +172,8 @@ fn main() {
         collect_flows: false,
     };
     let dist_cells = dist.expand();
-    let dist_report = SweepReport { seed: dist.seed, results: execute(&dist_cells, 0) };
+    let dist_report =
+        SweepReport { seed: dist.seed, results: execute(&dist_cells, 0), branch: None };
     let topo = Topology::build(TopologySpec::AiFatTree { nodes: 16, oversub: 4 }.config());
     let clean = dist_report
         .results

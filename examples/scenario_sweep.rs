@@ -50,7 +50,7 @@ fn main() {
 
     let cells = grid.expand();
     println!("expanded {} cells; running on all cores...\n", cells.len());
-    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0) };
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 0), branch: None };
     report.summary_table().print();
 
     // Pair each htsim cell with its LGS sibling and report the divergence

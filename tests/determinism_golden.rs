@@ -517,3 +517,158 @@ fn fault_smoke_cells_diverge_from_their_clean_siblings() {
     }
     assert_eq!(faulted, 36);
 }
+
+// --- checkpoint/resume bit-identity (the backend Snapshot contract):
+// --- pausing any backend mid-run, checkpointing, restoring, and
+// --- finishing from a cloned driver must reproduce the straight-through
+// --- run's complete fingerprint — on the exact goldened scenarios above,
+// --- clean and faulted, at several pause points. A drift here means the
+// --- snapshot missed mutable state (a matcher slab, a timer-wheel
+// --- cursor, an RNG stream) and branch-and-continue sweeps would lie.
+
+use atlahs::core::{SimDriver, Snapshot};
+
+/// Run `goal` on `backend` with a checkpoint/restore cycle at `pause_at`:
+/// pause, snapshot, restore the snapshot onto the same backend, and
+/// finish from a *clone* of the paused driver (the fan-out pattern of
+/// `atlahs sweep --branch-at`).
+fn run_resumed<B: atlahs::core::Backend + Snapshot>(
+    goal: &GoalSchedule,
+    backend: &mut B,
+    pause_at: u64,
+) -> atlahs::core::SimReport {
+    let mut driver = SimDriver::start(goal, backend);
+    driver.run_until(backend, pause_at).expect("prefix completes");
+    let snapshot = backend.checkpoint();
+    backend.restore(&snapshot);
+    driver.clone().finish(backend).expect("suffix completes")
+}
+
+fn htsim_fingerprint(rep: &atlahs::core::SimReport, be: &HtsimBackend) -> Golden {
+    let st = be.net_stats();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in [
+        rep.makespan,
+        st.packets_sent,
+        st.drops,
+        st.trims,
+        st.ecn_marks,
+        st.max_queue_bytes,
+        st.core_drops,
+        st.flows,
+        st.retransmissions,
+        st.internal_events,
+        st.timeouts,
+        st.fault_drops,
+    ] {
+        h = fnv(h, x);
+    }
+    for r in be.flow_records() {
+        for x in [r.src as u64, r.dst as u64, r.bytes, r.start, r.end] {
+            h = fnv(h, x);
+        }
+    }
+    Golden {
+        makespan: rep.makespan,
+        packets: st.packets_sent,
+        losses: st.drops + st.trims,
+        fingerprint: h,
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_on_htsim_clean_and_faulted() {
+    let goal = cross_tor_permutation(32, 256 * 1024);
+    for faults in [Vec::new(), clos_flap()] {
+        let mk = || {
+            let mut cfg = HtsimConfig::new(clos(), CcAlgo::Dctcp);
+            cfg.collect_flows = true;
+            cfg.queue_bytes = 256 * 1024;
+            cfg.faults = faults.clone();
+            HtsimBackend::new(cfg)
+        };
+        let mut straight_be = mk();
+        let straight = Simulation::new(&goal).run(&mut straight_be).expect("completes");
+        let want = htsim_fingerprint(&straight, &straight_be);
+        // Before traffic, mid-flap, and deep into the run.
+        for pause_at in [1, 50_000, straight.makespan / 2, straight.makespan - 1] {
+            let mut be = mk();
+            let rep = run_resumed(&goal, &mut be, pause_at);
+            assert_eq!(
+                htsim_fingerprint(&rep, &be),
+                want,
+                "htsim resume at {pause_at} (faults: {}) drifted",
+                !faults.is_empty()
+            );
+            assert_eq!(rep.rank_finish, straight.rank_finish);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_on_lgs_clean_and_straggled() {
+    let goal = moe_goal();
+    let params = atlahs::lgs::LogGopsParams::ai_alps();
+    let straggler =
+        StragglerSpec { prob_pct: 50, factor_pct: 300, seed: 0xabc, ..Default::default() };
+    for faulted in [false, true] {
+        let mk = || {
+            if faulted {
+                atlahs::lgs::LgsBackend::with_straggler(params, straggler)
+            } else {
+                atlahs::lgs::LgsBackend::new(params)
+            }
+        };
+        let mut straight_be = mk();
+        let straight = Simulation::new(&goal).run(&mut straight_be).expect("completes");
+        let (messages, bytes) = (straight_be.stats().messages, straight_be.stats().bytes);
+        for pause_at in [1, 25_000, straight.makespan / 2, straight.makespan - 1] {
+            let mut be = mk();
+            let rep = run_resumed(&goal, &mut be, pause_at);
+            assert_eq!(rep.makespan, straight.makespan, "lgs resume at {pause_at} drifted");
+            assert_eq!(rep.rank_finish, straight.rank_finish);
+            assert_eq!(rep.completed, straight.completed);
+            assert_eq!((be.stats().messages, be.stats().bytes), (messages, bytes));
+        }
+    }
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical_on_ideal() {
+    let goal = moe_goal();
+    let mk = || atlahs::core::backends::IdealBackend::new(25.0, 600);
+    let mut straight_be = mk();
+    let straight = Simulation::new(&goal).run(&mut straight_be).expect("completes");
+    for pause_at in [1, straight.makespan / 3, straight.makespan - 1] {
+        let mut be = mk();
+        let rep = run_resumed(&goal, &mut be, pause_at);
+        assert_eq!(rep.makespan, straight.makespan, "ideal resume at {pause_at} drifted");
+        assert_eq!(rep.rank_finish, straight.rank_finish);
+        assert_eq!(rep.completed, straight.completed);
+    }
+}
+
+// --- the branch-smoke grid (ci.sh stage 12): the shared-prefix snapshot
+// --- executor must agree byte-for-byte with the checked-in golden, and
+// --- its work counter must prove prefixes ran once per group.
+
+#[test]
+fn branch_smoke_reproduces_the_checked_in_golden_bytes() {
+    use atlahs_bench::branch::execute_branched;
+    use atlahs_bench::smoke::{branch_smoke_grid, BRANCH_SMOKE_AT};
+    use atlahs_bench::sweep::SweepReport;
+
+    let grid = branch_smoke_grid();
+    let cells = grid.expand();
+    let (results, stats) = execute_branched(&cells, BRANCH_SMOKE_AT, 2);
+    assert_eq!(stats.prefix_runs, 8, "prefixes must run once per group, not per cell");
+    let report = SweepReport { seed: grid.seed, results, branch: Some(stats) };
+    let got = report.to_json().pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/branch_smoke.json");
+    let want = std::fs::read_to_string(path).expect("golden branch_smoke.json is checked in");
+    assert_eq!(
+        got, want,
+        "the branched smoke sweep drifted from tests/goldens/branch_smoke.json: \
+         a backend snapshot missed state, or the report format moved"
+    );
+}

@@ -25,7 +25,7 @@ use atlahs_core::faultgen::{exp_sample, weibull_sample, LN2_Q32};
 fn no_fault_sweep_reproduces_the_checked_in_golden_bytes() {
     let grid = sweep_smoke_grid();
     let cells = grid.expand();
-    let report = SweepReport { seed: grid.seed, results: execute(&cells, 2) };
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 2), branch: None };
     let got = report.to_json().pretty();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/sweep_smoke.json");
     let want = std::fs::read_to_string(path).expect("golden sweep_smoke.json is checked in");
