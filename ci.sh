@@ -36,6 +36,12 @@
 #      reproduce tests/goldens/branch_smoke.json byte for byte — including
 #      the "prefix_runs": 8 work counter proving the prefix was not
 #      re-simulated per cell (docs/SCENARIOS.md, "Branch-and-continue")
+#  13. stochastic smoke           — `atlahs sweep --stochastic-smoke` runs
+#      the fixed 75-cell per-packet stochastic grid (the 45 fault-smoke
+#      cells byte-frozen inside, plus 30 loss/jitter cells drawing from
+#      counter-based per-port streams) and must reproduce
+#      tests/goldens/stochastic_smoke.json byte for byte
+#      (docs/SCENARIOS.md, "Per-packet stochastic links")
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -118,5 +124,12 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     sweep --branch-smoke --threads 2 --quiet --out "$branch_json"
 diff -u tests/goldens/branch_smoke.json "$branch_json" \
     || { echo "branch smoke: report drifted from tests/goldens/branch_smoke.json" >&2; exit 1; }
+
+step "stochastic smoke (atlahs sweep --stochastic-smoke vs golden report)"
+stochastic_json="target/stochastic_smoke.json"
+cargo run --release -p atlahs_bench --bin atlahs -- \
+    sweep --stochastic-smoke --threads 2 --quiet --out "$stochastic_json"
+diff -u tests/goldens/stochastic_smoke.json "$stochastic_json" \
+    || { echo "stochastic smoke: report drifted from tests/goldens/stochastic_smoke.json" >&2; exit 1; }
 
 printf '\nCI gate passed.\n'

@@ -6,7 +6,7 @@
 //!              [--placements p1,p2] [--backends b1,b2] [--faults f1,f2]
 //!              [--seed N] [--threads N] [--collect-flows]
 //!              [--out report.json] [--csv report.csv] [--md report.md]
-//!              [--quiet] [--smoke] [--fault-smoke]
+//!              [--quiet] [--smoke] [--fault-smoke] [--stochastic-smoke]
 //! atlahs cluster [--topo t] [--catalog w1,w2] [--arrivals a1,a2]
 //!                [--queues q1,q2] [--placements p1,p2] [--ccs c1,c2]
 //!                [--backends b1,b2] [--faults f1,f2] [--seed N]
@@ -24,7 +24,9 @@
 //! `--threads`. `--smoke` runs the fixed CI grid (ci.sh diffs its JSON
 //! against `tests/goldens/sweep_smoke.json`); `--fault-smoke` runs the
 //! fixed fault-injection grid (diffed against
-//! `tests/goldens/fault_smoke.json`).
+//! `tests/goldens/fault_smoke.json`); `--stochastic-smoke` runs the
+//! fixed per-packet stochastic link-model grid (diffed against
+//! `tests/goldens/stochastic_smoke.json`).
 //!
 //! `cluster` runs the dynamic multi-tenant engine: a seeded job-arrival
 //! process over a workload catalog, an online allocator with queueing and
@@ -96,6 +98,8 @@ fn usage() {
          \x20 --collect-flows  record per-flow MCT statistics (sweep only)\n\
          \x20 --smoke          run the fixed CI smoke grid (ignores axis flags)\n\
          \x20 --fault-smoke    run the fixed fault-injection grid\n\
+         \x20 --stochastic-smoke  run the fixed per-packet stochastic grid\n\
+         \x20                  (sweep only)\n\
          \x20 --branch-at NS   branch-and-continue: simulate each shared prefix\n\
          \x20                  (topology+workload+placement+backend) once, snapshot,\n\
          \x20                  apply each cell's fault at NS, re-simulate only the\n\
@@ -145,10 +149,13 @@ fn list() {
          \x20 rackfail:<racks>:<from_ns>:<to_ns>              (htsim only)\n\
          \x20 switchfail:<switches>:<from_ns>:<to_ns>         (htsim only)\n\
          \x20 churn:<t;dom;d|u,...> | churn:@<trace-file>     (htsim only)\n\
+         \x20 loss:<ppm>[:core|:edge]                         (htsim only)\n\
+         \x20 jitter:exp:<mean_ns> | jitter:weibull:<scale_ns>:<shape>\n\
+         \x20   | jitter:uniform:<max_ns>                     (htsim only)\n\
          arrivals (cluster): poisson:<jobs>:<mean_gap_ns>  trace:<t0>;<t1>;…\n\
          queues (cluster):   fifo smallest\n\
          faults (cluster):   none  jobfail:<pct>:<at_pct>:<retries>\n\
-         \x20                   mtbf:<mtbf_ns>:<retries>"
+         \x20                   mtbf:<mtbf_ns>:<retries>  loss:…  jitter:…"
     );
 }
 
@@ -177,6 +184,8 @@ fn parse_axis<T>(
 fn sweep(args: &Args) {
     let grid = if args.flag("branch-smoke") {
         smoke::branch_smoke_grid()
+    } else if args.flag("stochastic-smoke") {
+        smoke::stochastic_smoke_grid()
     } else if args.flag("fault-smoke") {
         smoke::fault_smoke_grid()
     } else if args.flag("smoke") {

@@ -298,6 +298,15 @@ fn apply_htsim_override(
         return None;
     }
     let fault_seed = cell_seed(cell.seed, &cell.fault.label());
+    // Stochastic link models arm at the branch point: packets already in
+    // flight were drawn (or not) under the prefix's clean model, and the
+    // per-port draw counters ride in the snapshot, so a branch override
+    // produces the same stream a straight-through run with a mid-run
+    // `set_link_model` would.
+    if let Some(model) = cell.fault.link_model(fault_seed) {
+        backend.set_link_model(model);
+        return None;
+    }
     let faults = cell.fault.port_faults(topo, fault_seed);
     let telemetry = cell.fault.distributional().then(|| FaultTelemetry {
         windows: faults.len() as u64,
@@ -433,6 +442,53 @@ mod tests {
             }
         }
         assert!(diverged > 0, "no branch override changed any makespan");
+    }
+
+    /// A stochastic link model armed at the branch point is
+    /// byte-identical to a straight-through run that calls
+    /// `set_link_model` at the same instant — the per-port draw
+    /// counters ride in the snapshot, so the fork and the reference
+    /// consume the same stream.
+    #[test]
+    fn stochastic_branch_cells_match_straight_through() {
+        let mk = |fault| ScenarioCell {
+            topology: crate::scenario::TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: crate::scenario::WorkloadSpec::MoeAllToAll {
+                ranks: 16,
+                group: 16,
+                bytes: 64 << 10,
+                layers: 2,
+                compute_ns: 20_000,
+            },
+            placement: crate::scenario::PlacementSpec::Packed,
+            backend: crate::scenario::BackendSpec::Htsim {
+                cc: atlahs_htsim::CcAlgo::Mprdma,
+                spray: false,
+            },
+            fault,
+            seed: 11,
+            collect_flows: false,
+        };
+        let cells = vec![
+            mk(FaultSpec::None),
+            mk(FaultSpec::parse("loss:50000").unwrap()),
+            mk(FaultSpec::parse("jitter:uniform:1500").unwrap()),
+        ];
+        let (branched, stats) = execute_branched(&cells, BRANCH_SMOKE_AT, 2);
+        assert_eq!(stats.prefix_runs, 1, "all three cells share one clean prefix");
+        let straight: Vec<CellResult> = cells
+            .iter()
+            .map(|c| run_cell_branched_straight(c, &c.workload.build_jobs(c.seed), BRANCH_SMOKE_AT))
+            .collect();
+        assert_eq!(strip_wall(branched.clone()), strip_wall(straight));
+        let lossy = branched.iter().find(|r| r.key.contains("loss:")).unwrap();
+        let clean = branched
+            .iter()
+            .find(|r| !r.key.contains("loss:") && !r.key.contains("jitter:"))
+            .unwrap();
+        assert!(lossy.net.unwrap().stochastic_drops > 0, "the branch-armed model must bite");
+        assert_ne!(lossy.makespan, clean.makespan, "5% loss after the branch costs time");
+        assert_eq!(clean.net.unwrap().stochastic_draws, 0, "the clean sibling never draws");
     }
 
     /// `FaultSpec::None` branch cells are pure checkpoint/resume — they

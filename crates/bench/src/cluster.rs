@@ -39,6 +39,7 @@ use atlahs_core::{NodePool, SimReport};
 use atlahs_goal::merge::{compose, PlacedJob, MAX_JOBS};
 use atlahs_goal::{GoalSchedule, Rank};
 use atlahs_htsim::engine::{HtsimBackend, HtsimConfig};
+use atlahs_htsim::stochastic::LinkModelSpec;
 use atlahs_htsim::CcAlgo;
 use atlahs_lgs::LgsBackend;
 use rand::rngs::StdRng;
@@ -216,6 +217,13 @@ pub enum ClusterFaultSpec {
     /// first `retries` attempts may fail; attempt `retries` always runs
     /// to completion.
     Mtbf { mtbf_ns: u64, retries: u32 },
+    /// Per-packet stochastic link model (loss/jitter) applied inside
+    /// every packet-level simulation of the cell — batches and solo
+    /// baselines alike. Jobs never fail or restart; the noise shows up
+    /// as longer simulated runs (hence occupancy, queueing, slowdown).
+    /// Packet-level only: grids expand it for htsim backends and skip
+    /// it for message/ideal backends, like packet faults in the sweep.
+    Stochastic(LinkModelSpec),
 }
 
 impl ClusterFaultSpec {
@@ -226,6 +234,16 @@ impl ClusterFaultSpec {
                 format!("jobfail:{pct}:{at_pct}:{retries}")
             }
             ClusterFaultSpec::Mtbf { mtbf_ns, retries } => format!("mtbf:{mtbf_ns}:{retries}"),
+            ClusterFaultSpec::Stochastic(spec) => spec.label(),
+        }
+    }
+
+    /// Packet-level faults only make sense on packet-level backends;
+    /// job-failure processes apply everywhere.
+    pub fn applies_to(&self, backend: BackendSpec) -> bool {
+        match self {
+            ClusterFaultSpec::Stochastic(_) => matches!(backend, BackendSpec::Htsim { .. }),
+            _ => true,
         }
     }
 
@@ -234,6 +252,11 @@ impl ClusterFaultSpec {
     pub fn parse(tok: &str) -> Result<ClusterFaultSpec, String> {
         if tok == "none" {
             return Ok(ClusterFaultSpec::None);
+        }
+        // `loss:`/`jitter:` share one grammar with the sweep fault axis;
+        // validation (and its error text) lives in the htsim crate.
+        if let Some(parsed) = LinkModelSpec::parse(tok) {
+            return parsed.map(ClusterFaultSpec::Stochastic);
         }
         let parts: Vec<&str> = tok.split(':').collect();
         match parts.as_slice() {
@@ -267,7 +290,9 @@ impl ClusterFaultSpec {
             }
             _ => Err(format!(
                 "unknown cluster fault `{tok}` (expected none, \
-                 jobfail:<pct>:<at_pct>:<retries>, or mtbf:<mtbf_ns>:<retries>)"
+                 jobfail:<pct>:<at_pct>:<retries>, mtbf:<mtbf_ns>:<retries>, \
+                 loss:<ppm>[:core|:edge], jitter:exp:<mean_ns>, \
+                 jitter:weibull:<scale_ns>:<shape>, or jitter:uniform:<max_ns>)"
             )),
         }
     }
@@ -295,6 +320,8 @@ impl ClusterFaultSpec {
             // duration-free predicate cannot express it — use
             // [`Self::failure_at`].
             ClusterFaultSpec::Mtbf { .. } => false,
+            // Stochastic link noise perturbs packets, never whole jobs.
+            ClusterFaultSpec::Stochastic(_) => false,
         }
     }
 
@@ -307,7 +334,7 @@ impl ClusterFaultSpec {
             ClusterFaultSpec::JobFail { at_pct, .. } => {
                 (duration_ns.saturating_mul(at_pct as u64) / 100).max(1)
             }
-            ClusterFaultSpec::Mtbf { .. } => 0,
+            ClusterFaultSpec::Mtbf { .. } | ClusterFaultSpec::Stochastic(_) => 0,
         }
     }
 
@@ -337,6 +364,7 @@ impl ClusterFaultSpec {
                 let ttf = Self::mtbf_draw(seed, mtbf_ns, job, attempt);
                 (ttf < duration_ns).then(|| ttf.max(1))
             }
+            ClusterFaultSpec::Stochastic(_) => None,
         }
     }
 }
@@ -708,10 +736,14 @@ pub fn run_cluster(spec: &ClusterSpec, threads: usize) -> ClusterOutcome {
     } else {
         busy_node_ns as f64 / (hosts as f64 * makespan_ns as f64)
     };
-    let fault = (spec.fault != ClusterFaultSpec::None).then(|| ClusterFaultTelemetry {
-        restarts: jobs.iter().map(|j| j.restarts as u64).sum(),
-        failed_ns: jobs.iter().map(|j| j.failed_ns).sum(),
-    });
+    // Restart telemetry only makes sense for job-failure processes;
+    // stochastic link noise never restarts anything — its realizations
+    // show up in the simulated durations instead.
+    let fault = (!matches!(spec.fault, ClusterFaultSpec::None | ClusterFaultSpec::Stochastic(_)))
+        .then(|| ClusterFaultTelemetry {
+            restarts: jobs.iter().map(|j| j.restarts as u64).sum(),
+            failed_ns: jobs.iter().map(|j| j.failed_ns).sum(),
+        });
     ClusterOutcome {
         key: spec.key(),
         seed: spec.seed,
@@ -737,6 +769,13 @@ fn simulate(spec: &ClusterSpec, goal: &GoalSchedule, sim_seed: u64) -> SimReport
             let mut cfg = HtsimConfig::new(spec.topology.config(), cc);
             cfg.seed = sim_seed;
             cfg.spray = spray;
+            // The draw-stream seed is derived from this *simulation's*
+            // seed, so every batch and every solo baseline experiences
+            // its own loss/jitter realization — two sims never share a
+            // stream, and a fault-free spec leaves the model inactive.
+            if let ClusterFaultSpec::Stochastic(model) = spec.fault {
+                cfg.link_model = model.model(cell_seed(sim_seed, &spec.fault.label()));
+            }
             let (report, _) = runner::run_on(goal, &mut HtsimBackend::new(cfg));
             report
         }
@@ -825,7 +864,7 @@ impl ClusterGrid {
                             &self.faults
                         };
                         for backend in backends {
-                            for fault in faults {
+                            for fault in faults.iter().filter(|f| f.applies_to(backend)) {
                                 cells.push(ClusterSpec {
                                     topology: self.topology.clone(),
                                     catalog: catalog.clone(),
@@ -1573,5 +1612,85 @@ mod tests {
             plain.iter().all(|c| cells.iter().any(|f| f.key() == c.key())),
             "fault-free cells keep their exact pre-axis keys"
         );
+    }
+
+    #[test]
+    fn stochastic_cluster_specs_parse_apply_only_to_packet_backends() {
+        // The loss/jitter grammar is shared with the sweep fault axis —
+        // labels round-trip and degenerate specs die with the htsim
+        // crate's own messages.
+        for tok in ["loss:20000", "loss:80000:core", "jitter:exp:2000", "jitter:uniform:1500"] {
+            let spec = ClusterFaultSpec::parse(tok).unwrap();
+            assert_eq!(spec.label(), tok);
+            assert!(matches!(spec, ClusterFaultSpec::Stochastic(_)));
+            // Packet noise never fails a job or holds nodes.
+            assert!(!spec.fails(7, 0, 0));
+            assert_eq!(spec.failed_occupancy_ns(1000), 0);
+            assert_eq!(spec.failure_at(7, 0, 0, 1000), None);
+        }
+        let err = ClusterFaultSpec::parse("loss:0").unwrap_err();
+        assert!(err.contains("drop the token instead"), "{err}");
+        let err = ClusterFaultSpec::parse("loss:1000000").unwrap_err();
+        assert!(err.contains("outage, not noise"), "{err}");
+        let err = ClusterFaultSpec::parse("jitter:exp:0").unwrap_err();
+        assert!(err.contains("never perturbs a timestamp"), "{err}");
+
+        // Grid expansion skips stochastic cells on message-level and
+        // ideal backends (packets only exist in htsim) and never
+        // perturbs the base seeds.
+        let grid = ClusterGrid {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            catalog: vec![WorkloadSpec::Ring { ranks: 4, bytes: 16 << 10, laps: 1 }],
+            arrivals: vec![ArrivalSpec::Poisson { jobs: 4, mean_gap_ns: 20_000 }],
+            queues: vec![QueueDiscipline::Fifo],
+            placements: vec![PlacementSpec::Packed],
+            ccs: vec![CcAlgo::Mprdma],
+            backends: vec![BackendFamily::Htsim, BackendFamily::Lgs, BackendFamily::Ideal],
+            faults: vec![ClusterFaultSpec::None, ClusterFaultSpec::parse("loss:50000").unwrap()],
+            seed: 5,
+        };
+        let (cells, _) = grid.expand_counted();
+        // htsim: none + loss; lgs: none; ideal: none.
+        assert_eq!(cells.len(), 4, "{:?}", cells.iter().map(|c| c.key()).collect::<Vec<_>>());
+        let lossy: Vec<&ClusterSpec> =
+            cells.iter().filter(|c| c.key().ends_with("/loss:50000")).collect();
+        assert_eq!(lossy.len(), 1);
+        assert!(matches!(lossy[0].backend, BackendSpec::Htsim { .. }));
+        for c in &cells {
+            assert_eq!(c.seed, cell_seed(5, &c.arrivals.label()));
+        }
+    }
+
+    #[test]
+    fn lossy_cluster_cells_complete_diverge_and_rerun_identically() {
+        let mk = |fault| ClusterSpec {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            catalog: vec![WorkloadSpec::Ring { ranks: 4, bytes: 64 << 10, laps: 1 }],
+            arrivals: ArrivalSpec::Trace { times_ns: vec![0, 0, 10_000, 20_000] },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            queue: QueueDiscipline::Fifo,
+            fault,
+            seed: 11,
+        };
+        let clean = run_cluster(&mk(ClusterFaultSpec::None), 1);
+        let lossy_spec = mk(ClusterFaultSpec::parse("loss:100000").unwrap());
+        let a = run_cluster(&lossy_spec, 1);
+        let b = run_cluster(&lossy_spec, 4);
+        // Liveness: sustained 10% loss stretches every run but the RTO
+        // machinery still finishes all jobs.
+        assert_eq!(a.jobs.len(), 4, "every job completes under loss");
+        assert!(a.jobs.iter().all(|j| j.duration_ns > 0 && j.restarts == 0));
+        assert_eq!(a.fault, None, "packet noise is not job-failure telemetry");
+        assert!(
+            a.jobs.iter().zip(&clean.jobs).any(|(l, c)| l.duration_ns > c.duration_ns),
+            "10% loss must stretch at least one simulated run"
+        );
+        // Thread-count and rerun identity, down to the report bytes.
+        let json =
+            |r: ClusterOutcome| ClusterReport { seed: 11, results: vec![r] }.to_json().pretty();
+        let ja = json(a);
+        assert_eq!(ja, json(b), "thread count must not change a lossy report");
+        assert_eq!(ja, json(run_cluster(&lossy_spec, 1)), "lossy reruns are byte-identical");
     }
 }

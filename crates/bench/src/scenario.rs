@@ -27,6 +27,7 @@ use atlahs_htsim::engine::{HtsimBackend, HtsimConfig, NetStats};
 use atlahs_htsim::fault::{
     normalize_windows, select_fault_domains, select_fault_ports, FaultKind, PortFault,
 };
+use atlahs_htsim::stochastic::{LinkModel, LinkModelSpec};
 use atlahs_htsim::topology::{LinkParams, Topology, TopologyConfig};
 use atlahs_htsim::CcAlgo;
 use atlahs_lgs::{LgsBackend, LogGopsParams, StragglerSpec};
@@ -605,6 +606,12 @@ pub enum FaultSpec {
     /// domain, mapped onto the topology's edge failure domains
     /// (packet-level; see [`atlahs_core::faultgen::parse_churn_trace`]).
     Churn { events: Vec<ChurnEvent> },
+    /// Per-packet stochastic link model: seeded random loss (`loss:` in
+    /// ppm, optionally per tier) or latency jitter (`jitter:` from the
+    /// faultgen Q32 samplers), evaluated in the forwarding hot path via
+    /// counter-based draw streams (packet-level; see
+    /// [`atlahs_htsim::stochastic`]).
+    Stochastic(LinkModelSpec),
 }
 
 impl FaultSpec {
@@ -638,6 +645,7 @@ impl FaultSpec {
             FaultSpec::Churn { ref events } => {
                 format!("churn:{}", faultgen::churn_inline_label(events))
             }
+            FaultSpec::Stochastic(spec) => spec.label(),
         }
     }
 
@@ -652,7 +660,8 @@ impl FaultSpec {
             | FaultSpec::Markov { .. }
             | FaultSpec::RackFail { .. }
             | FaultSpec::SwitchFail { .. }
-            | FaultSpec::Churn { .. } => {
+            | FaultSpec::Churn { .. }
+            | FaultSpec::Stochastic(_) => {
                 matches!(backend, BackendSpec::Htsim { .. })
             }
             FaultSpec::Straggler { .. } => matches!(backend, BackendSpec::Lgs),
@@ -698,6 +707,12 @@ impl FaultSpec {
                 return Err(format!("fault `{tok}`: the churn trace has no events"));
             }
             return Ok(FaultSpec::Churn { events });
+        }
+        // The `loss:`/`jitter:` token family (per-packet stochastic link
+        // models) parses and validates in the htsim crate; `None` means
+        // the token is not from that family and falls through.
+        if let Some(parsed) = LinkModelSpec::parse(tok) {
+            return parsed.map(FaultSpec::Stochastic);
         }
         let parts: Vec<&str> = tok.split(':').collect();
         match parts.as_slice() {
@@ -775,7 +790,9 @@ impl FaultSpec {
                  markov:<links>:<up_ns>:<down_ns>:<horizon_ns>, \
                  rackfail:<racks>:<from_ns>:<to_ns>, \
                  switchfail:<switches>:<from_ns>:<to_ns>, \
-                 churn:<t;dom;d|u,...> or churn:@<trace-file>)"
+                 churn:<t;dom;d|u,...> or churn:@<trace-file>, \
+                 loss:<ppm>[:core|:edge], jitter:exp:<mean_ns>, \
+                 jitter:weibull:<scale_ns>:<shape>, jitter:uniform:<max_ns>)"
             )),
         }
     }
@@ -786,7 +803,7 @@ impl FaultSpec {
     /// empty list for `None`/`Straggler`.
     pub fn port_faults(&self, topo: &Topology, fault_seed: u64) -> Vec<PortFault> {
         match *self {
-            FaultSpec::None | FaultSpec::Straggler { .. } => Vec::new(),
+            FaultSpec::None | FaultSpec::Straggler { .. } | FaultSpec::Stochastic(_) => Vec::new(),
             FaultSpec::LinkFlap { links, down_ns, up_ns } => {
                 select_fault_ports(topo, links, fault_seed)
                     .into_iter()
@@ -879,6 +896,18 @@ impl FaultSpec {
             FaultSpec::Straggler { prob_pct, factor_pct, spread_pct, shape } => {
                 Some(StragglerSpec { prob_pct, factor_pct, spread_pct, shape, seed: fault_seed })
             }
+            _ => None,
+        }
+    }
+
+    /// The per-packet stochastic link model for this fault (`None` when
+    /// the fault is not stochastic). `fault_seed` — derived like every
+    /// other fault sub-seed as `cell_seed(cell.seed, label)` — becomes
+    /// the draw-stream seed, so the model never touches the engine's
+    /// own RNG seed or any other cell's draws.
+    pub fn link_model(&self, fault_seed: u64) -> Option<LinkModel> {
+        match *self {
+            FaultSpec::Stochastic(spec) => Some(spec.model(fault_seed)),
             _ => None,
         }
     }
@@ -1305,7 +1334,9 @@ pub fn run_cell_prepared(cell: &ScenarioCell, jobs: &[Arc<GoalSchedule>]) -> Cel
             cfg.seed = cell.seed;
             cfg.spray = spray;
             cfg.collect_flows = cell.collect_flows;
-            if !matches!(cell.fault, FaultSpec::None) {
+            if let Some(model) = cell.fault.link_model(fault_seed) {
+                cfg.link_model = model;
+            } else if !matches!(cell.fault, FaultSpec::None) {
                 let faults = cell.fault.port_faults(&Topology::build(topo_cfg), fault_seed);
                 if cell.fault.distributional() {
                     fault_telemetry = Some(FaultTelemetry {
@@ -1511,6 +1542,12 @@ mod tests {
                 events: faultgen::parse_churn_inline("1000;0;d,5000;0;u,2000;1;d,7000;1;u")
                     .unwrap(),
             },
+            FaultSpec::parse("loss:20000").unwrap(),
+            FaultSpec::parse("loss:80000:core").unwrap(),
+            FaultSpec::parse("loss:5000:edge").unwrap(),
+            FaultSpec::parse("jitter:exp:2000").unwrap(),
+            FaultSpec::parse("jitter:weibull:3000:2").unwrap(),
+            FaultSpec::parse("jitter:uniform:1500").unwrap(),
         ] {
             assert_eq!(FaultSpec::parse(&spec.label()).unwrap(), spec);
         }
@@ -1551,6 +1588,20 @@ mod tests {
             FaultSpec::parse("straggler:250:300:100:99").unwrap(),
             FaultSpec::Straggler { prob_pct: 100, factor_pct: 300, spread_pct: 100, shape: 16 }
         );
+        // Satellite: degenerate stochastic link models die at parse time
+        // with messages that say what to use instead.
+        let err = FaultSpec::parse("loss:0").unwrap_err();
+        assert!(err.contains("drop the token instead"), "{err}");
+        let err = FaultSpec::parse("loss:1000000").unwrap_err();
+        assert!(err.contains("outage, not noise"), "{err}");
+        let err = FaultSpec::parse("loss:20000:rack").unwrap_err();
+        assert!(err.contains("unknown loss tier"), "{err}");
+        let err = FaultSpec::parse("jitter:exp:0").unwrap_err();
+        assert!(err.contains("never perturbs a timestamp"), "{err}");
+        let err = FaultSpec::parse("jitter:weibull:3000:0").unwrap_err();
+        assert!(err.contains("weibull shape"), "{err}");
+        let err = FaultSpec::parse("jitter:gauss:100").unwrap_err();
+        assert!(err.contains("expected jitter:exp"), "{err}");
     }
 
     #[test]
@@ -1718,16 +1769,18 @@ mod tests {
                 FaultSpec::None,
                 FaultSpec::LinkFlap { links: 1, down_ns: 1_000, up_ns: 50_000 },
                 FaultSpec::Straggler { prob_pct: 100, factor_pct: 200, spread_pct: 0, shape: 1 },
+                FaultSpec::parse("loss:20000").unwrap(),
             ],
             seed: 1,
             collect_flows: false,
         };
         let cells = grid.expand();
-        // htsim: none + linkflap; lgs: none + straggler; ideal: none.
-        assert_eq!(cells.len(), 5, "{:?}", cells.iter().map(|c| c.key()).collect::<Vec<_>>());
+        // htsim: none + linkflap + loss; lgs: none + straggler; ideal: none.
+        assert_eq!(cells.len(), 6, "{:?}", cells.iter().map(|c| c.key()).collect::<Vec<_>>());
         let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
         assert!(keys.iter().any(|k| k.ends_with("htsim-mprdma")));
         assert!(keys.iter().any(|k| k.ends_with("htsim-mprdma/linkflap:1:1000:50000")));
+        assert!(keys.iter().any(|k| k.ends_with("htsim-mprdma/loss:20000")));
         assert!(keys.iter().any(|k| k.ends_with("lgs/straggler:100:200")));
         assert!(keys.iter().any(|k| k == "switch:8/ring:8:1024:1/packed/ideal"));
         // The fault axis never perturbs the base cell seed.
@@ -1760,6 +1813,40 @@ mod tests {
             a.makespan,
             clean.makespan
         );
+    }
+
+    #[test]
+    fn stochastic_cells_bite_sub_seed_and_rerun_identically() {
+        let mk = |fault| ScenarioCell {
+            topology: TopologySpec::AiFatTree { nodes: 16, oversub: 4 },
+            workload: WorkloadSpec::Ring { ranks: 16, bytes: 1 << 20, laps: 1 },
+            placement: PlacementSpec::Packed,
+            backend: BackendSpec::Htsim { cc: CcAlgo::Mprdma, spray: false },
+            fault,
+            seed: 3,
+            collect_flows: false,
+        };
+        let clean = run_cell(&mk(FaultSpec::None));
+        assert_eq!(clean.net.unwrap().stochastic_draws, 0, "clean cells never draw");
+        let loss = FaultSpec::parse("loss:50000").unwrap();
+        let a = run_cell(&mk(loss.clone()));
+        let b = run_cell(&mk(loss.clone()));
+        assert_eq!(a.makespan, b.makespan, "lossy cells re-run bit-identically");
+        assert_eq!(a.net, b.net);
+        let net = a.net.unwrap();
+        assert!(net.stochastic_drops > 0, "5% loss must bite: {net:?}");
+        assert_eq!(net.retransmissions, net.rtx_timeout + net.rtx_fault_drop, "attribution sums");
+        assert!(a.makespan > clean.makespan, "recovery costs time");
+        assert_eq!(a.fault, None, "stochastic cells report via net stats, not FaultTelemetry");
+        // The draw-stream seed is the fault sub-seed, so the model is
+        // keyed off (cell seed, fault label) exactly like port faults.
+        let expected = loss.link_model(cell_seed(3, &loss.label())).unwrap();
+        assert_eq!(expected.seed, cell_seed(3, "loss:50000"));
+        // Jitter-only cells delay but never drop.
+        let jitter = run_cell(&mk(FaultSpec::parse("jitter:exp:2000").unwrap()));
+        let jnet = jitter.net.unwrap();
+        assert!(jnet.jittered > 0 && jnet.stochastic_drops == 0, "{jnet:?}");
+        assert!(jitter.makespan > clean.makespan, "jitter stretches the wire");
     }
 
     #[test]

@@ -115,6 +115,38 @@ pub fn fault_smoke_grid() -> ScenarioGrid {
     }
 }
 
+/// The fixed per-packet stochastic smoke grid (`atlahs sweep
+/// --stochastic-smoke`): the fault smoke grid's exact axes plus five
+/// stochastic link models appended to the fault axis, goldened as
+/// `tests/goldens/stochastic_smoke.json`.
+///
+/// The five appended regimes — all-tier loss, core-only loss, and one
+/// jitter cell per faultgen sampler family — apply only to the two
+/// htsim CCs, adding 10 cells per workload: 45 + 30 = 75 cells total.
+/// Because the fault axis never perturbs cell seeds or the other axes'
+/// keys, the original 45 cells keep their exact [`fault_smoke_grid`]
+/// report bytes inside this golden; the 30 stochastic cells additionally
+/// carry the gated `net` realization fields (`stochastic_draws` et al.).
+pub fn stochastic_smoke_grid() -> ScenarioGrid {
+    let mut grid = fault_smoke_grid();
+    for tok in [
+        // 2% everywhere: enough to force retransmissions on every
+        // workload without drowning the run in timeouts.
+        "loss:20000",
+        // 8% on the oversubscribed core uplinks only — the edge stays
+        // clean, so recovery cost tracks core traversal.
+        "loss:80000:core",
+        // One cell per sampler family, scales near the fabric's own
+        // per-hop latency so reordering actually happens.
+        "jitter:exp:2000",
+        "jitter:weibull:3000:2",
+        "jitter:uniform:1500",
+    ] {
+        grid.faults.push(FaultSpec::parse(tok).expect("frozen smoke tokens are valid"));
+    }
+    grid
+}
+
 /// The pinned branch time of the branch smoke grid (`atlahs sweep
 /// --branch-smoke`): 60 µs into the run, inside every workload's steady
 /// state, so each continuation replays a real mid-flight snapshot rather
@@ -264,6 +296,33 @@ mod tests {
         // The cell key derivation counts '/' separators; no fault label
         // may smuggle one in.
         assert!(keys.iter().all(|k| k.matches('/').count() <= 4), "{keys:?}");
+    }
+
+    #[test]
+    fn stochastic_smoke_grid_extends_the_fault_grid_without_moving_it() {
+        let base = fault_smoke_grid().expand();
+        let cells = stochastic_smoke_grid().expand();
+        assert_eq!(cells.len(), 75, "45 fault cells + 5 models x 2 CCs x 3 workloads");
+        let stochastic: Vec<_> =
+            cells.iter().filter(|c| matches!(c.fault, FaultSpec::Stochastic(_))).collect();
+        assert_eq!(stochastic.len(), 30);
+        // Stochastic regimes are packet-level: htsim cells only.
+        assert!(stochastic
+            .iter()
+            .all(|c| matches!(c.backend, crate::scenario::BackendSpec::Htsim { .. })));
+        // Every original fault-smoke cell survives with its exact key
+        // and seed — the appended axis values cannot move the frozen 45.
+        for b in &base {
+            assert!(
+                cells.iter().any(|c| c.key() == b.key() && c.seed == b.seed),
+                "fault smoke cell {} lost or re-seeded",
+                b.key()
+            );
+        }
+        let mut keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 75, "stochastic smoke keys are unique");
     }
 
     #[test]

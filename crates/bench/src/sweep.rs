@@ -174,6 +174,21 @@ impl SweepReport {
                 if net.fault_drops > 0 {
                     n.set("fault_drops", Json::Num(net.fault_drops as f64));
                 }
+                // Per-packet stochastic realizations, only for cells
+                // running a link model: every other cell makes zero
+                // draws, so all pre-existing reports keep their exact
+                // historical bytes.
+                if net.stochastic_draws > 0 {
+                    n.set("stochastic_draws", Json::Num(net.stochastic_draws as f64));
+                    n.set("stochastic_drops", Json::Num(net.stochastic_drops as f64));
+                    n.set("jittered", Json::Num(net.jittered as f64));
+                    n.set("rtx_timeout", Json::Num(net.rtx_timeout as f64));
+                    n.set("rtx_fault_drop", Json::Num(net.rtx_fault_drop as f64));
+                    n.set("payload_bytes", Json::Num(net.payload_bytes as f64));
+                    n.set("retransmitted_bytes", Json::Num(net.retransmitted_bytes as f64));
+                    n.set("goodput_ppm", Json::Num(net.goodput_ppm() as f64));
+                    n.set("rtx_storm_per_kflow", Json::Num(net.rtx_storm_per_kflow() as f64));
+                }
                 cell.set("net", n);
             }
             // Realized-fault telemetry: what the distributional generator

@@ -50,6 +50,28 @@ pub fn fnv_draw(seed: u64, stream: &str, n: u64) -> u64 {
     h
 }
 
+/// FNV-1a draw over `(seed, stream, a, b)` — the two-index variant of
+/// [`fnv_draw`] (same offset basis, seed mix, and prime, folding `a`
+/// then `b` little-endian). The per-packet stochastic link layer uses it
+/// as `fnv_draw2(seed, "loss"/"jitter", port, draw_counter)`: the
+/// counter pair addresses one draw per packet per port, so the stream is
+/// position-independent — re-runs, thread counts, and snapshot/restore
+/// all replay the identical sequence as long as the counters are
+/// carried in the checkpoint.
+pub fn fnv_draw2(seed: u64, stream: &str, a: u64, b: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in stream.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    for b in a.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    for b in b.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// `log2(m)` in Q32 for a Q32 mantissa `m` in `[1, 2)`, by 32 rounds of
 /// repeated squaring: squaring doubles the exponent, so whether the
 /// square reaches 2 is exactly the next fraction bit.
@@ -123,6 +145,13 @@ pub fn weibull_sample(scale_ns: u64, shape: u32, draw: u64) -> u64 {
     (((scale_ns as u128) * root as u128) >> 32) as u64
 }
 
+/// Uniform sample in `[0, max_ns)`: the draw's top 32 bits scale
+/// `max_ns` as a Q32 fraction. Pure integer, exactly `max_ns` distinct
+/// outcomes when `max_ns ≤ 2^32` — no modulo bias.
+pub fn uniform_sample(max_ns: u64, draw: u64) -> u64 {
+    ((max_ns as u128 * ((draw >> 32) as u128)) >> 32) as u64
+}
+
 /// An integer-parameterized sojourn/inter-arrival distribution. `Eq` and
 /// hashable by construction, so specs embedding one keep exact labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,15 +161,19 @@ pub enum Distribution {
     /// Weibull with the given scale and integer shape (clamped to
     /// `[1, 16]` at sample time).
     Weibull { scale_ns: u64, shape: u32 },
+    /// Uniform in `[0, max_ns)`.
+    Uniform { max_ns: u64 },
 }
 
 impl Distribution {
-    /// Inverse-CDF sample from one FNV draw. Monotone non-increasing in
-    /// the draw's top 32 bits.
+    /// Inverse-CDF sample from one FNV draw. Exp/Weibull are monotone
+    /// non-increasing in the draw's top 32 bits; Uniform is monotone
+    /// non-decreasing.
     pub fn sample(&self, draw: u64) -> u64 {
         match *self {
             Distribution::Exp { mean_ns } => exp_sample(mean_ns, draw),
             Distribution::Weibull { scale_ns, shape } => weibull_sample(scale_ns, shape, draw),
+            Distribution::Uniform { max_ns } => uniform_sample(max_ns, draw),
         }
     }
 }
@@ -403,6 +436,50 @@ mod tests {
             "the biased sampler's mean {got} slipped inside the tolerance — \
              the empirical-mean property would not catch it"
         );
+    }
+
+    #[test]
+    fn uniform_sample_is_bounded_monotone_and_mean_centered() {
+        let max = 100_000u64;
+        for i in 0..4096u64 {
+            let s = uniform_sample(max, fnv_draw(5, "u", i));
+            assert!(s < max, "uniform samples stay strictly below max_ns");
+        }
+        assert_eq!(uniform_sample(max, 0), 0);
+        assert_eq!(uniform_sample(max, u64::MAX), max - 1);
+        assert_eq!(uniform_sample(0, u64::MAX), 0, "max_ns 0 is the degenerate no-jitter case");
+        let mut prev = 0;
+        for u in (0..=u32::MAX as u64).step_by(1 << 24) {
+            let s = uniform_sample(max, u << 32);
+            assert!(s >= prev, "uniform is monotone in the draw's top bits");
+            prev = s;
+        }
+        let n = 20_000u64;
+        let sum: u128 = (0..n)
+            .map(|i| Distribution::Uniform { max_ns: max }.sample(fnv_draw(1, "mean", i)) as u128)
+            .sum();
+        let got = (sum / n as u128) as u64;
+        assert!(
+            got.abs_diff(max / 2) * 100 <= (max / 2) * MEAN_TOL_PCT,
+            "uniform empirical mean {got} deviates from {}",
+            max / 2
+        );
+    }
+
+    #[test]
+    fn fnv_draw2_separates_streams_and_indices() {
+        // Distinct (stream, a, b) triples draw independently; same
+        // inputs reproduce — the contract the per-port packet draw
+        // streams rely on.
+        assert_eq!(fnv_draw2(9, "loss", 3, 17), fnv_draw2(9, "loss", 3, 17));
+        assert_ne!(fnv_draw2(9, "loss", 3, 17), fnv_draw2(9, "jitter", 3, 17));
+        assert_ne!(fnv_draw2(9, "loss", 3, 17), fnv_draw2(9, "loss", 4, 17));
+        assert_ne!(fnv_draw2(9, "loss", 3, 17), fnv_draw2(9, "loss", 3, 18));
+        assert_ne!(fnv_draw2(9, "loss", 3, 17), fnv_draw2(10, "loss", 3, 17));
+        // The fold extends fnv_draw: folding `a` as part of the stream
+        // text would alias port/counter boundaries; the le-bytes fold
+        // keeps (a, b) unambiguous.
+        assert_ne!(fnv_draw2(9, "s", 0x0101, 0), fnv_draw2(9, "s", 1, 0x0100_0000_0000_0001));
     }
 
     // ---- fixed-point internals --------------------------------------

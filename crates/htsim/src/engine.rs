@@ -23,6 +23,7 @@ use atlahs_goal::{Rank, Tag};
 use crate::cc::{CcAlgo, CcState};
 use crate::eventq::{EventQueue, QueueStats};
 use crate::fault::{FaultKind, PortFault};
+use crate::stochastic::LinkModel;
 use crate::topology::{PathRef, Topology, TopologyConfig};
 
 /// Wire overhead per packet (headers), bytes.
@@ -57,6 +58,12 @@ pub struct HtsimConfig {
     /// schedules nothing and leaves the run bit-identical to a fault-free
     /// engine.
     pub faults: Vec<PortFault>,
+    /// Per-packet stochastic link model ([`crate::stochastic`]): seeded
+    /// random loss and latency jitter evaluated in the forwarding hot
+    /// path via counter-based draw streams. The inactive default
+    /// consumes zero draws and is bit-identical to an engine without
+    /// the layer.
+    pub link_model: LinkModel,
 }
 
 impl HtsimConfig {
@@ -74,6 +81,7 @@ impl HtsimConfig {
             rto_ns: 0,
             spray: false,
             faults: Vec::new(),
+            link_model: LinkModel::default(),
         }
     }
 }
@@ -98,6 +106,47 @@ pub struct NetStats {
     /// Counted separately from `drops` so congestion loss and injected
     /// loss stay distinguishable in reports.
     pub fault_drops: u64,
+    /// Stochastic draws consumed (one per packet leaving a port while a
+    /// [`LinkModel`] is active). 0 ⇔ the run was model-free, which is
+    /// what gates the stochastic telemetry out of legacy reports.
+    pub stochastic_draws: u64,
+    /// Packets lost to the per-packet stochastic model, all kinds.
+    pub stochastic_drops: u64,
+    /// Packets whose wire latency was inflated by a nonzero jitter
+    /// sample.
+    pub jittered: u64,
+    /// Retransmissions whose previous copy is known lost to an injected
+    /// fault (down-link blackhole or stochastic loss).
+    pub rtx_fault_drop: u64,
+    /// Retransmissions recovering congestion loss or trimmed packets
+    /// (everything not attributable to an injected fault).
+    pub rtx_timeout: u64,
+    /// Payload bytes handed to the fabric, retransmitted copies
+    /// included.
+    pub payload_bytes: u64,
+    /// Payload bytes of retransmitted copies only; `payload_bytes -
+    /// retransmitted_bytes` is the unique goodput, invariant between a
+    /// clean and a lossy run of the same workload.
+    pub retransmitted_bytes: u64,
+}
+
+impl NetStats {
+    /// Goodput as parts-per-million of offered payload: the share of
+    /// sent payload bytes that was not a retransmitted copy. 1_000_000
+    /// on a loss-free run.
+    pub fn goodput_ppm(&self) -> u64 {
+        if self.payload_bytes == 0 {
+            return 1_000_000;
+        }
+        (self.payload_bytes - self.retransmitted_bytes) * 1_000_000 / self.payload_bytes
+    }
+
+    /// Retransmission-storm diagnostic: timeout *firings* per thousand
+    /// flows. A handful is normal recovery; hundreds per flow means the
+    /// RTO policy is re-injecting faster than the fabric drains.
+    pub fn rtx_storm_per_kflow(&self) -> u64 {
+        self.timeouts * 1_000 / self.flows.max(1)
+    }
 }
 
 /// Completion record of one flow (message).
@@ -200,6 +249,12 @@ struct Port {
     /// Inside a [`FaultKind::Down`] window: the port discards everything
     /// offered to its queue (packets already queued or in service drain).
     down: bool,
+    /// Stochastic draw counter: packet `n` leaving this port draws
+    /// `fnv_draw2(seed, stream, port, n)`. Monotone, never reset
+    /// mid-run, and carried by [`HtsimState`] (via the port clone) so a
+    /// restored run resumes the exact draw sequence. Stays 0 while the
+    /// link model is inactive.
+    draws: u64,
 }
 
 /// Dense bitmaps for per-packet sender/receiver state.
@@ -271,6 +326,11 @@ struct Flow {
     inflight: u64,
     rtx: VecDeque<u32>,
     in_rtx: Bitmap,
+    /// Indices whose most recent copy died to an *injected* fault (down
+    /// link or stochastic loss), set at the discard site and cleared on
+    /// resend — attributing each retransmission to its cause exactly
+    /// ([`NetStats::rtx_fault_drop`] vs [`NetStats::rtx_timeout`]).
+    fault_lost: Bitmap,
     send_ts: Box<[Time]>,
     last_activity: Time,
     // receiver state
@@ -363,6 +423,7 @@ impl HtsimBackend {
                     tx_mtu: (wire_mtu as f64 / rate).ceil() as u64,
                     tx_hdr: (HDR_BYTES as f64 / rate).ceil() as u64,
                     down: false,
+                    draws: 0,
                 }
             })
             .collect();
@@ -421,17 +482,20 @@ impl HtsimBackend {
     // ---- port machinery ------------------------------------------------
 
     fn enqueue(&mut self, port_id: u32, mut pkt: Packet) {
-        // One borrow of the port for the whole admission path (`rng`,
-        // `stats`, and `cfg` are disjoint fields).
-        let port = &mut self.ports[port_id as usize];
-        if port.down {
+        if self.ports[port_id as usize].down {
             // Ingress blackhole: data, acks, and credits all die on the
             // down link; the retransmission timer recovers once the
             // window closes. No RNG draw — the ECN stream stays aligned
             // with a run where this packet was never offered.
             self.stats.fault_drops += 1;
+            if pkt.kind == PktKind::Data {
+                self.flows[pkt.flow as usize].fault_lost.set(pkt.idx);
+            }
             return;
         }
+        // One borrow of the port for the whole admission path (`rng`,
+        // `stats`, and `cfg` are disjoint fields).
+        let port = &mut self.ports[port_id as usize];
         if pkt.kind == PktKind::Data {
             let q = port.qbytes;
             // ECN marking on instantaneous occupancy.
@@ -498,10 +562,45 @@ impl HtsimBackend {
     }
 
     fn on_tx_done(&mut self, port_id: u32) {
-        let (pkt, latency) = {
+        let (pkt, mut latency, stoch) = {
             let port = &mut self.ports[port_id as usize];
-            (port.in_service.take().expect("TxDone without packet"), port.latency)
+            let pkt = port.in_service.take().expect("TxDone without packet");
+            // Per-packet stochastic link model: every packet leaving a
+            // port consumes exactly one draw-counter value, loss or not,
+            // jitter or not — the stream position is a pure function of
+            // (port, packets transmitted), so it survives snapshot and
+            // restore via the port clone, and an inactive model consumes
+            // nothing at all.
+            let stoch = if self.cfg.link_model.active() {
+                let n = port.draws;
+                port.draws += 1;
+                Some((n, port.is_core))
+            } else {
+                None
+            };
+            (pkt, port.latency, stoch)
         };
+        if let Some((n, is_core)) = stoch {
+            let model = self.cfg.link_model;
+            self.stats.stochastic_draws += 1;
+            if model.drops(port_id, n, is_core) {
+                // The packet vanishes on the wire: for data the RTO
+                // path recovers it (and the loss is attributed to the
+                // fault for the retransmission split); lost acks and
+                // credits are re-elicited the same way.
+                self.stats.stochastic_drops += 1;
+                if pkt.kind == PktKind::Data {
+                    self.flows[pkt.flow as usize].fault_lost.set(pkt.idx);
+                }
+                self.start_tx(port_id);
+                return;
+            }
+            let extra = model.jitter_ns(port_id, n);
+            if extra > 0 {
+                self.stats.jittered += 1;
+                latency += extra;
+            }
+        }
         self.push(self.now + latency, Ev::Arrive { port: port_id, pkt });
         self.start_tx(port_id);
     }
@@ -554,7 +653,7 @@ impl HtsimBackend {
     }
 
     fn send_packet(&mut self, fid: u32, idx: u32) {
-        let (pkt, was_rtx) = {
+        let (pkt, was_rtx, was_fault_lost) = {
             let mtu = self.cfg.mtu;
             let f = &mut self.flows[fid as usize];
             let payload = f.payload(idx, mtu);
@@ -566,6 +665,12 @@ impl HtsimBackend {
             let was_rtx = f.in_rtx.get(idx);
             if was_rtx {
                 f.in_rtx.clear(idx);
+            }
+            // Attribute the retransmission: was the previous copy killed
+            // by an injected fault, or by congestion/timeout noise?
+            let was_fault_lost = f.fault_lost.get(idx);
+            if was_fault_lost {
+                f.fault_lost.clear(idx);
             }
             let (ecmp, path) = if self.cfg.spray {
                 let ecmp = f.salt ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -584,10 +689,23 @@ impl HtsimBackend {
                 ecmp,
                 path,
             };
-            (pkt, was_rtx)
+            (pkt, was_rtx, was_fault_lost)
         };
+        let payload = (pkt.wire - HDR_BYTES) as u64;
         self.stats.packets_sent += 1;
-        self.stats.retransmissions += u64::from(was_rtx);
+        self.stats.payload_bytes += payload;
+        if was_rtx {
+            self.stats.retransmissions += 1;
+            self.stats.retransmitted_bytes += payload;
+            // `retransmissions == rtx_fault_drop + rtx_timeout` holds by
+            // construction: every retransmission lands in exactly one
+            // bucket here.
+            if was_fault_lost {
+                self.stats.rtx_fault_drop += 1;
+            } else {
+                self.stats.rtx_timeout += 1;
+            }
+        }
         let port0 = self.topo.path(pkt.path)[0];
         self.enqueue(port0, pkt);
     }
@@ -986,6 +1104,7 @@ impl HtsimBackend {
             inflight: 0,
             rtx: VecDeque::new(),
             in_rtx: Bitmap::new(npkts),
+            fault_lost: Bitmap::new(npkts),
             send_ts: vec![0; npkts as usize].into_boxed_slice(),
             last_activity: self.now,
             rcvd: Bitmap::new(npkts),
@@ -1007,6 +1126,28 @@ impl HtsimBackend {
     /// switch.
     pub fn set_cc(&mut self, cc: CcAlgo) {
         self.cfg.cc = cc;
+    }
+
+    /// Switch the per-packet stochastic link model mid-run (what-if
+    /// branch override, `--branch loss:...` / `--branch jitter:...`).
+    /// Packets already on the wire are unaffected; the next packet to
+    /// finish transmitting on each port draws from the new model at the
+    /// port's current counter position. The active model is part of the
+    /// snapshot state, so a later [`Snapshot::restore`] undoes the
+    /// switch.
+    pub fn set_link_model(&mut self, model: LinkModel) {
+        self.cfg.link_model = model;
+    }
+
+    /// Advance a port's stochastic draw counter by `n` without
+    /// transmitting anything — deliberately desynchronizing the draw
+    /// stream. This exists purely as a verification hook: the
+    /// snapshot-identity meta-tests use it to emulate an engine that
+    /// *fails* to carry draw counters across restore, proving those
+    /// tests detect stream misalignment. Never called by the engine.
+    #[doc(hidden)]
+    pub fn skip_stochastic_draws(&mut self, port: u32, n: u64) {
+        self.ports[port as usize].draws += n;
     }
 
     /// Inject a fault window into a *running* simulation (what-if branch
@@ -1040,14 +1181,18 @@ impl HtsimBackend {
 /// queue (cursor and tie-break sequence included), the clock, the RNG,
 /// the message matcher, NDP pull pacers, counters, and flow records.
 ///
-/// The fault table and active CC algorithm are captured too — although
-/// they live in [`HtsimConfig`], branch overrides ([`set_cc`],
-/// [`inject_fault`]) mutate them mid-run, and in-queue fault events
-/// index into the fault table, so restore must bring the table back in
-/// sync with the captured queue.
+/// The fault table, active CC algorithm, and stochastic link model are
+/// captured too — although they live in [`HtsimConfig`], branch
+/// overrides ([`set_cc`], [`inject_fault`], [`set_link_model`]) mutate
+/// them mid-run, and in-queue fault events index into the fault table,
+/// so restore must bring the table back in sync with the captured
+/// queue. The per-port stochastic draw counters ride in `ports`, which
+/// is what makes a run restored mid-loss resume the exact per-packet
+/// draw sequence.
 ///
 /// [`set_cc`]: HtsimBackend::set_cc
 /// [`inject_fault`]: HtsimBackend::inject_fault
+/// [`set_link_model`]: HtsimBackend::set_link_model
 #[derive(Clone)]
 pub struct HtsimState {
     ports: Vec<Port>,
@@ -1061,6 +1206,7 @@ pub struct HtsimState {
     records: Vec<FlowRecord>,
     faults: Vec<PortFault>,
     cc: CcAlgo,
+    link_model: LinkModel,
 }
 
 impl Snapshot for HtsimBackend {
@@ -1079,6 +1225,7 @@ impl Snapshot for HtsimBackend {
             records: self.records.clone(),
             faults: self.cfg.faults.clone(),
             cc: self.cfg.cc,
+            link_model: self.cfg.link_model,
         }
     }
 
@@ -1094,5 +1241,6 @@ impl Snapshot for HtsimBackend {
         self.records = state.records.clone();
         self.cfg.faults = state.faults.clone();
         self.cfg.cc = state.cc;
+        self.cfg.link_model = state.link_model;
     }
 }

@@ -30,6 +30,7 @@
 pub mod cc;
 pub mod engine;
 pub mod fault;
+pub mod stochastic;
 pub mod topology;
 
 /// The event core now lives in the shared `atlahs_eventq` crate (both
@@ -41,6 +42,7 @@ pub use cc::{CcAlgo, CcState};
 pub use engine::{FlowRecord, HtsimBackend, HtsimConfig, NetStats};
 pub use eventq::EventQueue;
 pub use fault::{select_fault_ports, FaultKind, PortFault};
+pub use stochastic::{LinkModel, LinkModelSpec, LossTier};
 pub use topology::{LinkParams, PathRef, Topology, TopologyConfig};
 
 #[cfg(test)]
@@ -588,6 +590,201 @@ mod tests {
         b.inject_fault(window);
         let faulted_branch = faulted_driver.finish(&mut b).unwrap();
         assert_eq!(faulted_branch.makespan, reference.makespan);
+        assert_eq!(b.net_stats(), rb.net_stats());
+    }
+
+    // ---- per-packet stochastic link models ---------------------------
+
+    fn loss_model(ppm: u32, seed: u64) -> LinkModel {
+        LinkModel { core_loss_ppm: ppm, edge_loss_ppm: ppm, jitter: None, seed }
+    }
+
+    #[test]
+    fn inactive_link_model_is_bit_identical_and_draw_free() {
+        let goal = incast(8, 256 * 1024);
+        let (a, ba) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.link_model = LinkModel::default(); // explicit inactive model
+        let (b, bb) = run_with(&goal, cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(ba.net_stats(), bb.net_stats());
+        assert_eq!(ba.net_stats().stochastic_draws, 0, "no model ⇒ no draws consumed");
+        assert_eq!(ba.net_stats().stochastic_drops, 0);
+    }
+
+    #[test]
+    fn stochastic_loss_bites_recovers_and_reruns_identically() {
+        let goal = ping(2 << 20);
+        let (clean, cb) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mk = || {
+            let mut cfg = small_switch(CcAlgo::Mprdma);
+            cfg.link_model = loss_model(50_000, 0xbeef); // 5% everywhere
+            cfg
+        };
+        let (faulty, b1) = run_with(&goal, mk());
+        assert_eq!(faulty.completed, goal.total_tasks(), "all bytes delivered under 5% loss");
+        let st = b1.net_stats();
+        assert!(st.stochastic_draws > 0);
+        assert!(st.stochastic_drops > 0, "5% of a 500+ packet transfer must drop: {st:?}");
+        assert!(st.rtx_fault_drop > 0, "stochastic losses are attributed to the fault: {st:?}");
+        assert!(faulty.makespan > clean.makespan, "recovery takes time");
+        // Same seed ⇒ bit-identical; different model seed ⇒ different run.
+        let (again, b2) = run_with(&goal, mk());
+        assert_eq!(faulty.makespan, again.makespan);
+        assert_eq!(b1.net_stats(), b2.net_stats());
+        let mut other = small_switch(CcAlgo::Mprdma);
+        other.link_model = loss_model(50_000, 0xbef0);
+        let (_, b3) = run_with(&goal, other);
+        assert_ne!(b1.net_stats(), b3.net_stats(), "the model seed drives the draws");
+        // The clean run is untouched by the layer existing.
+        assert_eq!(cb.net_stats().stochastic_draws, 0);
+    }
+
+    /// RTO liveness: the window never shrinks below one MTU and the
+    /// timer chain always re-arms, so every flow finishes under *any*
+    /// loss rate < 100% — exercised here at a brutal 20% on every link
+    /// (data, acks, and credits all dropping), on both a timeout-driven
+    /// and the receiver-driven (NDP) recovery path.
+    #[test]
+    fn heavy_stochastic_loss_never_livelocks() {
+        for cc in [CcAlgo::Mprdma, CcAlgo::Ndp] {
+            let goal = incast(6, 128 * 1024);
+            let mut cfg = small_switch(cc);
+            cfg.link_model = loss_model(200_000, 7);
+            let (rep, backend) = run_with(&goal, cfg);
+            assert_eq!(rep.completed, goal.total_tasks(), "{cc}: flows must complete");
+            let st = backend.net_stats();
+            assert!(st.stochastic_drops > 0, "{cc}: the model must bite: {st:?}");
+            assert!(
+                rep.makespan < 1_000_000_000,
+                "{cc}: RTO livelock — sim time exploded to {} ns",
+                rep.makespan
+            );
+            assert_eq!(
+                st.retransmissions,
+                st.rtx_timeout + st.rtx_fault_drop,
+                "{cc}: every retransmission lands in exactly one bucket: {st:?}"
+            );
+            assert!(st.goodput_ppm() < 1_000_000, "{cc}: lossy runs burn overhead bytes");
+        }
+    }
+
+    #[test]
+    fn jitter_delays_but_never_drops() {
+        use atlahs_core::faultgen::Distribution;
+        let goal = ping(1 << 20);
+        let (clean, _) = run_with(&goal, small_switch(CcAlgo::Mprdma));
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.link_model = LinkModel {
+            core_loss_ppm: 0,
+            edge_loss_ppm: 0,
+            jitter: Some(Distribution::Exp { mean_ns: 2_000 }),
+            seed: 3,
+        };
+        let (jit, backend) = run_with(&goal, cfg);
+        assert_eq!(jit.completed, goal.total_tasks());
+        let st = backend.net_stats();
+        assert!(st.jittered > 0, "exp(2 µs) jitter must perturb timestamps: {st:?}");
+        assert_eq!(st.stochastic_drops, 0, "pure jitter never drops");
+        assert_eq!(st.retransmissions, 0, "jitter alone must not trigger spurious RTOs: {st:?}");
+        assert!(
+            jit.makespan > clean.makespan,
+            "per-packet delays accumulate: {} vs {}",
+            jit.makespan,
+            clean.makespan
+        );
+    }
+
+    /// The acceptance criterion of the stochastic layer: a lossy run
+    /// checkpointed mid-loss, restored, and finished is byte-identical
+    /// to the straight-through run — the per-port draw counters travel
+    /// in the snapshot.
+    #[test]
+    fn checkpoint_resume_mid_loss_is_bit_identical() {
+        use atlahs_core::faultgen::Distribution;
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        let goal = incast(8, 256 * 1024);
+        let mut cfg = small_switch(CcAlgo::Mprdma);
+        cfg.collect_flows = true;
+        cfg.link_model = LinkModel {
+            core_loss_ppm: 30_000,
+            edge_loss_ppm: 30_000,
+            jitter: Some(Distribution::Uniform { max_ns: 1_500 }),
+            seed: 0xf00d,
+        };
+        let (straight, sb) = run_with(&goal, cfg.clone());
+        assert!(sb.net_stats().stochastic_drops > 0, "the scenario must be lossy");
+
+        for bound in [1, 50_000, straight.makespan / 2] {
+            let mut b = HtsimBackend::new(cfg.clone());
+            let mut driver = SimDriver::start(&goal, &mut b);
+            assert_eq!(driver.run_until(&mut b, bound).unwrap(), RunState::Paused);
+            let snap = b.checkpoint();
+            let fork_driver = driver.clone();
+            let original = driver.finish(&mut b).unwrap();
+            assert_eq!(original.makespan, straight.makespan, "bound {bound}");
+            assert_eq!(b.net_stats(), sb.net_stats(), "bound {bound}");
+
+            b.restore(&snap);
+            let fork = fork_driver.finish(&mut b).unwrap();
+            assert_eq!(fork.makespan, straight.makespan, "fork at {bound}");
+            assert_eq!(b.net_stats(), sb.net_stats(), "fork at {bound}");
+            assert_eq!(b.flow_records(), sb.flow_records(), "fork at {bound}");
+        }
+    }
+
+    /// Branch override: restoring one checkpoint twice — once clean,
+    /// once with a stochastic model switched on mid-run — yields a
+    /// clean continuation identical to the straight-through run and a
+    /// lossy continuation identical to a fresh run applying the same
+    /// override at the same pause point.
+    #[test]
+    fn set_link_model_branch_matches_straight_through_override() {
+        use atlahs_core::{RunState, SimDriver, Snapshot};
+        // Rank 2 runs a calc chain as a pause-point clock (the driver
+        // only pauses at completion events).
+        let goal = {
+            let mut b = GoalBuilder::new(3);
+            b.send(0, 1, 2 << 20, 0);
+            b.recv(1, 0, 2 << 20, 0);
+            let mut prev = None;
+            for _ in 0..6 {
+                let c = b.calc(2, 5_000);
+                if let Some(p) = prev {
+                    b.requires(2, c, p);
+                }
+                prev = Some(c);
+            }
+            b.build().unwrap()
+        };
+        let cfg = small_switch(CcAlgo::Mprdma);
+        let (clean, _) = run_with(&goal, cfg.clone());
+        let model = loss_model(100_000, 0x10ad);
+
+        // Reference: fresh run, pause at 25 µs, switch the model on.
+        let mut rb = HtsimBackend::new(cfg.clone());
+        let mut rd = SimDriver::start(&goal, &mut rb);
+        assert_eq!(rd.run_until(&mut rb, 25_000).unwrap(), RunState::Paused);
+        rb.set_link_model(model);
+        let reference = rd.finish(&mut rb).unwrap();
+        assert!(rb.net_stats().stochastic_drops > 0, "the override must bite");
+        assert!(reference.makespan > clean.makespan);
+
+        // Branched: one prefix, one checkpoint, two continuations.
+        let mut b = HtsimBackend::new(cfg);
+        let mut driver = SimDriver::start(&goal, &mut b);
+        assert_eq!(driver.run_until(&mut b, 25_000).unwrap(), RunState::Paused);
+        let snap = b.checkpoint();
+
+        let lossy_driver = driver.clone();
+        let clean_branch = driver.finish(&mut b).unwrap();
+        assert_eq!(clean_branch.makespan, clean.makespan);
+        assert_eq!(b.net_stats().stochastic_draws, 0, "clean branch consumed no draws");
+
+        b.restore(&snap);
+        b.set_link_model(model);
+        let lossy_branch = lossy_driver.finish(&mut b).unwrap();
+        assert_eq!(lossy_branch.makespan, reference.makespan);
         assert_eq!(b.net_stats(), rb.net_stats());
     }
 

@@ -16,7 +16,11 @@
 //! distributional regimes — Gilbert–Elliott Markov flapping, a
 //! correlated whole-rack failure, and a churn-trace replay — and checks
 //! the realized-fault telemetry identities against the generated
-//! schedules.
+//! schedules. Part 4 runs per-packet stochastic link models (random
+//! loss and latency jitter) and checks the retransmission-accounting
+//! conservation identities: every retransmission is attributed to
+//! exactly one trigger, and the unique goodput is invariant between a
+//! clean and a lossy run of the same workload.
 
 use atlahs_bench::cluster::{
     run_grid, ArrivalSpec, ClusterFaultSpec, ClusterGrid, ClusterReport, QueueDiscipline,
@@ -205,6 +209,95 @@ fn main() {
             tel.windows,
             tel.downtime_ns as f64 / 1e3,
             r.net.map(|n| n.fault_drops).unwrap_or(0)
+        );
+    }
+
+    // ---- Part 4: per-packet stochastic link models ----------------------
+    //
+    // Unlike the scheduled windows above, `loss:`/`jitter:` perturb
+    // *every* packet independently through counter-based draw streams
+    // (docs/SCENARIOS.md, "Per-packet stochastic links"). The engine's
+    // retransmission accounting satisfies two exact identities:
+    //
+    //   retransmissions  == rtx_timeout + rtx_fault_drop   (attribution)
+    //   payload_bytes - retransmitted_bytes == clean payload  (goodput)
+    //
+    // — every retransmitted copy is charged to exactly one trigger, and
+    // random loss never changes *what* is delivered, only how many
+    // wasted copies it takes to deliver it.
+    let stoch = ScenarioGrid {
+        topologies: vec![TopologySpec::AiFatTree { nodes: 16, oversub: 4 }],
+        workloads: vec![WorkloadSpec::MoeAllToAll {
+            ranks: 16,
+            group: 16,
+            bytes: 64 << 10,
+            layers: 1,
+            compute_ns: 20_000,
+        }],
+        ccs: vec![CcAlgo::Mprdma],
+        placements: vec![PlacementSpec::Packed],
+        backends: vec![BackendFamily::Htsim],
+        faults: vec![
+            FaultSpec::None,
+            // 5% random loss on every link.
+            FaultSpec::parse("loss:50000").unwrap(),
+            // 8% loss confined to the oversubscribed core uplinks.
+            FaultSpec::parse("loss:80000:core").unwrap(),
+            // Exp(2 µs) latency jitter: delays and reorders, never drops.
+            FaultSpec::parse("jitter:exp:2000").unwrap(),
+        ],
+        seed: 1,
+        collect_flows: false,
+    };
+    let stoch_cells = stoch.expand();
+    let stoch_report =
+        SweepReport { seed: stoch.seed, results: execute(&stoch_cells, 0), branch: None };
+    let clean_net = stoch_report
+        .results
+        .iter()
+        .find(|r| r.key.matches('/').count() == 3)
+        .and_then(|r| r.net)
+        .expect("the clean sibling ran on htsim");
+    assert_eq!(clean_net.stochastic_draws, 0, "clean cells never touch the draw streams");
+
+    println!("\n# per-packet stochastic link models\n");
+    for (cell, r) in stoch_cells.iter().zip(&stoch_report.results) {
+        let net = r.net.expect("htsim cells report net stats");
+        // Attribution: the two split counters reassemble the total, for
+        // clean and stochastic cells alike.
+        assert_eq!(
+            net.retransmissions,
+            net.rtx_timeout + net.rtx_fault_drop,
+            "{}: every retransmission has exactly one attributed trigger",
+            r.key
+        );
+        if cell.fault == FaultSpec::None {
+            continue;
+        }
+        // Conservation: loss inflates payload_bytes (wasted copies) but
+        // the unique goodput equals the clean run's bytes exactly.
+        assert_eq!(
+            net.payload_bytes - net.retransmitted_bytes,
+            clean_net.payload_bytes - clean_net.retransmitted_bytes,
+            "{}: unique goodput is invariant under stochastic loss",
+            r.key
+        );
+        assert!(net.stochastic_draws > 0, "{}: the model must be armed", r.key);
+        if r.key.contains("/loss:") {
+            assert!(net.stochastic_drops > 0, "{}: sustained loss must bite", r.key);
+            assert!(net.goodput_ppm() < 1_000_000, "{}: wasted copies cost goodput", r.key);
+        } else {
+            assert_eq!(net.stochastic_drops, 0, "{}: jitter never drops", r.key);
+            assert!(net.jittered > 0, "{}: jitter must perturb timestamps", r.key);
+        }
+        println!(
+            "{:85} {:8.1} µs  ({} drops, {} jittered, goodput {:4.1}%, {} RTOs/kflow)",
+            r.key,
+            r.makespan as f64 / 1e3,
+            net.stochastic_drops,
+            net.jittered,
+            net.goodput_ppm() as f64 / 1e4,
+            net.rtx_storm_per_kflow()
         );
     }
 }

@@ -672,3 +672,29 @@ fn branch_smoke_reproduces_the_checked_in_golden_bytes() {
          a backend snapshot missed state, or the report format moved"
     );
 }
+
+// --- the stochastic-smoke grid (ci.sh stage 13): the per-packet
+// --- loss/jitter cells draw from counter-based per-port streams and must
+// --- agree byte-for-byte with the checked-in golden — with the 45
+// --- fault-smoke cells byte-frozen inside (an inactive LinkModel consumes
+// --- zero draws, so adding the stochastic axis must not move them).
+
+#[test]
+fn stochastic_smoke_reproduces_the_checked_in_golden_bytes() {
+    use atlahs_bench::smoke::stochastic_smoke_grid;
+    use atlahs_bench::sweep::{execute, SweepReport};
+
+    let grid = stochastic_smoke_grid();
+    let cells = grid.expand();
+    assert_eq!(cells.len(), 75);
+    let report = SweepReport { seed: grid.seed, results: execute(&cells, 2), branch: None };
+    let got = report.to_json().pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens/stochastic_smoke.json");
+    let want = std::fs::read_to_string(path).expect("golden stochastic_smoke.json is checked in");
+    assert_eq!(
+        got, want,
+        "the stochastic smoke sweep drifted from tests/goldens/stochastic_smoke.json: \
+         a draw stream moved (seed, stream tag, or counter discipline), or the \
+         report format changed"
+    );
+}

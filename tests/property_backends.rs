@@ -19,7 +19,14 @@
 //!   conservation, straggler inflation never reorders a rank's issue
 //!   chains, the ideal bound still holds against a faulted packet run,
 //!   identical fault seeds reproduce bit-identical runs, and the harness
-//!   catches a backend that silently ignores its fault spec.
+//!   catches a backend that silently ignores its fault spec;
+//! * **stochastic loss** — under per-packet random loss up to 20%
+//!   (200 000 ppm) every flow still completes (no RTO livelock), byte
+//!   conservation holds at the issue interface, same-seed re-runs are
+//!   bit-identical, a run checkpointed mid-loss and restored finishes
+//!   bit-identically to the straight-through run, and the harness
+//!   catches an engine that fails to carry its per-port draw counters
+//!   across restore.
 //!
 //! The generator emits schedules from the same family the synthetic
 //! workloads use (per-rank send chains and recv chains with interleaved
@@ -35,6 +42,7 @@ use atlahs::htsim::engine::{HtsimBackend, HtsimConfig};
 use atlahs::htsim::fault::{select_fault_ports, FaultKind, PortFault};
 use atlahs::htsim::topology::{LinkParams, Topology, TopologyConfig};
 use atlahs::htsim::CcAlgo;
+use atlahs::htsim::LinkModel;
 use atlahs::lgs::{LgsBackend, LogGopsParams, StragglerSpec};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -276,6 +284,22 @@ fn faulty_htsim_backend(n: usize, seed: u64, faults: Vec<PortFault>) -> HtsimBac
     cfg.seed = seed;
     cfg.faults = faults;
     HtsimBackend::new(cfg)
+}
+
+/// The packet backend with a per-packet stochastic loss model armed on
+/// every tier (the draw-stream seed is independent of the engine seed,
+/// mirroring how the sweep derives it from the fault label).
+fn lossy_htsim_config(n: usize, seed: u64, ppm: u32) -> HtsimConfig {
+    let topo = TopologyConfig::SingleSwitch { hosts: n, link: LinkParams::default() };
+    let mut cfg = HtsimConfig::new(topo, CcAlgo::Mprdma);
+    cfg.seed = seed;
+    cfg.link_model = LinkModel {
+        core_loss_ppm: ppm,
+        edge_loss_ppm: ppm,
+        jitter: None,
+        seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+    };
+    cfg
 }
 
 /// Two seeded down-windows early in the run: on a `SingleSwitch` the
@@ -532,6 +556,40 @@ proptest! {
             );
         }
     }
+
+    /// The backend contract under sustained per-packet random loss, at
+    /// rates up to 20% (200 000 ppm): every flow completes — the bounded
+    /// exponential RTO backoff never livelocks, because the CC window
+    /// floor keeps at least one MTU in flight and every retry is
+    /// rescheduled — per-rank byte conservation holds at the issue
+    /// interface, the same draw-stream seed reproduces the run bit for
+    /// bit, and the contention-free ideal bound survives a fortiori.
+    #[test]
+    fn stochastic_loss_preserves_the_backend_contract(
+        n in 2usize..6,
+        msgs in vec(raw_msg(), 1..16),
+        seed in 1u64..1_000_000,
+        ppm in 1_000u32..200_001,
+    ) {
+        let goal = assemble(n, &msgs);
+        let lossy = run_recorded(&goal, HtsimBackend::new(lossy_htsim_config(n, seed, ppm)));
+        // Completion (no RTO livelock), causality, and per-rank byte
+        // conservation under loss.
+        check_invariants("htsim-loss", &goal, &lossy);
+
+        // Identical draw-stream seed ⇒ bit-identical re-run.
+        let lossy2 = run_recorded(&goal, HtsimBackend::new(lossy_htsim_config(n, seed, ppm)));
+        assert_identical("htsim-loss", &lossy, &lossy2);
+
+        // Loss only ever wastes wire time; the ideal bound still holds.
+        let ideal = run_recorded(&goal, ideal_bound());
+        prop_assert!(
+            ideal.makespan <= lossy.makespan,
+            "ideal {} must lower-bound lossy htsim {}",
+            ideal.makespan,
+            lossy.makespan
+        );
+    }
 }
 
 /// The harness itself must catch a cheating backend: a "backend" that
@@ -614,4 +672,62 @@ fn harness_catches_a_backend_that_ignores_its_fault_spec() {
     let clean = run_recorded(&goal, htsim_backend(4, 9));
     let fault_blind = run_recorded(&goal, faulty_htsim_backend(4, 9, Vec::new()));
     assert_faults_bite("fault-blind", &clean, &fault_blind);
+}
+
+/// Snapshot-mid-loss resume bit-identity: the per-port draw counters
+/// ride in the checkpoint, so a run paused under sustained random loss,
+/// checkpointed, restored, and finished consumes exactly the draw
+/// stream a straight-through run consumes — same makespan, same
+/// realized drops, same net stats.
+#[test]
+fn snapshot_mid_loss_resume_is_bit_identical() {
+    use atlahs::core::{RunState, SimDriver, Snapshot};
+    let goal = dense_goal();
+    let cfg = lossy_htsim_config(4, 9, 100_000);
+    let mut sb = HtsimBackend::new(cfg.clone());
+    let straight = Simulation::new(&goal).run(&mut sb).expect("lossy runs still complete");
+    assert!(sb.net_stats().stochastic_drops > 0, "the scenario must actually drop packets");
+
+    let mut b = HtsimBackend::new(cfg);
+    let mut driver = SimDriver::start(&goal, &mut b);
+    assert_eq!(driver.run_until(&mut b, straight.makespan / 2).unwrap(), RunState::Paused);
+    let snap = b.checkpoint();
+    let fork_driver = driver.clone();
+    let original = driver.finish(&mut b).unwrap();
+    assert_eq!(original.makespan, straight.makespan, "pausing must not perturb the stream");
+    assert_eq!(b.net_stats(), sb.net_stats(), "pausing must not perturb the stats");
+
+    b.restore(&snap);
+    let fork = fork_driver.finish(&mut b).unwrap();
+    assert_eq!(fork.makespan, straight.makespan, "restored run diverged from straight-through");
+    assert_eq!(b.net_stats(), sb.net_stats(), "restored run realized different drops");
+}
+
+/// The meta-test for the identity above: an engine that fails to carry
+/// its per-port draw counters across restore (emulated with the
+/// `skip_stochastic_draws` verification hook) samples a shifted stream,
+/// realizes different drops, and must be flagged by the same
+/// assertions `snapshot_mid_loss_resume_is_bit_identical` makes.
+#[test]
+#[should_panic(expected = "restored run")]
+fn harness_catches_an_engine_that_skips_draw_counters() {
+    use atlahs::core::{RunState, SimDriver, Snapshot};
+    let goal = dense_goal();
+    let cfg = lossy_htsim_config(4, 9, 100_000);
+    let mut sb = HtsimBackend::new(cfg.clone());
+    let straight = Simulation::new(&goal).run(&mut sb).expect("lossy runs still complete");
+
+    let mut b = HtsimBackend::new(cfg);
+    let mut driver = SimDriver::start(&goal, &mut b);
+    assert_eq!(driver.run_until(&mut b, straight.makespan / 2).unwrap(), RunState::Paused);
+    let snap = b.checkpoint();
+    b.restore(&snap);
+    // A restore that loses counter positions: every host-side port
+    // resumes 17 draws ahead of where the snapshot left it.
+    for port in 0..4 {
+        b.skip_stochastic_draws(port, 17);
+    }
+    let fork = driver.finish(&mut b).unwrap();
+    assert_eq!(fork.makespan, straight.makespan, "restored run diverged from straight-through");
+    assert_eq!(b.net_stats(), sb.net_stats(), "restored run realized different drops");
 }

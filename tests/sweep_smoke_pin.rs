@@ -19,7 +19,7 @@
 use atlahs_bench::scenario::cell_seed;
 use atlahs_bench::smoke::sweep_smoke_grid;
 use atlahs_bench::sweep::{execute, SweepReport};
-use atlahs_core::faultgen::{exp_sample, weibull_sample, LN2_Q32};
+use atlahs_core::faultgen::{exp_sample, fnv_draw2, uniform_sample, weibull_sample, LN2_Q32};
 
 #[test]
 fn no_fault_sweep_reproduces_the_checked_in_golden_bytes() {
@@ -64,6 +64,26 @@ fn distributional_fault_sub_seeds_are_pinned() {
 }
 
 #[test]
+fn stochastic_sub_seeds_and_draw_stream_are_pinned() {
+    // The stochastic-smoke cells derive their draw-stream seeds exactly
+    // like every other fault sub-seed — `cell_seed(cell.seed, label)` —
+    // so the five frozen loss/jitter labels are part of the golden
+    // contract of tests/goldens/stochastic_smoke.json.
+    assert_eq!(cell_seed(1, "loss:20000"), 0xdc17_5da5_15a2_b8e7);
+    assert_eq!(cell_seed(1, "loss:80000:core"), 0x34a4_6458_c76d_b647);
+    assert_eq!(cell_seed(1, "jitter:exp:2000"), 0xf62a_0076_149f_8ea9);
+    assert_eq!(cell_seed(1, "jitter:weibull:3000:2"), 0xac23_0fbc_f39b_4967);
+    assert_eq!(cell_seed(1, "jitter:uniform:1500"), 0x5fbc_d743_b777_a1a5);
+    // The counter-based draw stream itself: FNV-1a over (seed, stream
+    // tag, port, counter). "loss" and "jitter" are disjoint streams on
+    // the same counter value, and every (port, counter) pair is a fresh
+    // draw — the goldens realize exactly these words.
+    assert_eq!(fnv_draw2(1, "loss", 0, 0), 0xfaf5_d5c4_4c29_ccbf);
+    assert_eq!(fnv_draw2(1, "jitter", 0, 0), 0x8720_46c9_eb0c_a1c6);
+    assert_eq!(fnv_draw2(1, "loss", 3, 7), 0xef00_cd63_07fb_39db);
+}
+
+#[test]
 fn faultgen_sampler_constants_are_pinned() {
     // The distributional goldens depend on the Q32 fixed-point
     // inverse-CDF samplers; these constants pin the arithmetic. ln(2) in
@@ -73,4 +93,9 @@ fn faultgen_sampler_constants_are_pinned() {
     // to scale*ln(2)^(1/shape) for the Weibull.
     assert_eq!(exp_sample(30_000, u64::MAX / 2), 20_794);
     assert_eq!(weibull_sample(30_000, 2, u64::MAX / 2), 24_976);
+    // The uniform jitter sampler maps the draw's high 32 bits onto
+    // [0, max_ns): exactly max/2 at the median, max-1 at the top.
+    assert_eq!(uniform_sample(1_500, u64::MAX / 2), 749);
+    assert_eq!(uniform_sample(1_500, u64::MAX), 1_499);
+    assert_eq!(uniform_sample(1_500, 0), 0);
 }
