@@ -42,6 +42,12 @@
 #      counter-based per-port streams) and must reproduce
 #      tests/goldens/stochastic_smoke.json byte for byte
 #      (docs/SCENARIOS.md, "Per-packet stochastic links")
+#  14. determinism audit          — `atlahs lint` statically enforces the
+#      bit-identity contract (docs/DETERMINISM.md): no floats,
+#      default-hashed maps, hash-order iteration, wall clocks, ambient
+#      randomness, or unsafe in result-affecting crates; det-lint allow
+#      annotations must be well-formed and live; the golden corpus must
+#      parse as JSON with no orphans and no dangling ci.sh references
 #
 # The build is fully offline: external deps are vendored shims under
 # crates/shims/ (see README.md).
@@ -131,5 +137,8 @@ cargo run --release -p atlahs_bench --bin atlahs -- \
     sweep --stochastic-smoke --threads 2 --quiet --out "$stochastic_json"
 diff -u tests/goldens/stochastic_smoke.json "$stochastic_json" \
     || { echo "stochastic smoke: report drifted from tests/goldens/stochastic_smoke.json" >&2; exit 1; }
+
+step "determinism audit (atlahs lint, docs/DETERMINISM.md)"
+cargo run --release -p atlahs_bench --bin atlahs -- lint
 
 printf '\nCI gate passed.\n'

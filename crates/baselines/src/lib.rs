@@ -33,6 +33,8 @@
 //! assert!(out.makespan_ns > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chakra;
 pub mod sim;
 

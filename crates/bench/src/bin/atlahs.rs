@@ -13,6 +13,7 @@
 //!                [--threads N]
 //!                [--out report.json] [--csv report.csv] [--md report.md]
 //!                [--quiet] [--smoke] [--fault-smoke]
+//! atlahs lint [--root DIR]
 //! atlahs list
 //! atlahs help
 //! ```
@@ -35,6 +36,15 @@
 //! against `tests/goldens/cluster_smoke.json`, and `--fault-smoke` the
 //! fixed failure-injection grid diffed against
 //! `tests/goldens/cluster_fault_smoke.json`.
+//!
+//! `lint` runs the offline determinism audit (docs/DETERMINISM.md): a
+//! static pass over every non-shim crate banning floats, default-hashed
+//! maps, hash-order iteration, wall clocks, ambient randomness and
+//! `unsafe` from result-affecting code, honouring
+//! `// det-lint: allow(<rule>) — <reason>` annotations, and checking
+//! golden-file hygiene. Exits 1 on any finding (a ci.sh stage).
+
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 
@@ -59,6 +69,7 @@ fn main() {
     match sub.as_str() {
         "sweep" => sweep(&args),
         "cluster" => cluster(&args),
+        "lint" => lint(&args),
         "list" => list(),
         "" | "help" | "-h" => usage(),
         other => {
@@ -73,7 +84,13 @@ fn usage() {
     println!(
         "atlahs — the ATLAHS scenario-sweep CLI\n\n\
          USAGE:\n  atlahs sweep [axes] [execution] [output]\n  \
-         atlahs cluster [axes] [execution] [output]\n  atlahs list\n\n\
+         atlahs cluster [axes] [execution] [output]\n  \
+         atlahs lint [--root DIR]\n  atlahs list\n\n\
+         LINT (docs/DETERMINISM.md):\n\
+         \x20 the static determinism audit: bans floats, default-hashed maps,\n\
+         \x20 hash-order iteration, wall clocks, ambient randomness and unsafe\n\
+         \x20 from result-affecting crates; checks det-lint annotations and\n\
+         \x20 golden hygiene. Exits 1 on any finding (runs as a ci.sh stage).\n\n\
          SWEEP AXES (comma-separated; see `atlahs list` and docs/SCENARIOS.md):\n\
          \x20 --topos      topologies   (default ai-fattree:16:1,ai-fattree:16:4)\n\
          \x20 --workloads  workloads    (default ring:16:262144:1,moe:16:4:262144:2:5000)\n\
@@ -157,6 +174,59 @@ fn list() {
          faults (cluster):   none  jobfail:<pct>:<at_pct>:<retries>\n\
          \x20                   mtbf:<mtbf_ns>:<retries>  loss:…  jitter:…"
     );
+}
+
+/// `atlahs lint`: the workspace determinism audit (docs/DETERMINISM.md).
+/// Exits non-zero on any unannotated violation, stale or malformed
+/// `det-lint` annotation, or golden-hygiene failure.
+fn lint(args: &Args) {
+    let root = {
+        let explicit = args.get_str("root", "");
+        if explicit.is_empty() {
+            find_workspace_root()
+        } else {
+            std::path::PathBuf::from(explicit)
+        }
+    };
+    if !root.join("crates").is_dir() {
+        eprintln!("atlahs lint: `{}` is not the workspace root (no crates/)", root.display());
+        std::process::exit(2);
+    }
+    let report = match atlahs_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("atlahs lint: audit failed to read the workspace: {e}");
+            std::process::exit(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "atlahs lint: {} crates, {} files, {} allow annotations honoured, {} finding{}",
+        report.crates_scanned,
+        report.files_scanned,
+        report.annotations_used,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+    );
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
+/// Walk upward from the current directory to the workspace root.
+fn find_workspace_root() -> std::path::PathBuf {
+    let mut d = std::env::current_dir().expect("current dir");
+    loop {
+        if d.join("crates").is_dir() && d.join("ci.sh").is_file() {
+            return d;
+        }
+        if !d.pop() {
+            eprintln!("atlahs lint: no workspace root found above the current directory");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn split_list(s: &str) -> Vec<&str> {

@@ -27,6 +27,8 @@
 //! `"baseline"` and per-scenario `"speedup_vs_baseline"` ratios
 //! (baseline wall / current wall; >1 = faster now) are computed.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use atlahs_bench::args::Args;

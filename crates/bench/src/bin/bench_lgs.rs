@@ -33,6 +33,8 @@
 //! `"baseline"` and per-scenario `"speedup_vs_baseline"` ratios plus a
 //! `"bytes_per_task_reduction"` summary are computed.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use atlahs_bench::args::Args;

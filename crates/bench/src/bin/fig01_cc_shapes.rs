@@ -12,6 +12,8 @@
 //! — a consistent slowdown on total iteration time (paper: ~4%) that the
 //! microbenchmarks alone would never reveal.
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::runner;
 use atlahs_bench::table::Table;

@@ -14,6 +14,8 @@
 //! (every other run aborts with "src and dest have the same address") and
 //! overpredicts on those two; ATLAHS LGS simulates faster than AstraSim.
 
+#![forbid(unsafe_code)]
+
 use atlahs_baselines::{chakra, AstraSim, AstraSystemConfig};
 use atlahs_bench::args::Args;
 use atlahs_bench::runner::{self, timed};

@@ -9,6 +9,8 @@
 //! depending on the workload mix (compute-gap-dominated traces inflate
 //! the most, because every inferred gap becomes a fully-attributed node).
 
+#![forbid(unsafe_code)]
+
 use atlahs_baselines::chakra;
 use atlahs_bench::args::Args;
 use atlahs_bench::table::{fmt_bytes, Table};

@@ -11,6 +11,8 @@
 //! htsim stays flat; the non-overlapped-computation share is high
 //! (57–93%) for these MPI+OpenMP codes.
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::runner;
 use atlahs_bench::table::{fmt_pct, pct_err, Table};

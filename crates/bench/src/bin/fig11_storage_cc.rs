@@ -23,6 +23,8 @@
 //! max +77% over MPRDMA — because receiver-driven control cannot see
 //! congestion in the core.
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
     storage_layout, BackendSpec, FaultSpec, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,

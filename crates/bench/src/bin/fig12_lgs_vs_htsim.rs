@@ -21,6 +21,8 @@
 //! cannot see the thinner core) diverges by >100% while htsim reports
 //! massive core drops.
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
     BackendSpec, FaultSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,

@@ -15,6 +15,8 @@
 //! (~+36%) because its DP rings start crossing the oversubscribed core,
 //! while compute-bound LULESH barely moves (~+2%).
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::scenario::{
     BackendSpec, FaultSpec, LlmPreset, PlacementSpec, ScenarioCell, TopologySpec, WorkloadSpec,

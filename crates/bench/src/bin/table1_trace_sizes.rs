@@ -12,6 +12,8 @@
 //! collectives decompose into many sends, shrinks when verbose trace
 //! records collapse into single vertices).
 
+#![forbid(unsafe_code)]
+
 use atlahs_bench::args::Args;
 use atlahs_bench::table::{fmt_bytes, Table};
 use atlahs_bench::workloads::{self, HpcApp, HpcCase};

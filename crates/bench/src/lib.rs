@@ -29,6 +29,8 @@
 //! crossovers sit — is the reproduction target recorded in
 //! EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod branch;
 pub mod cluster;

@@ -35,6 +35,8 @@
 //! assert_eq!(goal.num_ranks(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod mpi;
 pub mod nccl;
 
@@ -55,6 +57,7 @@ pub struct CollParams {
     /// Compute stream the collective's tasks run on.
     pub stream: Stream,
     /// Cost of reducing one byte, in nanoseconds (used for allreduce/reduce).
+    // det-lint: allow(float) — reduction cost parameter, folded to integer ns via fixed-order ops
     pub reduce_ns_per_byte: f64,
     /// Segment size for pipelined algorithms; 0 disables segmentation.
     pub seg_bytes: u64,
@@ -63,6 +66,7 @@ pub struct CollParams {
 impl Default for CollParams {
     fn default() -> Self {
         // ~20 GB/s reduction rate, 64 KiB segments.
+        // det-lint: allow(float) — reduction cost parameter, folded to integer ns via fixed-order ops
         CollParams { stream: 0, reduce_ns_per_byte: 0.05, seg_bytes: 64 * 1024 }
     }
 }
@@ -74,6 +78,7 @@ impl CollParams {
     }
 
     pub(crate) fn reduce_cost(&self, bytes: u64) -> u64 {
+        // det-lint: allow(float) — reduction cost parameter, folded to integer ns via fixed-order ops
         (bytes as f64 * self.reduce_ns_per_byte) as u64
     }
 }

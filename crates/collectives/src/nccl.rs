@@ -69,6 +69,7 @@ pub struct NcclConfig {
     /// Chunk size; 0 selects the protocol default.
     pub chunk_bytes: u64,
     /// Reduction cost (ns per byte) charged on the receiving GPU.
+    // det-lint: allow(float) — protocol cost parameter, folded to integer ns via fixed-order ops
     pub reduce_ns_per_byte: f64,
     /// Kernel launch overhead charged once per collective per rank.
     pub launch_ns: u64,
@@ -83,6 +84,7 @@ impl Default for NcclConfig {
             protocol: NcclProtocol::Simple,
             algorithm: NcclAlgo::Ring,
             chunk_bytes: 0,
+            // det-lint: allow(float) — protocol cost parameter, folded to integer ns via fixed-order ops
             reduce_ns_per_byte: 0.01,
             launch_ns: 1_500,
             stream: 0,
@@ -100,6 +102,7 @@ impl NcclConfig {
     }
 
     fn reduce_cost(&self, bytes: u64) -> u64 {
+        // det-lint: allow(float) — protocol cost parameter, folded to integer ns via fixed-order ops
         (bytes as f64 * self.reduce_ns_per_byte) as u64
     }
 }

@@ -35,6 +35,7 @@ enum Ev {
 #[derive(Debug)]
 pub struct IdealBackend {
     /// Bytes per nanosecond.
+    // det-lint: allow(float) — ideal-backend Gbps parameter; fixed-order IEEE-754 ops, bit-stable
     bandwidth: f64,
     /// One-way latency in nanoseconds.
     latency: Time,
@@ -47,7 +48,9 @@ pub struct IdealBackend {
 
 impl IdealBackend {
     /// `bandwidth` in bytes/ns (e.g. `25.0` for 25 GB/s), `latency` in ns.
+    // det-lint: allow(float) — ideal-backend Gbps parameter; fixed-order IEEE-754 ops, bit-stable
     pub fn new(bandwidth: f64, latency: Time) -> Self {
+        // det-lint: allow(float) — ideal-backend Gbps parameter; fixed-order IEEE-754 ops, bit-stable
         assert!(bandwidth > 0.0, "bandwidth must be positive");
         IdealBackend {
             bandwidth,
@@ -63,6 +66,7 @@ impl IdealBackend {
     }
 
     fn tx_time(&self, bytes: u64) -> Time {
+        // det-lint: allow(float) — ideal-backend Gbps parameter; fixed-order IEEE-754 ops, bit-stable
         (bytes as f64 / self.bandwidth).round() as Time
     }
 }

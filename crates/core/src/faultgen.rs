@@ -224,9 +224,9 @@ pub struct ChurnEvent {
 /// `down`, and every `down` must be closed by an `up` (finite windows
 /// are what guarantee recovery).
 pub fn validate_churn(events: &[ChurnEvent]) -> Result<(), String> {
-    use std::collections::HashMap;
-    let mut open: HashMap<u32, u64> = HashMap::new();
-    let mut last: HashMap<u32, u64> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut open: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut last: BTreeMap<u32, u64> = BTreeMap::new();
     for e in events {
         if let Some(&t) = last.get(&e.domain) {
             if e.t_ns <= t {
@@ -256,7 +256,9 @@ pub fn validate_churn(events: &[ChurnEvent]) -> Result<(), String> {
             }
         }
     }
-    if let Some((&d, _)) = open.iter().min_by_key(|(&d, _)| d) {
+    // BTreeMap iterates in key order, so the lowest offending domain is
+    // reported without an explicit min scan.
+    if let Some((&d, _)) = open.iter().next() {
         return Err(format!(
             "churn trace: domain {d} is left down at end of trace (every down needs an up)"
         ));
@@ -564,6 +566,18 @@ mod tests {
         assert!(parse_churn_trace("100 0 sideways").unwrap_err().contains("down"));
         assert!(parse_churn_inline("5;0;d").unwrap_err().contains("left down"));
         assert!(parse_churn_inline("banana").unwrap_err().contains("expected"));
+    }
+
+    #[test]
+    fn churn_validation_error_names_lowest_open_domain() {
+        // With several domains left down, the error must always name the
+        // lowest-numbered one — error text is part of the deterministic
+        // surface (the map behind it iterates in key order).
+        let trace = "100 7 down\n200 3 down\n300 5 down\n";
+        for _ in 0..4 {
+            let err = parse_churn_trace(trace).unwrap_err();
+            assert!(err.contains("domain 3 is left down"), "{err}");
+        }
     }
 
     /// Trace files arrive from other tooling: Windows CRLF endings,

@@ -33,6 +33,8 @@
 //! assert!(report.makespan > 1_000);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod backends;
 pub mod faultgen;

@@ -108,10 +108,13 @@ pub struct FragStats {
 impl FragStats {
     /// Fragmentation index in `[0, 1]`: `1 - largest_extent / free`
     /// (0 when the free set is one contiguous run or empty).
+    // det-lint: allow(float) — fragmentation diagnostic ratio, reporting only
     pub fn index(&self) -> f64 {
         if self.free == 0 {
+            // det-lint: allow(float) — fragmentation diagnostic ratio, reporting only
             0.0
         } else {
+            // det-lint: allow(float) — fragmentation diagnostic ratio, reporting only
             1.0 - self.largest_extent as f64 / self.free as f64
         }
     }

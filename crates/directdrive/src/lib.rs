@@ -26,6 +26,8 @@
 //! Each component's operations share its compute stream, so service times
 //! queue like a single-threaded server while network waits overlap.
 
+#![forbid(unsafe_code)]
+
 use atlahs_goal::{GoalBuilder, Rank, TaskId};
 use atlahs_tracers::storage::SpcTrace;
 
@@ -73,9 +75,11 @@ pub struct ServiceParams {
     pub ccs_lookup_ns: u64,
     /// BSS media read: base + per-byte (ns).
     pub bss_read_base_ns: u64,
+    // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
     pub bss_read_per_byte: f64,
     /// BSS media write: base + per-byte (ns).
     pub bss_write_base_ns: u64,
+    // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
     pub bss_write_per_byte: f64,
     /// Control message sizes (bytes).
     pub req_bytes: u64,
@@ -92,8 +96,10 @@ impl Default for ServiceParams {
         ServiceParams {
             ccs_lookup_ns: 2_000,
             bss_read_base_ns: 15_000,
+            // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
             bss_read_per_byte: 0.05,
             bss_write_base_ns: 20_000,
+            // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
             bss_write_per_byte: 0.05,
             req_bytes: 256,
             resp_bytes: 128,
@@ -168,6 +174,7 @@ pub fn trace_to_goal(
             // Primary persists and fans out to secondaries concurrently.
             let w_prim = b.calc(
                 primary,
+                // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
                 params.bss_write_base_ns + (rec.bytes as f64 * params.bss_write_per_byte) as u64,
             );
             b.requires(primary, w_prim, r_data);
@@ -180,6 +187,7 @@ pub fn trace_to_goal(
                 let w_sec = b.calc(
                     sec,
                     params.bss_write_base_ns
+                        // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
                         + (rec.bytes as f64 * params.bss_write_per_byte) as u64,
                 );
                 b.requires(sec, w_sec, r_rep);
@@ -204,6 +212,7 @@ pub fn trace_to_goal(
             let r_rreq = b.recv(primary, client, params.req_bytes, tag);
             let media = b.calc(
                 primary,
+                // det-lint: allow(float) — per-byte cost parameter, one fixed-order multiply then integer cast
                 params.bss_read_base_ns + (rec.bytes as f64 * params.bss_read_per_byte) as u64,
             );
             b.requires(primary, media, r_rreq);

@@ -38,6 +38,8 @@
 //! on time moving only forward: `push(t, _)` requires `t >= now`, where
 //! `now` is the timestamp of the most recently popped event.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BinaryHeap, VecDeque};
 
 pub mod hash;

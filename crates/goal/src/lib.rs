@@ -48,6 +48,8 @@
 //! assert_eq!(goal.rank(0).num_tasks(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod binary;
 pub mod builder;
 pub mod error;

@@ -57,12 +57,14 @@ pub struct SimpleCostModel {
     /// Wire latency added to a message path (charged on the recv side).
     pub latency: u64,
     /// Per-byte cost charged to the sender.
+    // det-lint: allow(float) — analytic LogGP estimate, reporting aid only — never feeds simulated time
     pub gap_per_byte: f64,
 }
 
 impl Default for SimpleCostModel {
     fn default() -> Self {
         // Loosely the paper's AI parameters: o=200ns, L=3700ns, G=0.04ns/B.
+        // det-lint: allow(float) — analytic LogGP estimate, reporting aid only — never feeds simulated time
         SimpleCostModel { o: 200, latency: 3700, gap_per_byte: 0.04 }
     }
 }
@@ -72,6 +74,7 @@ impl SimpleCostModel {
     pub fn task_cost(&self, kind: &TaskKind) -> u64 {
         match *kind {
             TaskKind::Calc { cost } => cost,
+            // det-lint: allow(float) — analytic LogGP estimate, reporting aid only — never feeds simulated time
             TaskKind::Send { bytes, .. } => self.o + (bytes as f64 * self.gap_per_byte) as u64,
             TaskKind::Recv { .. } => self.o + self.latency,
         }
@@ -116,11 +119,14 @@ pub fn dag_levels(sched: &RankSchedule) -> Option<Vec<u32>> {
 
 /// Check that every send in the schedule has a matching recv (same pair of
 /// ranks, same tag, same size) and vice versa. Returns the number of matched
-/// pairs, or an error message describing the first imbalance.
+/// pairs, or an error message describing the imbalance with the smallest
+/// `(src, dst, tag, bytes)` key — the ordered map makes the reported error a
+/// pure function of the schedule (a default-hashed map used to surface an
+/// arbitrary imbalance per process).
 pub fn check_matching(goal: &GoalSchedule) -> Result<usize, String> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
     // key: (src, dst, tag, bytes) -> count (sends positive, recvs negative)
-    let mut pending: HashMap<(u32, u32, u32, u64), i64> = HashMap::new();
+    let mut pending: BTreeMap<(u32, u32, u32, u64), i64> = BTreeMap::new();
     let mut pairs = 0usize;
     for (r, sched) in goal.ranks().iter().enumerate() {
         for t in sched.tasks() {
@@ -238,6 +244,21 @@ mod tests {
         b.send(0, 1, 8, 0);
         let g = b.build().unwrap();
         assert!(check_matching(&g).is_err());
+    }
+
+    #[test]
+    fn matching_error_is_deterministic() {
+        // Two independent imbalances: the report must always name the one
+        // with the smallest (src, dst, tag, bytes) key, not whichever a
+        // hashed map happens to yield first.
+        let mut b = GoalBuilder::new(3);
+        b.send(2, 1, 64, 9);
+        b.send(0, 1, 8, 5);
+        let g = b.build().unwrap();
+        for _ in 0..4 {
+            let err = check_matching(&g).unwrap_err();
+            assert_eq!(err, "unmatched send(s): 0->1 tag 5 (8 B), imbalance 1");
+        }
     }
 
     #[test]

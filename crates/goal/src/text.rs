@@ -24,7 +24,7 @@
 //! * `tag N` sets the match tag (default 0),
 //! * `#` and `//` start comments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::error::GoalError;
@@ -151,7 +151,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_rank_block(&mut self, rank: Rank) -> Result<RankSchedule, GoalError> {
-        let mut labels: HashMap<&'a str, TaskId> = HashMap::new();
+        let mut labels: BTreeMap<&'a str, TaskId> = BTreeMap::new();
         let mut tasks: Vec<Task> = Vec::new();
         let mut deps: Vec<(TaskId, TaskId, DepKind)> = Vec::new();
 
@@ -357,6 +357,15 @@ rank 1 {
         let text = to_text(&goal);
         let goal2 = parse(&text).unwrap();
         assert_eq!(goal, goal2);
+    }
+
+    #[test]
+    fn parse_is_byte_stable_across_runs() {
+        // The parser's label table must not leak any map-layout effects
+        // into the schedule: two parses encode to identical bytes.
+        let a = crate::binary::encode(&parse(FIG3).unwrap());
+        let b = crate::binary::encode(&parse(FIG3).unwrap());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -26,10 +26,13 @@ use crate::task::{Rank, Task, TaskKind};
 /// assert_eq!(faster.rank(0).task(atlahs_goal::TaskId(0)).kind,
 ///            atlahs_goal::TaskKind::Calc { cost: 500 });
 /// ```
+// det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
 pub fn scale_calcs(goal: &GoalSchedule, factor: f64) -> GoalSchedule {
+    // det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
     assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite and non-negative");
     map_tasks(goal, |t| match t.kind {
         TaskKind::Calc { cost } => Task {
+            // det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
             kind: TaskKind::Calc { cost: (cost as f64 * factor).round() as u64 },
             stream: t.stream,
         },
@@ -39,8 +42,11 @@ pub fn scale_calcs(goal: &GoalSchedule, factor: f64) -> GoalSchedule {
 
 /// Scale every message size by `factor` (e.g. to model a precision change
 /// from fp32 to bf16 gradients, or message aggregation).
+// det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
 pub fn scale_message_bytes(goal: &GoalSchedule, factor: f64) -> GoalSchedule {
+    // det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
     assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite and non-negative");
+    // det-lint: allow(float) — what-if scale factor applied once at transform time, fixed-order ops
     let scale = |b: u64| ((b as f64 * factor).round() as u64).max(1);
     map_tasks(goal, |t| match t.kind {
         TaskKind::Send { bytes, dst, tag } => {

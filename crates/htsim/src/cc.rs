@@ -45,12 +45,16 @@ impl std::fmt::Display for CcAlgo {
 #[derive(Debug, Clone)]
 pub struct CcState {
     pub algo: CcAlgo,
+    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
     pub cwnd: f64,
+    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
     mtu: f64,
+    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
     base_rtt: f64,
     /// Swift: earliest time the next multiplicative decrease may happen.
     next_decrease_at: u64,
     /// DCTCP: EWMA of the marked fraction and per-window counters.
+    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
     alpha: f64,
     window_acks: u32,
     window_marks: u32,
@@ -59,12 +63,16 @@ pub struct CcState {
 }
 
 /// Swift target-delay multiplier over the base RTT.
+// det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
 const SWIFT_TARGET_FACTOR: f64 = 1.5;
 /// Swift multiplicative-decrease aggressiveness.
+// det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
 const SWIFT_BETA: f64 = 0.8;
 /// Swift maximum decrease per event.
+// det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
 const SWIFT_MAX_MDF: f64 = 0.5;
 /// DCTCP EWMA gain.
+// det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
 const DCTCP_G: f64 = 1.0 / 16.0;
 
 impl CcState {
@@ -72,10 +80,14 @@ impl CcState {
     pub fn new(algo: CcAlgo, mtu: u32, base_rtt: u64, init_cwnd: u64) -> Self {
         CcState {
             algo,
+            // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
             cwnd: (init_cwnd.max(mtu as u64)) as f64,
+            // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
             mtu: mtu as f64,
+            // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
             base_rtt: base_rtt as f64,
             next_decrease_at: 0,
+            // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
             alpha: 0.0,
             window_acks: 0,
             window_marks: 0,
@@ -96,6 +108,7 @@ impl CcState {
             CcAlgo::Mprdma => {
                 if marked {
                     // Per-packet reaction: half an MTU per marked ACK.
+                    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                     self.cwnd -= self.mtu / 2.0;
                 } else {
                     // One MTU per RTT: mtu^2/cwnd per ACK.
@@ -104,11 +117,13 @@ impl CcState {
             }
             CcAlgo::Swift => {
                 let target = self.base_rtt * SWIFT_TARGET_FACTOR;
+                // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                 let delay = rtt as f64;
                 if delay <= target {
                     self.cwnd += self.mtu * self.mtu / self.cwnd;
                 } else if now >= self.next_decrease_at {
                     let excess = ((delay - target) / delay * SWIFT_BETA).min(SWIFT_MAX_MDF);
+                    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                     self.cwnd *= 1.0 - excess;
                     self.next_decrease_at = now + rtt;
                 }
@@ -122,11 +137,15 @@ impl CcState {
                     self.window_marks += 1;
                 }
                 // Close the observation window roughly once per cwnd of ACKs.
+                // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                 let per_window = (self.cwnd / self.mtu).max(1.0) as u64;
                 if self.acks_seen >= self.window_end_seq + per_window {
+                    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                     let f = self.window_marks as f64 / self.window_acks.max(1) as f64;
+                    // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                     self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * f;
                     if self.window_marks > 0 {
+                        // det-lint: allow(float) — fixed-order IEEE-754 cwnd/rate state, bit-stable; pinned by determinism goldens
                         self.cwnd *= 1.0 - self.alpha / 2.0;
                     }
                     self.window_acks = 0;

@@ -39,7 +39,9 @@ pub struct HtsimConfig {
     /// Per-port buffering capacity (paper: 1 MiB).
     pub queue_bytes: u64,
     /// ECN marking thresholds as fractions of `queue_bytes` (paper: 20%/80%).
+    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
     pub kmin_frac: f64,
+    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
     pub kmax_frac: f64,
     /// Host-side per-operation overhead (ns).
     pub host_o: u64,
@@ -73,7 +75,9 @@ impl HtsimConfig {
             cc,
             mtu: 4096,
             queue_bytes: 1 << 20,
+            // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
             kmin_frac: 0.2,
+            // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
             kmax_frac: 0.8,
             host_o: 200,
             seed: 1,
@@ -228,6 +232,7 @@ enum Ev {
 
 #[derive(Clone)]
 struct Port {
+    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
     rate: f64,
     latency: u64,
     to_host: Option<u32>,
@@ -417,10 +422,14 @@ impl HtsimBackend {
                     qbytes: 0,
                     in_service: None,
                     cap: self.cfg.queue_bytes,
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     kmin: (self.cfg.queue_bytes as f64 * self.cfg.kmin_frac) as u64,
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     kmax: (self.cfg.queue_bytes as f64 * self.cfg.kmax_frac) as u64,
                     wire_mtu,
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     tx_mtu: (wire_mtu as f64 / rate).ceil() as u64,
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     tx_hdr: (HDR_BYTES as f64 / rate).ceil() as u64,
                     down: false,
                     draws: 0,
@@ -502,7 +511,9 @@ impl HtsimBackend {
             if q >= port.kmax {
                 pkt.ecn = true;
             } else if q > port.kmin {
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 let p = (q - port.kmin) as f64 / (port.kmax - port.kmin).max(1) as f64;
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 if self.rng.random::<f64>() < p {
                     pkt.ecn = true;
                 }
@@ -547,6 +558,7 @@ impl HtsimBackend {
                 } else if pkt.wire == HDR_BYTES {
                     port.tx_hdr
                 } else {
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     (pkt.wire as f64 / port.rate).ceil() as u64
                 };
                 port.in_service = Some(pkt);
@@ -847,6 +859,7 @@ impl HtsimBackend {
                 }
                 // Pace at the receiver's edge-link rate.
                 let rate = self.ports[host as usize].rate;
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 let interval = ((self.cfg.mtu + HDR_BYTES) as f64 / rate).ceil() as u64;
                 self.push(self.now + interval, Ev::PullTick { host });
             }
@@ -888,13 +901,16 @@ impl HtsimBackend {
             FaultKind::Down => port.down = start,
             FaultKind::Degrade { bw_pct, lat_pct } => {
                 if start {
+                    // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                     port.rate = link.bytes_per_ns() * bw_pct.max(1) as f64 / 100.0;
                     port.latency = link.latency_ns * lat_pct as u64 / 100;
                 } else {
                     port.rate = link.bytes_per_ns();
                     port.latency = link.latency_ns;
                 }
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 port.tx_mtu = (port.wire_mtu as f64 / port.rate).ceil() as u64;
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 port.tx_hdr = (HDR_BYTES as f64 / port.rate).ceil() as u64;
             }
         }
@@ -1077,10 +1093,12 @@ impl HtsimBackend {
             let base_rtt =
                 self.topo.base_rtt(self.topo.path(path), self.topo.path(rpath), self.cfg.mtu);
             let host_rate = self.ports[op.rank as usize].rate;
+            // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
             let bdp = (base_rtt as f64 * host_rate) as u64;
             let rto = if self.cfg.rto_ns > 0 {
                 self.cfg.rto_ns
             } else {
+                // det-lint: allow(float) — fixed-order IEEE-754 rate/window math, bit-stable; pinned by determinism goldens
                 3 * base_rtt + (10.0 * mtu as f64 / host_rate) as u64
             };
             let cc = CcState::new(self.cfg.cc, self.cfg.mtu, base_rtt, bdp);

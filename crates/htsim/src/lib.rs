@@ -27,6 +27,8 @@
 //! assert!(report.makespan > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cc;
 pub mod engine;
 pub mod fault;

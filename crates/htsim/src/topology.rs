@@ -20,6 +20,7 @@ use atlahs_eventq::hash::FastBuildHasher;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Line rate in Gbit/s.
+    // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
     pub gbps: f64,
     /// Propagation latency in ns.
     pub latency_ns: u64,
@@ -27,7 +28,9 @@ pub struct LinkParams {
 
 impl LinkParams {
     /// Rate in bytes per nanosecond.
+    // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
     pub fn bytes_per_ns(&self) -> f64 {
+        // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
         self.gbps / 8.0
     }
 }
@@ -35,6 +38,7 @@ impl LinkParams {
 impl Default for LinkParams {
     fn default() -> Self {
         // 100 Gb/s, 500 ns per hop.
+        // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
         LinkParams { gbps: 100.0, latency_ns: 500 }
     }
 }
@@ -108,6 +112,7 @@ impl TopologyConfig {
             global_per_router,
             edge: LinkParams::default(),
             local: LinkParams::default(),
+            // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
             global: LinkParams { gbps: 100.0, latency_ns: 1_500 }, // long fibres
         }
     }
@@ -580,17 +585,21 @@ impl Topology {
     /// Base round-trip estimate for a path and its reverse: propagation plus
     /// one MTU serialization per forward hop and one header per reverse hop.
     pub fn base_rtt(&self, path: &[u32], rpath: &[u32], mtu: u32) -> u64 {
+        // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
         let fwd: f64 = path
             .iter()
             .map(|&p| {
                 let l = self.ports[p as usize].link;
+                // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
                 l.latency_ns as f64 + mtu as f64 / l.bytes_per_ns()
             })
             .sum();
+        // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
         let rev: f64 = rpath
             .iter()
             .map(|&p| {
                 let l = self.ports[p as usize].link;
+                // det-lint: allow(float) — link-rate Gbps parameter, folded to integer ns once at build time
                 l.latency_ns as f64 + 64.0 / l.bytes_per_ns()
             })
             .sum();

@@ -33,6 +33,8 @@
 //! The paper's parameters: AI (Alps): `L=3700, o=200, g=5, G=0.04, O=0, S=0`;
 //! HPC test-bed: `L=3000, o=6000, g=0, G=0.18, O=0, S=256000`.
 
+#![forbid(unsafe_code)]
+
 use atlahs_core::matcher::MatchKey;
 use atlahs_core::{Backend, Completion, Matcher, OpRef, Snapshot, Time};
 use atlahs_eventq::EventQueue;
@@ -48,8 +50,10 @@ pub struct LogGopsParams {
     /// Inter-message NIC gap (ns).
     pub g: u64,
     /// Per-byte NIC gap (ns/byte) — `G`.
+    // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
     pub big_g: f64,
     /// Per-byte CPU overhead (ns/byte) — `O`.
+    // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
     pub big_o: f64,
     /// Rendezvous threshold (bytes) — `S`; 0 disables rendezvous.
     pub s: u64,
@@ -58,11 +62,13 @@ pub struct LogGopsParams {
 impl LogGopsParams {
     /// The paper's AI validation parameters (Alps, §5.2).
     pub fn ai_alps() -> Self {
+        // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
         LogGopsParams { l: 3700, o: 200, g: 5, big_g: 0.04, big_o: 0.0, s: 0 }
     }
 
     /// The paper's HPC validation parameters (§5.3).
     pub fn hpc_testbed() -> Self {
+        // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
         LogGopsParams { l: 3000, o: 6000, g: 0, big_g: 0.18, big_o: 0.0, s: 256_000 }
     }
 
@@ -70,18 +76,22 @@ impl LogGopsParams {
     fn cpu_cost(&self, bytes: u64) -> u64 {
         // `O = 0` in both of the paper's calibrations: skip the f64
         // round-trip on that hot path (identical result — 0.0 rounds to 0).
+        // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
         if self.big_o == 0.0 {
             self.o
         } else {
+            // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
             self.o + (bytes as f64 * self.big_o).round() as u64
         }
     }
 
     #[inline]
     fn nic_cost(&self, bytes: u64) -> u64 {
+        // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
         if self.big_g == 0.0 {
             self.g
         } else {
+            // det-lint: allow(float) — LogGOPS paper parameter; fixed-order IEEE-754 ops, bit-stable
             self.g + (bytes as f64 * self.big_g).round() as u64
         }
     }

@@ -1,0 +1,149 @@
+//! The `det-lint` annotation grammar.
+//!
+//! A legitimate violation of a determinism rule is exempted *in place*,
+//! with a recorded justification, by a line comment:
+//!
+//! ```text
+//! // det-lint: allow(float) — IEEE-754 mul with fixed operand order
+//! let ns = (bytes as f64 * self.gap_per_byte) as u64;
+//! ```
+//!
+//! Forms:
+//! * **Standalone** — the comment is alone on its line and covers the
+//!   next line that contains code.
+//! * **Trailing** — the comment follows code and covers its own line.
+//!
+//! `allow(...)` takes one or more comma-separated rule names (see
+//! [`crate::policy::Rule`]). The reason after the `—` (a plain `-` or
+//! `--` is also accepted) is mandatory: an allow without a recorded
+//! justification is itself a finding. An allow that no longer
+//! suppresses anything is a **stale annotation** finding, so exemptions
+//! cannot outlive the code they excused.
+
+use crate::lexer::CommentLine;
+use crate::policy::Rule;
+
+/// A parsed `det-lint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// Line the comment sits on (1-indexed).
+    pub line: u32,
+    /// Line of code the annotation covers.
+    pub target_line: u32,
+    pub rules: Vec<Rule>,
+    pub reason: String,
+}
+
+/// Outcome of parsing one captured comment.
+pub enum Parsed {
+    /// A well-formed annotation (target line not yet resolved for
+    /// standalone comments — the caller fixes it up against the token
+    /// stream).
+    Ok(Annotation),
+    /// Mentions `det-lint` but is malformed; the string explains why.
+    Malformed(String),
+}
+
+/// Parse a captured comment. The caller guarantees `c.text` contains
+/// `det-lint`.
+pub fn parse(c: &CommentLine) -> Parsed {
+    let text = c.text.trim();
+    let Some(rest) = text.strip_prefix("det-lint:") else {
+        return Parsed::Malformed(
+            "det-lint comment must start with `det-lint: allow(<rule>) — <reason>`".into(),
+        );
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Parsed::Malformed("det-lint directive must be `allow(<rule>[, <rule>])`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Parsed::Malformed("missing `(` after `allow`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Parsed::Malformed("missing `)` in `allow(...)`".into());
+    };
+    let (rule_list, tail) = rest.split_at(close);
+    let mut rules = Vec::new();
+    for name in rule_list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Parsed::Malformed("empty rule name in `allow(...)`".into());
+        }
+        match Rule::parse(name) {
+            Some(r) => rules.push(r),
+            None => return Parsed::Malformed(format!("unknown rule `{name}` in `allow(...)`")),
+        }
+    }
+    if rules.is_empty() {
+        return Parsed::Malformed("`allow(...)` lists no rules".into());
+    }
+    // Reason: everything after the separator (— , -, or --).
+    let tail = tail[1..].trim_start(); // past ')'
+    let reason = tail
+        .strip_prefix('\u{2014}')
+        .or_else(|| tail.strip_prefix("--"))
+        .or_else(|| tail.strip_prefix('-'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Parsed::Malformed(
+            "annotation needs a justification: `allow(<rule>) — <reason>`".into(),
+        );
+    }
+    Parsed::Ok(Annotation {
+        line: c.line,
+        target_line: c.line, // standalone targets fixed up by the caller
+        rules,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> CommentLine {
+        CommentLine { line: 7, text: text.to_string(), trailing: false }
+    }
+
+    #[test]
+    fn parses_the_canonical_form() {
+        let Parsed::Ok(a) = parse(&comment(" det-lint: allow(float) — fixed operand order"))
+        else {
+            panic!("should parse");
+        };
+        assert_eq!(a.rules, vec![Rule::Float]);
+        assert_eq!(a.reason, "fixed operand order");
+    }
+
+    #[test]
+    fn parses_multiple_rules_and_ascii_dashes() {
+        let Parsed::Ok(a) = parse(&comment("det-lint: allow(float, hash-iter) -- both fine"))
+        else {
+            panic!("should parse");
+        };
+        assert_eq!(a.rules, vec![Rule::Float, Rule::HashIter]);
+        let Parsed::Ok(b) = parse(&comment("det-lint: allow(unsafe) - short dash")) else {
+            panic!("should parse");
+        };
+        assert_eq!(b.rules, vec![Rule::UnsafeBlock]);
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        assert!(matches!(parse(&comment("det-lint: allow(float)")), Parsed::Malformed(_)));
+        assert!(matches!(parse(&comment("det-lint: allow(float) — ")), Parsed::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_rule_and_bad_shape() {
+        assert!(matches!(
+            parse(&comment("det-lint: allow(floaty) — reason")),
+            Parsed::Malformed(_)
+        ));
+        assert!(matches!(parse(&comment("det-lint: deny(float) — r")), Parsed::Malformed(_)));
+        assert!(matches!(parse(&comment("see det-lint docs")), Parsed::Malformed(_)));
+    }
+}

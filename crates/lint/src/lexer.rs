@@ -1,0 +1,413 @@
+//! A lightweight Rust lexer for the determinism audit.
+//!
+//! Full parsing is deliberately out of scope (the workspace builds
+//! offline, so `syn` is not available, and the audit rules are lexical
+//! anyway). The lexer's one job is to produce a token stream with
+//! accurate line numbers in which **comments, string literals, char
+//! literals, and lifetimes can never masquerade as code**: a `HashMap`
+//! inside a doc comment or a `"f64"` inside a string must not trigger a
+//! rule. Line comments are captured separately so the annotation layer
+//! (`annotations.rs`) can find `det-lint:` directives.
+
+/// Token classification. Only the distinctions the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `f64`, …).
+    Ident,
+    /// Integer literal (including its suffix, e.g. `42u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `3f64`, `1.`).
+    Float,
+    /// Punctuation. Multi-char operators that matter for bracket
+    /// matching (`->`, `=>`, `::`) are emitted as one token.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub text: String,
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// A captured `//` comment (only those mentioning `det-lint` are kept).
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Comment body after the `//` (or `///` / `//!`) marker.
+    pub text: String,
+    /// True when code tokens precede the comment on the same line.
+    pub trailing: bool,
+}
+
+/// Lexer output: the code token stream plus `det-lint` comments.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<CommentLine>,
+}
+
+/// Lex `src`, stripping comments and all literal forms.
+pub fn lex(src: &str) -> LexOut {
+    Lexer { b: src.as_bytes(), i: 0, line: 1, line_of_last_tok: 0, out: LexOut::default() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    /// Line number of the most recently emitted token (0 = none yet).
+    line_of_last_tok: u32,
+    out: LexOut,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> LexOut {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, k: usize) -> Option<u8> {
+        self.b.get(self.i + k).copied()
+    }
+
+    fn emit(&mut self, text: String, kind: TokKind) {
+        self.line_of_last_tok = self.line;
+        self.out.tokens.push(Token { text, line: self.line, kind });
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let trailing = self.line_of_last_tok == self.line;
+        let from = self.i + 2;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let body = String::from_utf8_lossy(&self.b[from..self.i]).into_owned();
+        if body.contains("det-lint") {
+            self.out.comments.push(CommentLine { line: start_line, text: body, trailing });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match (self.b[self.i], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        // Plain (possibly multi-line) string with escapes.
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    fn raw_string(&mut self) {
+        // At `r` (or after `b`); consume `r#*"..."#*`.
+        self.i += 1; // past 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // past opening quote
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.i += 1 + hashes;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self) {
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: consume to the closing quote.
+            self.i += 2; // past `'\`
+            self.i += 1; // past the escape head (n, u, x, ', \, …)
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+        } else if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') {
+            self.i += 3; // simple char literal 'x'
+        } else {
+            // Lifetime: consume the tick and the identifier.
+            self.i += 1;
+            while self.i < self.b.len()
+                && (self.b[self.i] == b'_' || self.b[self.i].is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let from = self.i;
+        let mut is_float = false;
+        if self.b[self.i] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            // Radix literal: digits (hex e/E included) + suffix; never float.
+            self.i += 2;
+            while self.i < self.b.len()
+                && (self.b[self.i] == b'_' || self.b[self.i].is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+        } else {
+            while self.i < self.b.len()
+                && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+            {
+                self.i += 1;
+            }
+            // Fractional part: `1.5`, or trailing-dot float `1.` — but not
+            // `1..2` (range) and not `1.max()` (method on an integer).
+            if self.peek(0) == Some(b'.') {
+                let after = self.peek(1);
+                let is_frac = match after {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'.') => false,
+                    Some(c) if c == b'_' || c.is_ascii_alphabetic() => false,
+                    _ => true, // `1.` followed by `)`, `;`, space, EOF…
+                };
+                if is_frac {
+                    is_float = true;
+                    self.i += 1;
+                    while self.i < self.b.len()
+                        && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let (sign, digit) = (self.peek(1), self.peek(2));
+                let exp = match sign {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some(b'+' | b'-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if exp {
+                    is_float = true;
+                    self.i += 2;
+                    while self.i < self.b.len()
+                        && (self.b[self.i].is_ascii_digit() || self.b[self.i] == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+            }
+            // Suffix (`u64`, `f32`, …). A float suffix forces Float.
+            let sfrom = self.i;
+            while self.i < self.b.len()
+                && (self.b[self.i] == b'_' || self.b[self.i].is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+            let suffix = &self.b[sfrom..self.i];
+            if suffix == b"f32" || suffix == b"f64" {
+                is_float = true;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[from..self.i]).into_owned();
+        self.emit(text, if is_float { TokKind::Float } else { TokKind::Int });
+    }
+
+    fn ident(&mut self) {
+        let from = self.i;
+        while self.i < self.b.len()
+            && (self.b[self.i] == b'_' || self.b[self.i].is_ascii_alphanumeric())
+        {
+            self.i += 1;
+        }
+        let text = &self.b[from..self.i];
+        // String-literal prefixes and raw identifiers.
+        match text {
+            b"r" | b"br" | b"b" | b"rb" => {
+                if self.peek(0) == Some(b'"') || (text != b"b" && self.peek(0) == Some(b'#')) {
+                    if text == b"b" {
+                        self.string_literal();
+                        return;
+                    }
+                    // Raw identifier `r#name` (not a raw string).
+                    if self.peek(0) == Some(b'#')
+                        && matches!(self.peek(1), Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                    {
+                        self.i += 1; // past '#'
+                        let f2 = self.i;
+                        while self.i < self.b.len()
+                            && (self.b[self.i] == b'_' || self.b[self.i].is_ascii_alphanumeric())
+                        {
+                            self.i += 1;
+                        }
+                        let t = String::from_utf8_lossy(&self.b[f2..self.i]).into_owned();
+                        self.emit(t, TokKind::Ident);
+                        return;
+                    }
+                    self.raw_string();
+                    return;
+                }
+                if text == b"b" && self.peek(0) == Some(b'\'') {
+                    self.quote();
+                    return;
+                }
+            }
+            _ => {}
+        }
+        let t = String::from_utf8_lossy(text).into_owned();
+        self.emit(t, TokKind::Ident);
+    }
+
+    fn punct(&mut self) {
+        let c = self.b[self.i] as char;
+        let two = match (self.b[self.i], self.peek(1)) {
+            (b'-', Some(b'>')) => Some("->"),
+            (b'=', Some(b'>')) => Some("=>"),
+            (b':', Some(b':')) => Some("::"),
+            _ => None,
+        };
+        if let Some(t) = two {
+            self.i += 2;
+            self.emit(t.to_string(), TokKind::Punct);
+        } else {
+            self.i += 1;
+            self.emit(c.to_string(), TokKind::Punct);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let out = lex("let x = \"HashMap f64\"; // HashMap here too\n/* f64 */ let y = 1;");
+        let ts = out.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>();
+        assert!(!ts.contains(&"HashMap"));
+        assert!(!ts.contains(&"f64"));
+        assert!(ts.contains(&"y"));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let out = lex("a(1.0, 2, 0..10, 3e9, 0xE0, 1f64, 7u64, x.0, 4.)");
+        let floats: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "3e9", "1f64", "4."]);
+    }
+
+    #[test]
+    fn integer_method_call_is_not_float() {
+        let out = lex("1.max(2)");
+        assert_eq!(out.tokens[0].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals() {
+        let ts = texts("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(!ts.contains(&"x'".to_string()));
+        assert!(ts.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ts = texts("let a = r\"f64\"; let b = r#\"HashMap \"quoted\" f32\"#; let r#type = 1;");
+        assert!(!ts.contains(&"f64".to_string()));
+        assert!(!ts.contains(&"HashMap".to_string()));
+        assert!(ts.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_constructs() {
+        let out = lex("let s = \"a\nb\"; /* c\nd */\nlet z = 9;");
+        let z = out.tokens.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 4);
+    }
+
+    #[test]
+    fn det_lint_comments_captured_with_trailing_flag() {
+        let out = lex("let x = 1; // det-lint: allow(float) — reason\n// det-lint: allow(unsafe) — r\nlet y = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].trailing);
+        assert!(!out.comments[1].trailing);
+    }
+
+    #[test]
+    fn arrow_and_pathsep_are_single_tokens() {
+        let ts = texts("fn f() -> u64 { a::b => 1 }");
+        assert!(ts.contains(&"->".to_string()));
+        assert!(ts.contains(&"::".to_string()));
+        assert!(ts.contains(&"=>".to_string()));
+    }
+}

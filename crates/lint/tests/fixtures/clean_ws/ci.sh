@@ -1,0 +1,4 @@
+#!/usr/bin/env bash
+# Minimal gate for the clean fixture workspace.
+set -euo pipefail
+diff out.json tests/goldens/pin.json

@@ -1,0 +1,4 @@
+// Pass: every draw comes from an explicitly seeded stream.
+pub fn draw(rng: &mut SmallRng) -> u64 {
+    rng.gen()
+}

@@ -1,0 +1,4 @@
+// Trigger: thread-local OS-seeded randomness.
+pub fn draw() -> u64 {
+    thread_rng().gen()
+}

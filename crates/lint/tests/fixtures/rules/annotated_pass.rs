@@ -1,0 +1,5 @@
+// Pass: an intentional float carrying a recorded justification.
+pub fn gbps_to_bytes_per_ns(gbps: u64) -> u64 {
+    // det-lint: allow(float) — config-time unit fold, fixed operand order
+    ((gbps as f64 / 8.0) * 4294967296.0) as u64
+}

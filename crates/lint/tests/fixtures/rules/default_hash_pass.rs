@@ -1,0 +1,5 @@
+// Pass: the hasher is named, so bucket layout is a pure function of it.
+use std::collections::HashMap;
+pub fn build(h: FastBuildHasher) -> HashMap<u32, u32, FastBuildHasher> {
+    HashMap::with_hasher(h)
+}

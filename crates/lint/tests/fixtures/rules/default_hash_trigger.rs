@@ -1,0 +1,5 @@
+// Trigger: HashMap with the default RandomState hasher.
+use std::collections::HashMap;
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

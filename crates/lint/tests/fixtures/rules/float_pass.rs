@@ -1,0 +1,4 @@
+// Pass: Q32 fixed-point, the house arithmetic.
+pub fn serialization_ns(bytes: u64, gap_q32: u64) -> u64 {
+    (bytes * gap_q32) >> 32
+}

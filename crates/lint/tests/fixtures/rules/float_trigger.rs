@@ -1,0 +1,4 @@
+// Trigger: float type and literal in a result-affecting crate.
+pub fn serialization_ns(bytes: u64) -> u64 {
+    (bytes as f64 * 0.04) as u64
+}

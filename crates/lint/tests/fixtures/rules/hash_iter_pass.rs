@@ -1,0 +1,10 @@
+// Pass: lookups on a hash map are fine; iteration happens on the BTreeMap.
+pub fn sum(h: FastBuildHasher) -> u64 {
+    let m: HashMap<u32, u64, FastBuildHasher> = HashMap::with_hasher(h);
+    let ordered: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut total = *m.get(&1).unwrap_or(&0);
+    for (_k, v) in &ordered {
+        total += v;
+    }
+    total
+}

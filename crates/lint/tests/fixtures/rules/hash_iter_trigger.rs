@@ -1,0 +1,10 @@
+// Trigger: iteration order over a hash map reflects bucket layout even
+// with a deterministic hasher (layout can move across std versions).
+pub fn sum(h: FastBuildHasher) -> u64 {
+    let m: HashMap<u32, u64, FastBuildHasher> = HashMap::with_hasher(h);
+    let mut total = 0;
+    for (_k, v) in &m {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,5 @@
+// Trigger: the allow below suppresses nothing and must be reported.
+pub fn add(a: u64, b: u64) -> u64 {
+    // det-lint: allow(float) — left behind after a Q32 conversion
+    a + b
+}

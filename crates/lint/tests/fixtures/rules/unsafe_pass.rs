@@ -1,0 +1,4 @@
+// Pass: safe indexing.
+pub fn read(v: &[u64], i: usize) -> u64 {
+    v[i]
+}

@@ -1,0 +1,4 @@
+// Trigger: unsafe is banned outright in result-affecting crates.
+pub fn read(p: *const u64) -> u64 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// Pass: simulated time is threaded through explicitly.
+pub fn stamp(now_ns: u64) -> u64 {
+    now_ns
+}

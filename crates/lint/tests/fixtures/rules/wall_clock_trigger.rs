@@ -1,0 +1,4 @@
+// Trigger: wall-clock reads make results a function of the host.
+pub fn stamp() -> std::time::Instant {
+    Instant::now()
+}

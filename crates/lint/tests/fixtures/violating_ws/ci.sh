@@ -1,0 +1,6 @@
+#!/usr/bin/env bash
+# Gate referencing one valid golden, one broken one, and one that is gone.
+set -euo pipefail
+diff out.json tests/goldens/pin.json
+diff broken.json tests/goldens/broken.json
+diff gone.json tests/goldens/missing.json

@@ -1,0 +1,8 @@
+//! A result-affecting crate with a seeded determinism violation.
+
+#![forbid(unsafe_code)]
+
+/// The float below must fail the audit.
+pub fn makespan(a: u64) -> u64 {
+    (a as f64 * 1.5) as u64
+}

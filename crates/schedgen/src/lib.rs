@@ -14,6 +14,8 @@
 //! * [`synthetic`] — the microbenchmarks networking papers usually rely on
 //!   (incast, permutation, uniform, ring), for the Fig. 1C comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod mpi2goal;
 pub mod nccl2goal;
 pub mod storage2goal;

@@ -18,9 +18,10 @@
 //!   preserving the data flow. Passing a different `gpus_per_node`
 //!   restructures the job for "what-if" studies.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use atlahs_collectives::nccl::{self as nc, NcclConfig};
+use atlahs_eventq::hash::FastBuildHasher;
 use atlahs_goal::{GoalBuilder, GoalError, GoalSchedule, Rank, Task, TaskId, TaskKind};
 use atlahs_tracers::nccl::{KernelRecord, NcclKernel, NsysReport};
 
@@ -34,6 +35,7 @@ pub struct NcclToGoalConfig {
     /// Intra-node transfer cost: base + per-byte (NVLink-class default:
     /// 150 GB/s ≈ 0.0067 ns/B).
     pub intra_base_ns: u64,
+    // det-lint: allow(float) — NVLink ns/B cost parameter, one fixed-order multiply then integer cast
     pub intra_ns_per_byte: f64,
     /// Allreduces on communicators larger than this switch from Ring to
     /// Tree, mirroring NCCL's own size-based `NCCL_ALGO` heuristic
@@ -48,6 +50,7 @@ impl Default for NcclToGoalConfig {
             nccl: NcclConfig::default(),
             gpus_per_node: None,
             intra_base_ns: 1_000,
+            // det-lint: allow(float) — NVLink ns/B cost parameter, one fixed-order multiply then integer cast
             intra_ns_per_byte: 1.0 / 150.0,
             // Disabled by default: the bandwidth-regime buckets the LLM
             // tracers emit keep NCCL in its ring regime; set a threshold
@@ -73,14 +76,17 @@ pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSche
     let ngpus = report.num_gpus();
     let mut b = GoalBuilder::new(ngpus);
     // (gpu, record index) -> (entry, exit) vertices of its decomposition.
-    let mut ports: HashMap<(u32, usize), (TaskId, TaskId)> = HashMap::new();
+    // Lookup-only (never iterated), so a seeded hash map is fine.
+    let mut ports: HashMap<(u32, usize), (TaskId, TaskId), FastBuildHasher> =
+        HashMap::with_hasher(FastBuildHasher::default());
     let mut next_tag: u32 = 0;
 
     // ---- Stage 3a: collective instances per communicator ----
-    let comm_members: HashMap<u32, &[u32]> =
+    let comm_members: HashMap<u32, &[u32], FastBuildHasher> =
         report.comms.iter().map(|c| (c.id, c.gpus.as_slice())).collect();
-    // comm id -> per-member ordered record indices
-    let mut instances: HashMap<u32, Vec<Vec<usize>>> = HashMap::new();
+    // comm id -> per-member ordered record indices. Iterated below, so
+    // ordered: builder vertex ids must not depend on bucket layout.
+    let mut instances: BTreeMap<u32, Vec<Vec<usize>>> = BTreeMap::new();
     for (gi, g) in report.gpus.iter().enumerate() {
         for (ri, rec) in g.records.iter().enumerate() {
             if matches!(rec.kernel, NcclKernel::Send { .. } | NcclKernel::Recv { .. }) {
@@ -98,10 +104,7 @@ pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSche
             lists[pos].push(ri);
         }
     }
-    let mut comm_ids: Vec<u32> = instances.keys().copied().collect();
-    comm_ids.sort_unstable();
-    for comm in comm_ids {
-        let lists = &instances[&comm];
+    for (&comm, lists) in &instances {
         let members = comm_members[&comm];
         let count = lists[0].len();
         if lists.iter().any(|l| l.len() != count) {
@@ -150,8 +153,9 @@ pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSche
     }
 
     // ---- Stage 3b: point-to-point kernel pairs ----
-    // (src, dst) -> (ordered send record idxs, ordered recv record idxs)
-    let mut p2p: HashMap<(u32, u32), (Vec<usize>, Vec<usize>)> = HashMap::new();
+    // (src, dst) -> (ordered send record idxs, ordered recv record idxs),
+    // ordered because the pairs are walked to mint tags and vertices.
+    let mut p2p: BTreeMap<(u32, u32), (Vec<usize>, Vec<usize>)> = BTreeMap::new();
     for (gi, g) in report.gpus.iter().enumerate() {
         for (ri, rec) in g.records.iter().enumerate() {
             match rec.kernel {
@@ -165,10 +169,7 @@ pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSche
             }
         }
     }
-    let mut pairs: Vec<(u32, u32)> = p2p.keys().copied().collect();
-    pairs.sort_unstable();
-    for (src, dst) in pairs {
-        let (sends, recvs) = &p2p[&(src, dst)];
+    for (&(src, dst), (sends, recvs)) in &p2p {
         if sends.len() != recvs.len() {
             return Err(GoalError::Compose {
                 msg: format!("p2p {src}->{dst}: {} sends but {} recvs", sends.len(), recvs.len()),
@@ -188,8 +189,9 @@ pub fn gpu_level(report: &NsysReport, cfg: &NcclToGoalConfig) -> Result<GoalSche
 
     // ---- Stage 2: stream chains with inferred computation ----
     for (gi, g) in report.gpus.iter().enumerate() {
-        // last (exit, tend) per stream
-        let mut last: HashMap<u32, (TaskId, u64)> = HashMap::new();
+        // last (exit, tend) per stream; lookup-only, never iterated
+        let mut last: HashMap<u32, (TaskId, u64), FastBuildHasher> =
+            HashMap::with_hasher(FastBuildHasher::default());
         for (ri, rec) in g.records.iter().enumerate() {
             let &(entry, exit) = ports.get(&(gi as u32, ri)).ok_or_else(|| GoalError::Compose {
                 msg: format!("gpu {gi} record {ri} lost its ports"),
@@ -248,11 +250,14 @@ pub fn group_gpus(
     }
 
     let mut b = GoalBuilder::new(nnodes);
-    // (gpu, old task id) -> new task id on the node
-    let mut remap: HashMap<(u32, u32), TaskId> = HashMap::new();
-    // intra-node pairing: (src_gpu, dst_gpu, tag) -> fifo lists of new ids
-    let mut intra_sends: HashMap<(u32, u32, u32), Vec<TaskId>> = HashMap::new();
-    let mut intra_recvs: HashMap<(u32, u32, u32), Vec<(u32, TaskId)>> = HashMap::new();
+    // (gpu, old task id) -> new task id on the node; lookup-only
+    let mut remap: HashMap<(u32, u32), TaskId, FastBuildHasher> =
+        HashMap::with_hasher(FastBuildHasher::default());
+    // intra-node pairing: (src_gpu, dst_gpu, tag) -> fifo lists of new
+    // ids. Ordered maps: the pairing loop below iterates them, and the
+    // dependency-edge insertion order feeds the CSR layout.
+    let mut intra_sends: BTreeMap<(u32, u32, u32), Vec<TaskId>> = BTreeMap::new();
+    let mut intra_recvs: BTreeMap<(u32, u32, u32), Vec<(u32, TaskId)>> = BTreeMap::new();
 
     for g in 0..ngpus {
         let node = mapping[g];
@@ -265,6 +270,7 @@ pub fn group_gpus(
                     if mapping[dst as usize] == node {
                         // NVLink copy: sender-side cost carries the transfer.
                         let cost =
+                            // det-lint: allow(float) — NVLink ns/B cost parameter, one fixed-order multiply then integer cast
                             cfg.intra_base_ns + (bytes as f64 * cfg.intra_ns_per_byte) as u64;
                         let id = b.add_task(node, Task::calc(cost).on_stream(stream));
                         intra_sends.entry((g as u32, dst, tag)).or_default().push(id);
@@ -433,6 +439,21 @@ mod tests {
         let stats = atlahs_goal::ScheduleStats::of(&goal);
         // The backward-pass gaps recorded by the tracer must surface.
         assert!(stats.calc_ns > 1_000_000, "calc_ns = {}", stats.calc_ns);
+    }
+
+    #[test]
+    fn conversion_is_byte_stable_across_runs() {
+        // The converter walks several maps while minting tags, vertices
+        // and dependency edges; all of them are ordered or lookup-only,
+        // so two conversions of one report must encode identically.
+        let rep = small_llama();
+        let cfg = NcclToGoalConfig::default();
+        let a = atlahs_goal::binary::encode(&convert(&rep, &cfg).unwrap());
+        let b = atlahs_goal::binary::encode(&convert(&rep, &cfg).unwrap());
+        assert_eq!(a, b, "node-level conversion must be byte-stable");
+        let ga = atlahs_goal::binary::encode(&gpu_level(&rep, &cfg).unwrap());
+        let gb = atlahs_goal::binary::encode(&gpu_level(&rep, &cfg).unwrap());
+        assert_eq!(ga, gb, "gpu-level conversion must be byte-stable");
     }
 
     #[test]

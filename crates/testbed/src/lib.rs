@@ -19,6 +19,8 @@
 //! be "run on the cluster" (this crate) and *predicted* by `atlahs-lgs` /
 //! `atlahs-htsim`, mirroring the paper's methodology.
 
+#![forbid(unsafe_code)]
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

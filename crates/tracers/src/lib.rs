@@ -20,6 +20,8 @@
 //! pipeline, the storage converter — consumes these formats exactly as it
 //! would consume real traces.
 
+#![forbid(unsafe_code)]
+
 pub mod mpi;
 pub mod nccl;
 pub mod storage;

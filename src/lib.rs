@@ -18,6 +18,8 @@
 //! * [`testbed`] — the fluid-flow ground-truth cluster emulator,
 //! * [`baselines`] — the AstraSim/Chakra-class baseline.
 
+#![forbid(unsafe_code)]
+
 pub use atlahs_baselines as baselines;
 pub use atlahs_collectives as collectives;
 pub use atlahs_core as core;
